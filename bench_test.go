@@ -1,0 +1,283 @@
+package dnsobservatory_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (each regenerates the artifact end to end from
+// synthetic traffic), micro-benchmarks for the stream-processing hot
+// path, and ablations for the design choices called out in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks use a reduced scenario scale so a full
+// sweep stays in minutes; cmd/experiments regenerates the same artifacts
+// at full laptop scale.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"dnsobservatory/internal/bloom"
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/experiments"
+	"dnsobservatory/internal/hll"
+	"dnsobservatory/internal/observatory"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/simnet"
+	"dnsobservatory/internal/spacesaving"
+)
+
+// benchCtx builds a small-scale experiment context per benchmark.
+func benchCtx() *experiments.Context {
+	return experiments.NewContext(experiments.Options{Scale: 0.2, Seed: 7})
+}
+
+// runExperiment measures one full regeneration of a paper artifact.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := experiments.Find(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh context per iteration: the run is the artifact.
+		if err := e.Run(benchCtx(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2TrafficDistributions(b *testing.B) { runExperiment(b, "fig2") }
+func BenchmarkTable1ASOrganizations(b *testing.B)    { runExperiment(b, "tab1") }
+func BenchmarkTable2QTypes(b *testing.B)             { runExperiment(b, "tab2") }
+func BenchmarkFig3ResponseDelays(b *testing.B)       { runExperiment(b, "fig3") }
+func BenchmarkTable3QNameMinimization(b *testing.B)  { runExperiment(b, "tab3") }
+func BenchmarkFig4Representativeness(b *testing.B)   { runExperiment(b, "fig4") }
+func BenchmarkFig5ServersOverTime(b *testing.B)      { runExperiment(b, "fig5") }
+func BenchmarkFig6HilbertHeatmap(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig7TTLSlash(b *testing.B)             { runExperiment(b, "fig7") }
+func BenchmarkFig8TTLvsTraffic(b *testing.B)         { runExperiment(b, "fig8") }
+func BenchmarkTable4TTLChangeClasses(b *testing.B)   { runExperiment(b, "tab4") }
+func BenchmarkFig9NegativeCaching(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkIPv6Enablement(b *testing.B)           { runExperiment(b, "v6on") }
+
+// ---- hot-path micro-benchmarks ----
+
+// BenchmarkPipelineIngest measures the end-to-end per-transaction cost
+// of the Observatory core: summary → 8 aggregations → features.
+func BenchmarkPipelineIngest(b *testing.B) {
+	cfg := simnet.DefaultConfig()
+	cfg.Duration = 30
+	cfg.QPS = 2000
+	sim := simnet.New(cfg)
+	var sums []sie.Summary
+	var s sie.Summarizer
+	sim.Run(func(tx *sie.Transaction) {
+		var sum sie.Summary
+		if err := s.Summarize(tx, &sum); err == nil {
+			// Deep-copy slices out of the reused buffers.
+			sum.V4Addrs = append([]netip.Addr(nil), sum.V4Addrs...)
+			sum.V6Addrs = append([]netip.Addr(nil), sum.V6Addrs...)
+			sum.AnswerTTLs = append([]uint32(nil), sum.AnswerTTLs...)
+			sum.NSTTLs = append([]uint32(nil), sum.NSTTLs...)
+			sum.NSNames = append([]string(nil), sum.NSNames...)
+			sums = append(sums, sum)
+		}
+	})
+	pipe := observatory.New(observatory.DefaultConfig(), observatory.StandardAggregations(0.01), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := &sums[i%len(sums)]
+		pipe.Ingest(sum, float64(i)/2000)
+	}
+}
+
+// BenchmarkSummarize measures raw-packet parsing into a Summary.
+func BenchmarkSummarize(b *testing.B) {
+	cfg := simnet.DefaultConfig()
+	cfg.Duration = 5
+	cfg.QPS = 500
+	sim := simnet.New(cfg)
+	var frames [][]byte
+	sim.Run(func(tx *sie.Transaction) {
+		frames = append(frames, tx.Append(nil))
+	})
+	var s sie.Summarizer
+	var tx sie.Transaction
+	var sum sie.Summary
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Unmarshal(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Summarize(&tx, &sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDNSMessageUnpack measures the wire-format decoder alone.
+func BenchmarkDNSMessageUnpack(b *testing.B) {
+	m := &dnswire.Message{
+		ID:    1,
+		Flags: dnswire.Flags{Response: true, Authoritative: true},
+		Questions: []dnswire.Question{
+			{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET}},
+		Answers: []dnswire.RR{
+			{Name: "www.example.com.", Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: 300,
+				Data: dnswire.CNAMERData{Target: "edge.example.com."}},
+			{Name: "edge.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 60,
+				Data: dnswire.ARData{Addr: addr4(203, 0, 113, 7)}},
+		},
+		Authority: []dnswire.RR{
+			{Name: "example.com.", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 86400,
+				Data: dnswire.NSRData{NS: "ns1.example.com."}},
+		},
+	}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out dnswire.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpaceSavingObserve measures top-k tracking on a Zipf stream.
+func BenchmarkSpaceSavingObserve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	keys := make([]string, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%07d", zipf.Uint64())
+	}
+	c := spacesaving.New(10000, 60, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(keys[i%len(keys)], float64(i)/1000)
+	}
+}
+
+// BenchmarkHLLAdd measures one cardinality-estimate insertion.
+func BenchmarkHLLAdd(b *testing.B) {
+	s := hll.MustNew(10)
+	keys := make([]string, 1<<12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("item-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(keys[i%len(keys)])
+	}
+}
+
+// ---- ablations (design choices from DESIGN.md) ----
+
+// BenchmarkAblationAdmission compares Space-Saving with and without the
+// Bloom-filter eviction guard under a one-off-heavy stream: the guard
+// trades one filter lookup for far fewer evictions.
+func BenchmarkAblationAdmission(b *testing.B) {
+	mkKeys := func() []string {
+		rng := rand.New(rand.NewSource(2))
+		keys := make([]string, 1<<16)
+		for i := range keys {
+			if rng.Float64() < 0.5 {
+				keys[i] = fmt.Sprintf("heavy%03d", rng.Intn(200))
+			} else {
+				keys[i] = fmt.Sprintf("oneoff%09d", rng.Int31())
+			}
+		}
+		return keys
+	}
+	b.Run("with-bloom", func(b *testing.B) {
+		keys := mkKeys()
+		c := spacesaving.New(1000, 60, bloom.New(1<<20, 0.01))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Observe(keys[i%len(keys)], float64(i)/1000)
+		}
+	})
+	b.Run("no-bloom", func(b *testing.B) {
+		keys := mkKeys()
+		c := spacesaving.New(1000, 60, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Observe(keys[i%len(keys)], float64(i)/1000)
+		}
+	})
+}
+
+// BenchmarkAblationHLLPrecision sweeps estimator precision: memory per
+// object grows 2x per step while the relative error halves per 2 steps.
+func BenchmarkAblationHLLPrecision(b *testing.B) {
+	for _, p := range []uint8{10, 12, 14} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			s := hll.MustNew(p)
+			keys := make([]string, 1<<12)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Add(keys[i%len(keys)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFreshSkip compares snapshot dumping with and without
+// the §2.4 skip of objects that have not survived a full window.
+func BenchmarkAblationFreshSkip(b *testing.B) {
+	for _, skip := range []bool{true, false} {
+		name := "skip-fresh"
+		if !skip {
+			name = "keep-fresh"
+		}
+		b.Run(name, func(b *testing.B) {
+			simCfg := simnet.DefaultConfig()
+			simCfg.Duration = 20
+			simCfg.QPS = 1000
+			sim := simnet.New(simCfg)
+			var sums []sie.Summary
+			var s sie.Summarizer
+			sim.Run(func(tx *sie.Transaction) {
+				var sum sie.Summary
+				if err := s.Summarize(tx, &sum); err == nil {
+					sum.V4Addrs, sum.V6Addrs = nil, nil
+					sum.AnswerTTLs, sum.NSTTLs, sum.NSNames = nil, nil, nil
+					sums = append(sums, sum)
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := observatory.DefaultConfig()
+				cfg.SkipFreshObjects = skip
+				pipe := observatory.New(cfg,
+					[]observatory.Aggregation{{Name: "srvip", K: 1000, Key: observatory.SrvIPKey}}, nil)
+				for j := range sums {
+					pipe.Ingest(&sums[j], float64(j)/1000)
+				}
+				pipe.Flush()
+			}
+		})
+	}
+}
+
+func addr4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }

@@ -1,0 +1,92 @@
+// Command dnsdump prints an SIE transaction stream (from dnsgen or any
+// compatible producer) as human-readable summary lines — the debugging
+// companion to dnsgen and dnsobs.
+//
+//	$ dnsgen -duration 5 -o - | dnsdump | head
+//	00:00:00.123 192.0.2.10 > 198.51.100.53 udp A www.example.com. NOERROR 23.1ms 120B
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dnsobservatory/internal/sie"
+)
+
+func main() {
+	var (
+		in    = flag.String("i", "-", "input stream file ('-' for stdin)")
+		limit = flag.Uint64("n", 0, "stop after N transactions (0 = all)")
+		qname = flag.String("grep", "", "only show transactions whose QNAME contains this substring")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	reader := sie.NewReader(bufio.NewReaderSize(r, 1<<20))
+	var summarizer sie.Summarizer
+	summarizer.KeepUnparsableResponses = true
+	var tx sie.Transaction
+	var sum sie.Summary
+	var shown uint64
+	for {
+		err := reader.Read(&tx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := summarizer.Summarize(&tx, &sum); err != nil {
+			fmt.Fprintf(out, "%s UNPARSABLE: %v\n", tx.QueryTime.Format("15:04:05.000"), err)
+			continue
+		}
+		if *qname != "" && !strings.Contains(sum.QName, *qname) {
+			continue
+		}
+		proto := "udp"
+		if sum.TCP {
+			proto = "tcp"
+		}
+		status := "TIMEOUT"
+		detail := ""
+		if sum.Answered {
+			status = sum.RCode.String()
+			if sum.Trunc {
+				status += "+TC"
+			}
+			detail = fmt.Sprintf(" %.1fms %dB", sum.DelayMs, sum.RespSize)
+			if sum.AA {
+				detail += " aa"
+			}
+		}
+		fmt.Fprintf(out, "%s %s > %s %s %s %s %s%s\n",
+			tx.QueryTime.Format("15:04:05.000"),
+			sum.Resolver, sum.Nameserver, proto,
+			sum.QType, sum.QName, status, detail)
+		shown++
+		if *limit > 0 && shown >= *limit {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dnsdump: %d transactions read, %d shown\n", reader.Count(), shown)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnsdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command dnsgen generates a synthetic SIE passive-DNS stream — framed
+// transactions of raw IP/UDP/DNS packets — to a file or stdout, for
+// feeding into dnsobs or third-party tooling.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dnsobservatory/internal/scenario"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/simnet"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "-", "output file ('-' for stdout)")
+		duration  = flag.Float64("duration", 300, "simulated seconds")
+		qps       = flag.Float64("qps", 2000, "client query events per second")
+		resolvers = flag.Int("resolvers", 200, "recursive resolvers")
+		slds      = flag.Int("slds", 4000, "registered domains")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		scenPath  = flag.String("scenario", "", "JSON scenario file (overrides the flags above)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+
+	var sim *simnet.Sim
+	if *scenPath != "" {
+		f, err := os.Open(*scenPath)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := scenario.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sim, err = doc.Build()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg := simnet.DefaultConfig()
+		cfg.Duration = *duration
+		cfg.QPS = *qps
+		cfg.Resolvers = *resolvers
+		cfg.SLDs = *slds
+		cfg.Seed = *seed
+		sim = simnet.New(cfg)
+	}
+
+	writer := sie.NewWriter(bw)
+	start := time.Now()
+	var writeErr error
+	stats := sim.Run(func(tx *sie.Transaction) {
+		if writeErr == nil {
+			writeErr = writer.Write(tx)
+		}
+	})
+	if writeErr != nil {
+		fatal(writeErr)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dnsgen: %d transactions (%d client queries, %d cache hits) in %v\n",
+		stats.Transactions, stats.ClientQueries, stats.CacheHits, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnsgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command dnsobs runs the DNS Observatory pipeline over an SIE stream
+// (from dnsgen or any compatible producer): it tracks the standard Top-k
+// aggregations, writes minutely TSV snapshots into a store directory,
+// runs the time-aggregation cascade and applies the retention policy.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"dnsobservatory/internal/observatory"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/tsv"
+	"dnsobservatory/internal/webui"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "-", "input stream file ('-' for stdin)")
+		dir      = flag.String("dir", "observatory-data", "snapshot store directory")
+		factor   = flag.Float64("k", 0.1, "top-k capacity factor (1.0 = paper scale)")
+		retain   = flag.Int("retain-min", 0, "minutely files to retain (0 = all)")
+		httpAddr = flag.String("http", "", "serve the live web UI on this address (e.g. :8053)")
+		parallel = flag.Bool("parallel", false, "run each aggregation on its own goroutine")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	store, err := tsv.NewStore(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if *retain > 0 {
+		store.Retain[tsv.Minutely] = *retain
+	}
+
+	aggs := observatory.StandardAggregations(*factor)
+	var aggNames []string
+	for _, a := range aggs {
+		aggNames = append(aggNames, a.Name)
+	}
+
+	ui := webui.NewServer(store)
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, ui.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "dnsobs: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dnsobs: web UI on http://%s\n", *httpAddr)
+	}
+
+	var snapErr error
+	var lastStart int64 = -1
+	onSnapshot := func(s *tsv.Snapshot) {
+		ui.OnSnapshot(s)
+		if snapErr != nil {
+			return
+		}
+		if err := store.Put(s); err != nil {
+			snapErr = err
+			return
+		}
+		lastStart = s.Start
+	}
+	// ingest/flush abstract over the serial and parallel pipelines.
+	var ingest func(*sie.Summary, float64)
+	var flush func()
+	if *parallel {
+		pipe := observatory.NewParallel(observatory.DefaultConfig(), aggs, onSnapshot)
+		ingest, flush = pipe.Ingest, pipe.Close
+	} else {
+		pipe := observatory.New(observatory.DefaultConfig(), aggs, onSnapshot)
+		ingest, flush = pipe.Ingest, pipe.Flush
+	}
+
+	reader := sie.NewReader(bufio.NewReaderSize(r, 1<<20))
+	var summarizer sie.Summarizer
+	summarizer.KeepUnparsableResponses = true
+	var tx sie.Transaction
+	var sum sie.Summary
+	var errs uint64
+	var base time.Time
+	wall := time.Now()
+	for {
+		err := reader.Read(&tx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := summarizer.Summarize(&tx, &sum); err != nil {
+			errs++
+			continue
+		}
+		if base.IsZero() {
+			base = tx.QueryTime.Truncate(time.Minute)
+		}
+		ui.CountIngest()
+		ingest(&sum, tx.QueryTime.Sub(base).Seconds())
+		if snapErr != nil {
+			fatal(snapErr)
+		}
+	}
+	flush()
+	if snapErr != nil {
+		fatal(snapErr)
+	}
+	for _, name := range aggNames {
+		if err := store.Cascade(name, lastStart+60); err != nil {
+			fatal(err)
+		}
+		if err := store.Retention(name); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dnsobs: %d transactions (%d unparsable) -> %s in %v\n",
+		reader.Count(), errs, *dir, time.Since(wall).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnsobs:", err)
+	os.Exit(1)
+}

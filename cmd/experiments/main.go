@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's tables and figures from
+// simulated SIE traffic. Run one experiment with -run <id> or everything
+// with -run all; ids follow the paper (fig2, tab1, tab2, fig3, tab3,
+// fig4, fig5, fig6, fig7, fig8, tab4, fig9, v6on).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnsobservatory/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id or 'all'")
+		scale  = flag.Float64("scale", 1, "scenario duration multiplier")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		outdir = flag.String("outdir", "", "directory for binary artifacts (fig6 heatmap)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext(experiments.Options{Scale: *scale, Seed: *seed, OutDir: *outdir})
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.Registry
+	} else {
+		e := experiments.Find(*run)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{*e}
+	}
+	for _, e := range todo {
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(ctx, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,79 @@
+package dnsobs_test
+
+import (
+	"testing"
+
+	"dnsobservatory/dnsobs"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quickstart does: simulate, summarize, ingest, aggregate.
+func TestFacadeEndToEnd(t *testing.T) {
+	simCfg := dnsobs.DefaultSimulationConfig()
+	simCfg.Duration = 90
+	simCfg.QPS = 300
+	simCfg.Resolvers = 30
+	simCfg.SLDs = 200
+
+	var snaps []*dnsobs.Snapshot
+	cfg := dnsobs.DefaultPipelineConfig()
+	cfg.SkipFreshObjects = false
+	pipe := dnsobs.NewPipeline(cfg,
+		[]dnsobs.Aggregation{
+			{Name: "srvip", K: 300, Key: dnsobs.SrvIPKey},
+			{Name: "etld", K: 100, Key: dnsobs.ETLDKey(nil)},
+		},
+		func(s *dnsobs.Snapshot) { snaps = append(snaps, s) })
+
+	var summarizer dnsobs.Summarizer
+	var sum dnsobs.Summary
+	sim := dnsobs.NewSimulation(simCfg)
+	stats := sim.Run(func(tx *dnsobs.Transaction) {
+		if err := summarizer.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		pipe.Ingest(&sum, tx.QueryTime.Sub(simCfg.Start).Seconds())
+	})
+	pipe.Flush()
+
+	if stats.Transactions == 0 || len(snaps) == 0 {
+		t.Fatalf("stats=%+v snaps=%d", stats, len(snaps))
+	}
+	var srvip []*dnsobs.Snapshot
+	for _, s := range snaps {
+		if s.Aggregation == "srvip" {
+			srvip = append(srvip, s)
+		}
+	}
+	total, err := dnsobs.AggregateSnapshots(srvip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(total.Rows) == 0 {
+		t.Fatal("no rows in aggregate")
+	}
+	cdf := dnsobs.DistributionCDF(total)
+	if cdf.ShareOfTopN(len(cdf.All)) < 0.999 {
+		t.Errorf("CDF does not reach 1: %f", cdf.ShareOfTopN(len(cdf.All)))
+	}
+	rows := dnsobs.ASTable(total, sim.Infra.Routing, 5)
+	if len(rows) == 0 {
+		t.Error("empty AS table")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if got := dnsobs.ETLD("www.bbc.co.uk"); got != "co.uk." {
+		t.Errorf("ETLD = %q", got)
+	}
+	if got := dnsobs.ESLD("www.bbc.co.uk"); got != "bbc.co.uk." {
+		t.Errorf("ESLD = %q", got)
+	}
+	if dnsobs.Minutely.Seconds() != 60 || dnsobs.Hourly.Seconds() != 3600 {
+		t.Error("level seconds wrong")
+	}
+	aggs := dnsobs.StandardAggregations(1)
+	if len(aggs) != 8 {
+		t.Errorf("standard aggregations = %d", len(aggs))
+	}
+}

@@ -1,0 +1,62 @@
+package dnsobs_test
+
+import (
+	"fmt"
+
+	"dnsobservatory/dnsobs"
+)
+
+// ExampleNewPipeline runs one minute of synthetic passive DNS through
+// the Observatory and prints the three busiest nameservers. Counter
+// features are exact, so the output is reproducible for a fixed seed.
+func ExampleNewPipeline() {
+	simCfg := dnsobs.DefaultSimulationConfig()
+	simCfg.Seed = 11
+	simCfg.Duration = 60
+	simCfg.QPS = 500
+	simCfg.Resolvers = 50
+	simCfg.SLDs = 400
+
+	var snaps []*dnsobs.Snapshot
+	cfg := dnsobs.DefaultPipelineConfig()
+	cfg.SkipFreshObjects = false
+	pipe := dnsobs.NewPipeline(cfg,
+		[]dnsobs.Aggregation{{Name: "srvip", K: 500, Key: dnsobs.SrvIPKey}},
+		func(s *dnsobs.Snapshot) { snaps = append(snaps, s) })
+
+	var summarizer dnsobs.Summarizer
+	var sum dnsobs.Summary
+	sim := dnsobs.NewSimulation(simCfg)
+	sim.Run(func(tx *dnsobs.Transaction) {
+		if err := summarizer.Summarize(tx, &sum); err == nil {
+			pipe.Ingest(&sum, tx.QueryTime.Sub(simCfg.Start).Seconds())
+		}
+	})
+	pipe.Flush()
+
+	total, err := dnsobs.AggregateSnapshots(snaps)
+	if err != nil {
+		fmt.Println("aggregate:", err)
+		return
+	}
+	total.SortByColumn("hits")
+	for i := 0; i < 3 && i < len(total.Rows); i++ {
+		hits, _ := total.Value(&total.Rows[i], "hits")
+		fmt.Printf("%d. %s %.0f queries/min\n", i+1, total.Rows[i].Key, hits)
+	}
+	// Output:
+	// 1. 13.1.13.6 2490 queries/min
+	// 2. 13.10.0.1 1193 queries/min
+	// 3. 13.20.13.6 674 queries/min
+}
+
+// ExampleETLD shows Public-Suffix-List-aware domain grouping.
+func ExampleETLD() {
+	fmt.Println(dnsobs.ETLD("www.bbc.co.uk"))
+	fmt.Println(dnsobs.ESLD("www.bbc.co.uk"))
+	fmt.Println(dnsobs.ESLD("a.b.example.com."))
+	// Output:
+	// co.uk.
+	// bbc.co.uk.
+	// example.com.
+}

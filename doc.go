@@ -1,0 +1,9 @@
+// Package dnsobservatory reproduces "DNS Observatory: The Big Picture
+// of the DNS" (Foremski, Gasser, Moura — IMC 2019) as a Go library.
+//
+// The public API lives in the dnsobs subpackage; the cmd directory has
+// the runnable tools (dnsgen, dnsobs, experiments); examples holds
+// self-contained scenario walkthroughs. The benchmark harness in this
+// package regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md and EXPERIMENTS.md).
+package dnsobservatory

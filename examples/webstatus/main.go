@@ -1,0 +1,81 @@
+// Web status: run the Observatory over live synthetic traffic with the
+// parallel pipeline and serve the current top-k lists over HTTP while
+// the stream flows — the paper's planned public web interface, end to
+// end. The program prints a few polls of its own API and exits.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"dnsobservatory/dnsobs"
+	"dnsobservatory/internal/observatory"
+	"dnsobservatory/internal/webui"
+)
+
+func main() {
+	// Serve on an ephemeral port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ui := webui.NewServer(nil)
+	srv := &http.Server{Handler: ui.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("web UI listening on %s\n\n", base)
+
+	// Observatory over a parallel pipeline.
+	cfg := dnsobs.DefaultPipelineConfig()
+	cfg.SkipFreshObjects = false
+	pipe := observatory.NewParallel(cfg,
+		[]dnsobs.Aggregation{
+			{Name: "srvip", K: 1000, Key: dnsobs.SrvIPKey},
+			{Name: "qtype", K: 32, Key: dnsobs.QTypeKey, NoAdmitter: true},
+		},
+		ui.OnSnapshot)
+
+	simCfg := dnsobs.DefaultSimulationConfig()
+	simCfg.Duration = 180
+	simCfg.QPS = 1000
+	simCfg.Resolvers = 80
+	simCfg.SLDs = 800
+
+	var summarizer dnsobs.Summarizer
+	var sum dnsobs.Summary
+	sim := dnsobs.NewSimulation(simCfg)
+	stats := sim.Run(func(tx *dnsobs.Transaction) {
+		if err := summarizer.Summarize(tx, &sum); err != nil {
+			log.Fatal(err)
+		}
+		ui.CountIngest()
+		pipe.Ingest(&sum, tx.QueryTime.Sub(simCfg.Start).Seconds())
+	})
+	pipe.Close()
+	fmt.Printf("streamed %d transactions through the pipeline\n\n", stats.Transactions)
+
+	// Poll our own API like a dashboard would.
+	for _, path := range []string{
+		"/healthz",
+		"/api/aggregations",
+		"/api/top/qtype?n=5",
+		"/api/top/srvip?n=3&col=nxd",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var v any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		pretty, _ := json.MarshalIndent(v, "  ", "  ")
+		fmt.Printf("GET %s\n  %s\n\n", path, pretty)
+	}
+
+	_ = srv.Close()
+}

@@ -1,0 +1,3 @@
+module dnsobservatory
+
+go 1.22

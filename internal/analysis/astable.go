@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+
+	"dnsobservatory/internal/routing"
+	"dnsobservatory/internal/tsv"
+)
+
+// OrgRow is one row of Table 1: an AS organization ranked by DNS
+// transaction volume.
+type OrgRow struct {
+	Name    string
+	ASes    int     // matching ASNs
+	Global  float64 // share of observed transactions
+	Servers int     // nameserver IPs in the top list
+	DelayMs float64 // hits-weighted mean of median response delays
+	Hops    float64 // hits-weighted mean of median hop counts
+}
+
+// ASTable joins a whole-run srvip snapshot against the routing table and
+// ranks organizations by transaction volume (§3.3, Table 1).
+func ASTable(snap *tsv.Snapshot, rt *routing.Table, topN int) []OrgRow {
+	iHits, iDelay, iHops := colIndex(snap, "hits"), colIndex(snap, "delay_q50"), colIndex(snap, "hops_q50")
+	type acc struct {
+		asns    map[uint32]bool
+		hits    float64
+		servers int
+		dwSum   float64 // delay*hits
+		hwSum   float64 // hops*hits
+	}
+	byOrg := map[string]*acc{}
+	var total float64
+	for _, r := range snap.Rows {
+		addr, err := netip.ParseAddr(r.Key)
+		if err != nil {
+			continue
+		}
+		hits := r.Values[iHits]
+		total += hits
+		asn, ok := rt.Lookup(addr)
+		if !ok {
+			continue
+		}
+		org := routing.OrgName(rt.ASName(asn))
+		a := byOrg[org]
+		if a == nil {
+			a = &acc{asns: map[uint32]bool{}}
+			byOrg[org] = a
+		}
+		a.asns[asn] = true
+		a.hits += hits
+		a.servers++
+		a.dwSum += r.Values[iDelay] * hits
+		a.hwSum += r.Values[iHops] * hits
+	}
+	rows := make([]OrgRow, 0, len(byOrg))
+	for org, a := range byOrg {
+		rows = append(rows, OrgRow{
+			Name:    org,
+			ASes:    len(a.asns),
+			Global:  safeDiv(a.hits, total),
+			Servers: a.servers,
+			DelayMs: safeDiv(a.dwSum, a.hits),
+			Hops:    safeDiv(a.hwSum, a.hits),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Global != rows[j].Global {
+			return rows[i].Global > rows[j].Global
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// TopOrgsShare sums the global share of the first n rows — the paper's
+// "half of the world's DNS queries go to prefixes of 10 organizations".
+func TopOrgsShare(rows []OrgRow, n int) float64 {
+	if n > len(rows) {
+		n = len(rows)
+	}
+	var s float64
+	for _, r := range rows[:n] {
+		s += r.Global
+	}
+	return s
+}
+
+func colIndex(snap *tsv.Snapshot, name string) int {
+	for i, c := range snap.Columns {
+		if c == name {
+			return i
+		}
+	}
+	panic("analysis: missing column " + name)
+}

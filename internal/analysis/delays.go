@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+
+	"dnsobservatory/internal/tsv"
+)
+
+// DelaySections are the four regimes of Fig. 3a, as shares of
+// nameservers: colocated (0–5 ms), same/neighboring country (5–35 ms),
+// distant (35–350 ms), impaired (>350 ms).
+type DelaySections struct {
+	Colocated float64
+	Regional  float64
+	Distant   float64
+	Impaired  float64
+}
+
+// DelayCDF extracts each nameserver's median response delay from a
+// whole-run srvip snapshot, sorted ascending, plus the Fig. 3a section
+// shares.
+func DelayCDF(snap *tsv.Snapshot) ([]float64, DelaySections) {
+	iDelay := colIndex(snap, "delay_q50")
+	medians := make([]float64, 0, len(snap.Rows))
+	for i := range snap.Rows {
+		medians = append(medians, snap.Rows[i].Values[iDelay])
+	}
+	sort.Float64s(medians)
+	var sec DelaySections
+	for _, d := range medians {
+		switch {
+		case d < 5:
+			sec.Colocated++
+		case d < 35:
+			sec.Regional++
+		case d < 350:
+			sec.Distant++
+		default:
+			sec.Impaired++
+		}
+	}
+	n := float64(len(medians))
+	if n > 0 {
+		sec.Colocated /= n
+		sec.Regional /= n
+		sec.Distant /= n
+		sec.Impaired /= n
+	}
+	return medians, sec
+}
+
+// RankGroup is one dot of Fig. 3b: a group of neighboring-rank
+// nameservers with their mean delay and hop count.
+type RankGroup struct {
+	RankLo    int // 1-based first rank in the group
+	MeanDelay float64
+	MeanHops  float64
+}
+
+// DelayByRank ranks nameservers by traffic and averages delay/hops over
+// consecutive groups of groupSize (Fig. 3b uses 100).
+func DelayByRank(snap *tsv.Snapshot, maxRank, groupSize int) []RankGroup {
+	snap.SortByColumn("hits")
+	iDelay, iHops := colIndex(snap, "delay_q50"), colIndex(snap, "hops_q50")
+	if maxRank > len(snap.Rows) || maxRank <= 0 {
+		maxRank = len(snap.Rows)
+	}
+	if groupSize < 1 {
+		groupSize = 100
+	}
+	var out []RankGroup
+	for lo := 0; lo < maxRank; lo += groupSize {
+		hi := lo + groupSize
+		if hi > maxRank {
+			hi = maxRank
+		}
+		var d, h float64
+		for i := lo; i < hi; i++ {
+			d += snap.Rows[i].Values[iDelay]
+			h += snap.Rows[i].Values[iHops]
+		}
+		n := float64(hi - lo)
+		out = append(out, RankGroup{RankLo: lo + 1, MeanDelay: d / n, MeanHops: h / n})
+	}
+	return out
+}
+
+// LetterStat is one lettered root/gTLD server of Fig. 3c/d.
+type LetterStat struct {
+	Letter byte // 'A'..'M'
+	Q25    float64
+	Q50    float64
+	Q75    float64
+	Hops   float64
+	Hits   float64
+	NXD    float64 // NXDOMAIN share of this letter's traffic
+}
+
+// LetterStats reads the delay quartiles of an ordered server set
+// (roots or gTLDs) from a srvip snapshot. Missing letters are skipped.
+func LetterStats(snap *tsv.Snapshot, addrs []netip.Addr) []LetterStat {
+	iQ25, iQ50, iQ75 := colIndex(snap, "delay_q25"), colIndex(snap, "delay_q50"), colIndex(snap, "delay_q75")
+	iHops, iHits, iNXD := colIndex(snap, "hops_q50"), colIndex(snap, "hits"), colIndex(snap, "nxd")
+	var out []LetterStat
+	for i, a := range addrs {
+		r := snap.Find(a.String())
+		if r == nil {
+			continue
+		}
+		out = append(out, LetterStat{
+			Letter: byte('A' + i),
+			Q25:    r.Values[iQ25],
+			Q50:    r.Values[iQ50],
+			Q75:    r.Values[iQ75],
+			Hops:   r.Values[iHops],
+			Hits:   r.Values[iHits],
+			NXD:    safeDiv(r.Values[iNXD], r.Values[iHits]),
+		})
+	}
+	return out
+}
+
+// GroupShare sums the hits of the given servers and divides by the
+// snapshot total — e.g. "root nameservers handle 3.0% of all queries".
+func GroupShare(snap *tsv.Snapshot, addrs []netip.Addr) (share, nxdShare float64) {
+	iHits, iNXD := colIndex(snap, "hits"), colIndex(snap, "nxd")
+	var total, group, groupNXD float64
+	for i := range snap.Rows {
+		total += snap.Rows[i].Values[iHits]
+	}
+	for _, a := range addrs {
+		if r := snap.Find(a.String()); r != nil {
+			group += r.Values[iHits]
+			groupNXD += r.Values[iNXD]
+		}
+	}
+	return safeDiv(group, total), safeDiv(groupNXD, group)
+}

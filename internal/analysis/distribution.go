@@ -1,0 +1,105 @@
+package analysis
+
+import "dnsobservatory/internal/tsv"
+
+// TrafficCDF is the Fig. 2 artifact: independent CDFs of DNS
+// transactions against object rank, for all queries and for the
+// NXDOMAIN / NoError+data / NoData splits. Each curve is normalized to
+// end at 1.0, as in the paper's plot.
+type TrafficCDF struct {
+	Ranks  []int // 1-based ranks (by total traffic)
+	All    []float64
+	NXD    []float64
+	OKData []float64 // NoError with answer or delegation
+	NoData []float64 // NoError, empty
+
+	// Shares of the raw stream captured by the top list and by each
+	// split, for the §3.2 headline numbers.
+	CapturedShare float64 // top-list transactions / all transactions seen
+	NXDShare      float64 // NXDOMAIN share within the top list
+	OKDataShare   float64
+	NoDataShare   float64
+}
+
+// DistributionCDF computes the Fig. 2 curves from a whole-run snapshot
+// of one aggregation (srvip for 2a, qname for 2b, esld for 2c).
+func DistributionCDF(snap *tsv.Snapshot) *TrafficCDF {
+	snap.SortByColumn("hits")
+	idx := func(name string) int {
+		for i, c := range snap.Columns {
+			if c == name {
+				return i
+			}
+		}
+		return -1
+	}
+	iHits, iOK, iNXD, iNil := idx("hits"), idx("ok"), idx("nxd"), idx("ok_nil")
+
+	n := len(snap.Rows)
+	out := &TrafficCDF{
+		Ranks:  make([]int, n),
+		All:    make([]float64, n),
+		NXD:    make([]float64, n),
+		OKData: make([]float64, n),
+		NoData: make([]float64, n),
+	}
+	var tAll, tNXD, tOKData, tNoData float64
+	for _, r := range snap.Rows {
+		tAll += r.Values[iHits]
+		tNXD += r.Values[iNXD]
+		tOKData += r.Values[iOK] - r.Values[iNil]
+		tNoData += r.Values[iNil]
+	}
+	var cAll, cNXD, cOKData, cNoData float64
+	for i, r := range snap.Rows {
+		out.Ranks[i] = i + 1
+		cAll += r.Values[iHits]
+		cNXD += r.Values[iNXD]
+		cOKData += r.Values[iOK] - r.Values[iNil]
+		cNoData += r.Values[iNil]
+		out.All[i] = safeDiv(cAll, tAll)
+		out.NXD[i] = safeDiv(cNXD, tNXD)
+		out.OKData[i] = safeDiv(cOKData, tOKData)
+		out.NoData[i] = safeDiv(cNoData, tNoData)
+	}
+	if snap.TotalBefore > 0 {
+		out.CapturedShare = float64(snap.TotalAfter) / float64(snap.TotalBefore)
+	}
+	out.NXDShare = safeDiv(tNXD, tAll)
+	out.OKDataShare = safeDiv(tOKData, tAll)
+	out.NoDataShare = safeDiv(tNoData, tAll)
+	return out
+}
+
+// ShareOfTopN returns the fraction of the top list's traffic handled by
+// its first n objects — the paper's "top 1,000 nameservers handle half
+// of all traffic" observation reads directly off this.
+func (c *TrafficCDF) ShareOfTopN(n int) float64 {
+	if len(c.All) == 0 {
+		return 0
+	}
+	if n > len(c.All) {
+		n = len(c.All)
+	}
+	if n < 1 {
+		return 0
+	}
+	return c.All[n-1]
+}
+
+// RankForShare returns the smallest rank whose CDF reaches share.
+func (c *TrafficCDF) RankForShare(share float64) int {
+	for i, v := range c.All {
+		if v >= share {
+			return i + 1
+		}
+	}
+	return len(c.All)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

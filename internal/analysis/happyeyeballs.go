@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"sort"
+
+	"dnsobservatory/internal/tsv"
+)
+
+// HERow is one FQDN of the Fig. 9 scatter: its rank by traffic, the
+// share of its responses that are empty AAAA (NoData), and the quotient
+// of the A record TTL over the negative-caching TTL — the larger the
+// quotient, the more empty AAAA responses Happy Eyeballs clients force.
+type HERow struct {
+	Rank      int
+	Key       string
+	Hits      float64
+	EmptyAAAA float64 // ok6nil / hits
+	ATTL      float64 // dominant answer TTL
+	NegTTL    float64 // dominant negative-caching TTL (SOA minimum)
+	Quotient  float64 // ATTL / NegTTL
+}
+
+// HappyEyeballs computes the Fig. 9 rows for the topN FQDNs by traffic
+// of a whole-period qname snapshot (§5.2 analyzes the top 200).
+func HappyEyeballs(snap *tsv.Snapshot, topN int) []HERow {
+	snap.SortByColumn("hits")
+	iHits, iNil6 := colIndex(snap, "hits"), colIndex(snap, "ok6nil")
+	iTTL, iNeg := colIndex(snap, "ttl1"), colIndex(snap, "negttl1")
+	n := len(snap.Rows)
+	if topN > 0 && topN < n {
+		n = topN
+	}
+	out := make([]HERow, 0, n)
+	for i := 0; i < n; i++ {
+		r := &snap.Rows[i]
+		row := HERow{
+			Rank:      i + 1,
+			Key:       r.Key,
+			Hits:      r.Values[iHits],
+			EmptyAAAA: safeDiv(r.Values[iNil6], r.Values[iHits]),
+			ATTL:      r.Values[iTTL],
+			NegTTL:    r.Values[iNeg],
+		}
+		if row.NegTTL > 0 {
+			row.Quotient = row.ATTL / row.NegTTL
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// WorstOffenders returns the rows with empty-AAAA share at or above
+// threshold, most affected first (the paper highlights 5 FQDNs above
+// 70 % in the top 200, up to 94 %).
+func WorstOffenders(rows []HERow, threshold float64) []HERow {
+	var out []HERow
+	for _, r := range rows {
+		if r.EmptyAAAA >= threshold {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EmptyAAAA > out[j].EmptyAAAA })
+	return out
+}
+
+// V6EnablementEffect compares an FQDN's empty-AAAA share and query
+// volume before and after an IPv6 enablement event (§5.3): the empty
+// share must drop while the query volume stays about flat.
+type V6EnablementEffect struct {
+	Key              string
+	EmptyShareBefore float64
+	EmptyShareAfter  float64
+	HitsBefore       float64
+	HitsAfter        float64
+}
+
+// V6Effect computes the §5.3 comparison from two period aggregates.
+func V6Effect(before, after *tsv.Snapshot, key string) (V6EnablementEffect, bool) {
+	rb, ra := before.Find(key), after.Find(key)
+	if rb == nil || ra == nil {
+		return V6EnablementEffect{}, false
+	}
+	get := func(s *tsv.Snapshot, r *tsv.Row, c string) float64 {
+		v, _ := s.Value(r, c)
+		return v
+	}
+	return V6EnablementEffect{
+		Key:              key,
+		EmptyShareBefore: safeDiv(get(before, rb, "ok6nil"), get(before, rb, "hits")),
+		EmptyShareAfter:  safeDiv(get(after, ra, "ok6nil"), get(after, ra, "hits")),
+		HitsBefore:       get(before, rb, "hits"),
+		HitsAfter:        get(after, ra, "hits"),
+	}, true
+}

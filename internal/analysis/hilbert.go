@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Hilbert heatmap of nameserver address density (Fig. 6). Following the
+// ipv4-heatmap tool the paper used, each /24 prefix is one cell, laid
+// out on a Hilbert space-filling curve so that numerically adjacent
+// prefixes stay visually adjacent; we render at order 8 over the /24
+// space projected down to a 256×256 grid of /16 cells (each pixel
+// aggregates 256 /24s), written as a portable graymap (PGM).
+
+// hilbertD2XY converts a distance d along a Hilbert curve of order
+// `order` (side 2^order) to x/y coordinates.
+func hilbertD2XY(order uint, d uint32) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<order; s <<= 1 {
+		rx := (t / 2) & 1
+		ry := (t ^ rx) & 1
+		// Rotate quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// HeatmapGrid renders /24 density onto a 2^order square Hilbert grid.
+// Each /24 prefix index (the top 24 bits of the address) is first
+// reduced to gridBits of prefix (e.g. order 8 → /16 cells), then placed
+// along the curve. Cell values are summed address counts.
+type HeatmapGrid struct {
+	Order uint
+	Side  int
+	Cells []int // Side*Side, row-major
+	Max   int
+}
+
+// Heatmap builds the Fig. 6 grid from PrefixDensity output at the given
+// order (8 → 256×256 cells of /16 granularity).
+func Heatmap(density map[uint32]int, order uint) *HeatmapGrid {
+	side := 1 << order
+	g := &HeatmapGrid{Order: order, Side: side, Cells: make([]int, side*side)}
+	shift := 24 - 2*order // bits to drop from the /24 index
+	for p24, count := range density {
+		cell := p24 >> shift
+		x, y := hilbertD2XY(order, cell)
+		i := int(y)*side + int(x)
+		g.Cells[i] += count
+		if g.Cells[i] > g.Max {
+			g.Max = g.Cells[i]
+		}
+	}
+	return g
+}
+
+// Occupied returns the number of non-empty cells.
+func (g *HeatmapGrid) Occupied() int {
+	n := 0
+	for _, c := range g.Cells {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WritePGM writes the grid as a binary PGM image, intensity scaled so
+// the densest cell is white.
+func (g *HeatmapGrid) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.Side, g.Side); err != nil {
+		return err
+	}
+	max := g.Max
+	if max == 0 {
+		max = 1
+	}
+	for _, c := range g.Cells {
+		v := c * 255 / max
+		if c > 0 && v == 0 {
+			v = 1 // ensure occupied cells are visible
+		}
+		if err := bw.WriteByte(byte(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

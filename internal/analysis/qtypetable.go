@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"sort"
+
+	"dnsobservatory/internal/tsv"
+)
+
+// QTypeRow is one row of Table 2: per-QTYPE traffic characteristics.
+type QTypeRow struct {
+	QType  string
+	Global float64 // share of all observed transactions
+	Data   float64 // NoError+data share within the QTYPE
+	NoData float64
+	NXD    float64
+	Err    float64 // everything else: other RCODEs and unanswered
+	QDots  float64 // mean QNAME labels
+	TLDs   float64 // unique TLDs per minute (NoError)
+	ESLDs  float64 // unique effective SLDs per minute
+	FQDNs  float64 // unique FQDNs per minute (NoError)
+	Valid  float64 // existing FQDNs / all FQDNs
+	TTL    float64 // top answer TTL
+	Srvs   float64 // unique nameserver IPs per minute
+	Delay  float64 // median response delay [ms]
+	Hops   float64
+	Size   float64 // median response size [B]
+}
+
+// QTypeTable computes Table 2 from a whole-run qtype snapshot (§3.4).
+func QTypeTable(snap *tsv.Snapshot, topN int) []QTypeRow {
+	get := func(r *tsv.Row, name string) float64 { return r.Values[colIndex(snap, name)] }
+	var total float64
+	for i := range snap.Rows {
+		total += get(&snap.Rows[i], "hits")
+	}
+	rows := make([]QTypeRow, 0, len(snap.Rows))
+	for i := range snap.Rows {
+		r := &snap.Rows[i]
+		hits := get(r, "hits")
+		if hits == 0 {
+			continue
+		}
+		ok, nxd, nil_ := get(r, "ok"), get(r, "nxd"), get(r, "ok_nil")
+		rows = append(rows, QTypeRow{
+			QType:  r.Key,
+			Global: safeDiv(hits, total),
+			Data:   safeDiv(ok-nil_, hits),
+			NoData: safeDiv(nil_, hits),
+			NXD:    safeDiv(nxd, hits),
+			Err:    1 - safeDiv(ok+nxd, hits),
+			QDots:  get(r, "qdots"),
+			TLDs:   get(r, "tlds"),
+			ESLDs:  get(r, "eslds"),
+			FQDNs:  get(r, "qnames"),
+			Valid:  safeDiv(get(r, "qnames"), get(r, "qnamesa")),
+			TTL:    get(r, "ttl1"),
+			Srvs:   get(r, "srvips"),
+			Delay:  get(r, "delay_q50"),
+			Hops:   get(r, "hops_q50"),
+			Size:   get(r, "size_q50"),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Global != rows[j].Global {
+			return rows[i].Global > rows[j].Global
+		}
+		return rows[i].QType < rows[j].QType
+	})
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+	return rows
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"dnsobservatory/internal/publicsuffix"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/simnet"
+)
+
+// Recording is a compact trace of (resolver, nameserver, TLD, time)
+// tuples used by the §3.7 representativeness experiments: vantage-point
+// subsampling (Fig. 4) and coverage-over-time (Figs. 5 and 6).
+type Recording struct {
+	Resolvers []netip.Addr
+	resIndex  map[netip.Addr]uint32
+	Servers   []netip.Addr
+	srvIndex  map[netip.Addr]uint32
+	TLDs      []string
+	tldIndex  map[string]uint32
+
+	obs []obsTuple
+	// serverHits supports Top-K lists.
+	serverHits []uint64
+}
+
+type obsTuple struct {
+	res, srv, tld uint32
+	sec           int32
+}
+
+// Record runs sim once, recording every transaction as a tuple.
+// Tuple times are relative to the first transaction.
+func Record(sim *simnet.Sim) *Recording {
+	rec := &Recording{
+		resIndex: map[netip.Addr]uint32{},
+		srvIndex: map[netip.Addr]uint32{},
+		tldIndex: map[string]uint32{},
+	}
+	var s sie.Summarizer
+	var sum sie.Summary
+	var t0 float64
+	first := true
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			return
+		}
+		ts := tx.QueryTime.Unix()
+		if first {
+			t0 = float64(ts)
+			first = false
+		}
+		rec.obs = append(rec.obs, obsTuple{
+			res: rec.resID(sum.Resolver),
+			srv: rec.srvID(sum.Nameserver),
+			tld: rec.tldID(publicsuffix.ETLD(sum.QName)),
+			sec: int32(float64(ts) - t0),
+		})
+	})
+	return rec
+}
+
+func (rec *Recording) resID(a netip.Addr) uint32 {
+	if id, ok := rec.resIndex[a]; ok {
+		return id
+	}
+	id := uint32(len(rec.Resolvers))
+	rec.resIndex[a] = id
+	rec.Resolvers = append(rec.Resolvers, a)
+	return id
+}
+
+func (rec *Recording) srvID(a netip.Addr) uint32 {
+	if id, ok := rec.srvIndex[a]; ok {
+		rec.serverHits[id]++
+		return id
+	}
+	id := uint32(len(rec.Servers))
+	rec.srvIndex[a] = id
+	rec.Servers = append(rec.Servers, a)
+	rec.serverHits = append(rec.serverHits, 1)
+	return id
+}
+
+func (rec *Recording) tldID(t string) uint32 {
+	if id, ok := rec.tldIndex[t]; ok {
+		return id
+	}
+	id := uint32(len(rec.TLDs))
+	rec.tldIndex[t] = id
+	rec.TLDs = append(rec.TLDs, t)
+	return id
+}
+
+// Len returns the number of recorded transactions.
+func (rec *Recording) Len() int { return len(rec.obs) }
+
+// SamplePoint is one x/y point of the Fig. 4 curves.
+type SamplePoint struct {
+	Fraction float64 // resolver sample fraction (0–1]
+	Value    float64 // mean over repetitions
+}
+
+// sampleResolvers draws a random subset of resolver IDs.
+func (rec *Recording) sampleResolvers(rng *rand.Rand, fraction float64) map[uint32]bool {
+	n := int(float64(len(rec.Resolvers))*fraction + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	perm := rng.Perm(len(rec.Resolvers))
+	set := make(map[uint32]bool, n)
+	for _, i := range perm[:n] {
+		set[uint32(i)] = true
+	}
+	return set
+}
+
+// NameserversSeen reproduces Fig. 4a: distinct authoritative nameserver
+// IPs seen within windowSec, as a function of the resolver sample
+// fraction, averaged over reps repetitions.
+func (rec *Recording) NameserversSeen(fractions []float64, windowSec int32, reps int, seed int64) []SamplePoint {
+	return rec.sweep(fractions, reps, seed, func(set map[uint32]bool) float64 {
+		seen := map[uint32]bool{}
+		for _, o := range rec.obs {
+			if o.sec < windowSec && set[o.res] {
+				seen[o.srv] = true
+			}
+		}
+		return float64(len(seen))
+	})
+}
+
+// TopKCoverage reproduces Fig. 4b: the fraction of the full-pool Top-K
+// nameserver list visible from a resolver sample within windowSec.
+func (rec *Recording) TopKCoverage(fractions []float64, topK int, windowSec int32, reps int, seed int64) []SamplePoint {
+	top := rec.TopServers(topK)
+	topSet := make(map[uint32]bool, len(top))
+	for _, id := range top {
+		topSet[id] = true
+	}
+	return rec.sweep(fractions, reps, seed, func(set map[uint32]bool) float64 {
+		seen := map[uint32]bool{}
+		for _, o := range rec.obs {
+			if o.sec < windowSec && set[o.res] && topSet[o.srv] {
+				seen[o.srv] = true
+			}
+		}
+		return 100 * float64(len(seen)) / float64(len(topSet))
+	})
+}
+
+// TLDsSeen reproduces Fig. 4c: distinct TLDs observed within windowSec.
+func (rec *Recording) TLDsSeen(fractions []float64, windowSec int32, reps int, seed int64) []SamplePoint {
+	return rec.sweep(fractions, reps, seed, func(set map[uint32]bool) float64 {
+		seen := map[uint32]bool{}
+		for _, o := range rec.obs {
+			if o.sec < windowSec && set[o.res] {
+				seen[o.tld] = true
+			}
+		}
+		return float64(len(seen))
+	})
+}
+
+func (rec *Recording) sweep(fractions []float64, reps int, seed int64, f func(map[uint32]bool) float64) []SamplePoint {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SamplePoint, 0, len(fractions))
+	for _, frac := range fractions {
+		var sum float64
+		for r := 0; r < reps; r++ {
+			sum += f(rec.sampleResolvers(rng, frac))
+		}
+		out = append(out, SamplePoint{Fraction: frac, Value: sum / float64(reps)})
+	}
+	return out
+}
+
+// TopServers returns the IDs of the k most-hit servers.
+func (rec *Recording) TopServers(k int) []uint32 {
+	ids := make([]uint32, len(rec.serverHits))
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return rec.serverHits[ids[a]] > rec.serverHits[ids[b]] })
+	if k > 0 && k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// TimePoint is one point of the Fig. 5 curve.
+type TimePoint struct {
+	Sec   int32
+	Count float64 // cumulative distinct nameserver IPs
+}
+
+// ServersOverTime reproduces Fig. 5: cumulative distinct nameserver IPs
+// as monitoring time grows, sampled every stepSec.
+func (rec *Recording) ServersOverTime(stepSec int32) []TimePoint {
+	// First sighting per server.
+	first := make(map[uint32]int32)
+	var maxSec int32
+	for _, o := range rec.obs {
+		if s, ok := first[o.srv]; !ok || o.sec < s {
+			first[o.srv] = o.sec
+		}
+		if o.sec > maxSec {
+			maxSec = o.sec
+		}
+	}
+	counts := make([]int, maxSec/stepSec+2)
+	for _, s := range first {
+		counts[s/stepSec+1]++
+	}
+	var out []TimePoint
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		out = append(out, TimePoint{Sec: int32(i) * stepSec, Count: float64(cum)})
+	}
+	return out
+}
+
+// PrefixDensity maps each observed /24 prefix to its distinct
+// nameserver-address count — the Fig. 6 heatmap input and the §3.7
+// "48 % of prefixes hold a single nameserver address" statistic.
+func (rec *Recording) PrefixDensity() map[uint32]int {
+	addrsByPrefix := map[uint32]map[byte]bool{}
+	for _, a := range rec.Servers {
+		if !a.Is4() {
+			continue
+		}
+		b := a.As4()
+		p := uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+		set := addrsByPrefix[p]
+		if set == nil {
+			set = map[byte]bool{}
+			addrsByPrefix[p] = set
+		}
+		set[b[3]] = true
+	}
+	out := make(map[uint32]int, len(addrsByPrefix))
+	for p, set := range addrsByPrefix {
+		out[p] = len(set)
+	}
+	return out
+}
+
+// DensityShares returns the fractions of /24 prefixes holding exactly
+// 1, 2 and 3 nameserver addresses.
+func DensityShares(density map[uint32]int) (one, two, three float64) {
+	if len(density) == 0 {
+		return 0, 0, 0
+	}
+	var c1, c2, c3 int
+	for _, n := range density {
+		switch n {
+		case 1:
+			c1++
+		case 2:
+			c2++
+		case 3:
+			c3++
+		}
+	}
+	n := float64(len(density))
+	return float64(c1) / n, float64(c2) / n, float64(c3) / n
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"sort"
+
+	"dnsobservatory/internal/tsv"
+)
+
+// The Table 4 experiment: detect TTL changes in hourly aafqdn snapshots
+// and classify them. The paper classifies against DNSDB, an external
+// historical record; our substitute oracle is the simulator's
+// ground-truth event schedule (see DESIGN.md).
+
+// TTLChangeObs is one detected change: an FQDN whose dominant answer
+// TTL moved between consecutive hourly windows, with the new value
+// backed by at least 10 % of the responses (§4.2.1).
+type TTLChangeObs struct {
+	Key       string
+	Hour      int64 // window start of the change
+	TTLBefore float64
+	TTLAfter  float64
+	Flips     int // how many distinct changes this key showed in total
+}
+
+// DetectTTLChanges scans consecutive snapshots (hourly files in the
+// paper) for objects whose top TTL changed with at least minShare of
+// responses behind the new value.
+func DetectTTLChanges(snaps []*tsv.Snapshot, minShare float64) []TTLChangeObs {
+	last := map[string]float64{}
+	flips := map[string]int{}
+	firstChange := map[string]*TTLChangeObs{}
+	var out []TTLChangeObs
+	for _, s := range snaps {
+		iTTL, iShare := colIndex(s, "ttl1"), colIndex(s, "ttl1_share")
+		for i := range s.Rows {
+			r := &s.Rows[i]
+			ttl, share := r.Values[iTTL], r.Values[iShare]
+			if share < minShare {
+				continue
+			}
+			prev, seen := last[r.Key]
+			if seen && prev != ttl {
+				flips[r.Key]++
+				if firstChange[r.Key] == nil {
+					out = append(out, TTLChangeObs{
+						Key: r.Key, Hour: s.Start, TTLBefore: prev, TTLAfter: ttl,
+					})
+					firstChange[r.Key] = &out[len(out)-1]
+				}
+			}
+			last[r.Key] = ttl
+		}
+	}
+	for i := range out {
+		out[i].Flips = flips[out[i].Key]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ChangeClass is a Table 4 category.
+type ChangeClass int
+
+// Table 4 categories.
+const (
+	ClassNonConforming ChangeClass = iota
+	ClassRenumbering
+	ClassTTLDecrease
+	ClassTTLIncrease
+	ClassChangeNS
+	ClassUnknown
+)
+
+var classNames = [...]string{
+	"Non-conforming", "Renumbering", "TTL Decrease", "TTL Increase", "Change NS", "Unknown"}
+
+// String names the class as in Table 4.
+func (c ChangeClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "?"
+}
+
+// GroundTruth is the oracle: which eSLDs actually renumbered, changed
+// NS, or are non-conforming (from the scenario's event schedule). Keys
+// are canonical eSLD names.
+type GroundTruth struct {
+	NonConforming map[string]bool
+	Renumbered    map[string]bool
+	NSChanged     map[string]bool
+	// ESLDOf maps an observed FQDN key to its zone; when nil, the
+	// classifier matches by suffix containment.
+	ESLDOf func(fqdn string) string
+}
+
+// Classify assigns each detected change to a Table 4 category:
+// many flips → non-conforming; otherwise consult the oracle for
+// renumbering / NS changes; otherwise a plain TTL decrease or increase.
+// Changes whose zone the oracle does not know land in Unknown.
+func Classify(changes []TTLChangeObs, gt GroundTruth) map[ChangeClass][]TTLChangeObs {
+	out := map[ChangeClass][]TTLChangeObs{}
+	for _, c := range changes {
+		zone := c.Key
+		if gt.ESLDOf != nil {
+			zone = gt.ESLDOf(c.Key)
+		}
+		var cls ChangeClass
+		switch {
+		case c.Flips >= 3:
+			cls = ClassNonConforming
+		case gt.NSChanged[zone]:
+			cls = ClassChangeNS
+		case gt.Renumbered[zone]:
+			cls = ClassRenumbering
+		case gt.NonConforming[zone]:
+			cls = ClassNonConforming
+		case c.TTLAfter < c.TTLBefore:
+			cls = ClassTTLDecrease
+		case c.TTLAfter > c.TTLBefore:
+			cls = ClassTTLIncrease
+		default:
+			cls = ClassUnknown
+		}
+		out[cls] = append(out[cls], c)
+	}
+	return out
+}

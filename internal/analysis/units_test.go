@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"testing"
+
+	"dnsobservatory/internal/tsv"
+)
+
+func heSnap(rows ...tsv.Row) *tsv.Snapshot {
+	return &tsv.Snapshot{
+		Columns: []string{"hits", "ok6nil", "ttl1", "negttl1"},
+		Kinds:   []tsv.Kind{tsv.Counter, tsv.Counter, tsv.Mode, tsv.Mode},
+		Rows:    rows,
+		Windows: 1,
+	}
+}
+
+func TestHappyEyeballsRows(t *testing.T) {
+	snap := heSnap(
+		tsv.Row{Key: "time.example.", Values: []float64{100, 90, 750, 15}},
+		tsv.Row{Key: "ok.example.", Values: []float64{200, 5, 300, 300}},
+		tsv.Row{Key: "noneg.example.", Values: []float64{50, 0, 300, 0}},
+	)
+	rows := HappyEyeballs(snap, 10)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted by hits: ok.example first.
+	if rows[0].Key != "ok.example." || rows[0].EmptyAAAA != 0.025 {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	if rows[1].Key != "time.example." || rows[1].Quotient != 50 || rows[1].EmptyAAAA != 0.9 {
+		t.Errorf("row1 = %+v", rows[1])
+	}
+	// Zero negTTL yields zero quotient, not a division panic.
+	if rows[2].Quotient != 0 {
+		t.Errorf("row2 quotient = %f", rows[2].Quotient)
+	}
+	worst := WorstOffenders(rows, 0.7)
+	if len(worst) != 1 || worst[0].Key != "time.example." {
+		t.Errorf("worst = %+v", worst)
+	}
+}
+
+func TestV6Effect(t *testing.T) {
+	before := heSnap(tsv.Row{Key: "www.x.", Values: []float64{100, 45, 120, 120}})
+	after := heSnap(tsv.Row{Key: "www.x.", Values: []float64{95, 0, 120, 120}})
+	eff, ok := V6Effect(before, after, "www.x.")
+	if !ok {
+		t.Fatal("not found")
+	}
+	if eff.EmptyShareBefore != 0.45 || eff.EmptyShareAfter != 0 {
+		t.Errorf("eff = %+v", eff)
+	}
+	if eff.HitsBefore != 100 || eff.HitsAfter != 95 {
+		t.Errorf("hits = %+v", eff)
+	}
+	if _, ok := V6Effect(before, after, "missing."); ok {
+		t.Error("phantom key found")
+	}
+}
+
+func TestDelayByRankDefaults(t *testing.T) {
+	snap := &tsv.Snapshot{
+		Columns: []string{"hits", "delay_q50", "hops_q50"},
+		Kinds:   []tsv.Kind{tsv.Counter, tsv.Gauge, tsv.Gauge},
+	}
+	for i := 0; i < 250; i++ {
+		snap.Rows = append(snap.Rows, tsv.Row{
+			Key:    string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i/26%26)),
+			Values: []float64{float64(1000 - i), float64(i), 5},
+		})
+	}
+	groups := DelayByRank(snap, 0, 0) // defaults: all rows, groups of 100
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].RankLo != 1 || groups[1].RankLo != 101 {
+		t.Errorf("ranks: %+v", groups)
+	}
+	// Rank groups average increasing delays.
+	if !(groups[0].MeanDelay < groups[1].MeanDelay && groups[1].MeanDelay < groups[2].MeanDelay) {
+		t.Errorf("means not increasing: %+v", groups)
+	}
+}
+
+func TestTopOrgsShare(t *testing.T) {
+	rows := []OrgRow{{Name: "A", Global: 0.3}, {Name: "B", Global: 0.2}}
+	if got := TopOrgsShare(rows, 10); got != 0.5 {
+		t.Errorf("share = %f", got)
+	}
+	if got := TopOrgsShare(rows, 1); got != 0.3 {
+		t.Errorf("share = %f", got)
+	}
+	if got := TopOrgsShare(nil, 5); got != 0 {
+		t.Errorf("share = %f", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Package bloom provides a classic Bloom filter (Bloom, 1970). The
+// Observatory consults one before evicting an entry from the
+// Space-Saving cache, so that one-off observations of rare keys do not
+// churn the top-k list (paper §2.2).
+package bloom
+
+import (
+	"hash/maphash"
+	"math"
+	"math/bits"
+)
+
+// Filter is a Bloom filter. Create one with New; the zero value is not
+// usable. Filter is not safe for concurrent use.
+type Filter struct {
+	bits  []uint64
+	mask  uint64 // len(bits)*64 - 1; size is a power of two
+	k     int
+	seed  maphash.Seed
+	count uint64 // insertions, for saturation tracking
+}
+
+// New returns a filter sized for n expected elements at the given
+// false-positive rate (0 < fp < 1). The bit array is rounded up to a
+// power of two so hashing can mask instead of mod.
+func New(n int, fp float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = 0.01
+	}
+	// Optimal m = -n ln(fp) / (ln 2)^2, k = m/n ln 2.
+	m := int(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	size := uint64(64)
+	for size < uint64(m) {
+		size <<= 1
+	}
+	k := int(math.Round(float64(size) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		bits: make([]uint64, size/64),
+		mask: size - 1,
+		k:    k,
+		seed: maphash.MakeSeed(),
+	}
+}
+
+// hash2 derives two independent 64-bit hashes of s; the k index
+// functions are Kirsch–Mitzenmacher combinations h1 + i*h2.
+func (f *Filter) hash2(s string) (uint64, uint64) {
+	h := maphash.String(f.seed, s)
+	h2 := h>>33 | h<<31
+	h2 = h2*0x9e3779b97f4a7c15 + 1 // odd multiplier keeps h2 odd-ish spread
+	return h, h2 | 1
+}
+
+// Add inserts s.
+func (f *Filter) Add(s string) {
+	h1, h2 := f.hash2(s)
+	for i := 0; i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) & f.mask
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether s may have been added. False positives occur
+// at roughly the configured rate; false negatives never.
+func (f *Filter) Contains(s string) bool {
+	h1, h2 := f.hash2(s)
+	for i := 0; i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) & f.mask
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter. The Observatory resets its admission filter
+// periodically so that the "seen once before" signal stays fresh.
+func (f *Filter) Reset() {
+	clear(f.bits)
+	f.count = 0
+}
+
+// Count returns the number of Add calls since the last Reset.
+func (f *Filter) Count() uint64 { return f.count }
+
+// FillRatio returns the fraction of set bits, a saturation measure.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(len(f.bits)*64)
+}

@@ -1,0 +1,89 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := 0; i < 10000; i++ {
+		f.Add(fmt.Sprintf("in-%d", i))
+	}
+	var fp int
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Allow generous slack over the configured 1 %.
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(100, 0.01)
+	f.Add("alpha")
+	if !f.Contains("alpha") {
+		t.Fatal("missing before reset")
+	}
+	if f.Count() != 1 {
+		t.Errorf("count = %d", f.Count())
+	}
+	f.Reset()
+	if f.Contains("alpha") {
+		t.Error("present after reset")
+	}
+	if f.Count() != 0 || f.FillRatio() != 0 {
+		t.Errorf("count=%d fill=%f after reset", f.Count(), f.FillRatio())
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := New(1000, 0.01)
+	if f.FillRatio() != 0 {
+		t.Error("fresh filter not empty")
+	}
+	for i := 0; i < 500; i++ {
+		f.Add(fmt.Sprintf("k%d", i))
+	}
+	if f.FillRatio() <= 0 || f.FillRatio() >= 1 {
+		t.Errorf("fill ratio %f", f.FillRatio())
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	for _, f := range []*Filter{New(0, 0.01), New(10, 0), New(10, 1.5), New(-5, -1)} {
+		f.Add("x")
+		if !f.Contains("x") {
+			t.Error("degenerate filter lost an element")
+		}
+	}
+}
+
+func TestAddedAlwaysContained(t *testing.T) {
+	f := New(500, 0.001)
+	err := quick.Check(func(s string) bool {
+		f.Add(s)
+		return f.Contains(s)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package dnssec implements real DNSSEC signing and validation with
+// Ed25519 (RFC 8080, algorithm 15): canonical RRset form and signature
+// computation per RFC 4034 §3 and §6, key tags per RFC 4034 Appendix B,
+// and DS digests per RFC 4034 §5. The simulator signs its zones with
+// keys from this package, so the Observatory's ok_sec feature counts
+// cryptographically genuine signatures, and a validator can verify any
+// captured response end to end.
+package dnssec
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"sort"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+)
+
+// AlgEd25519 is the DNSSEC algorithm number of Ed25519 (RFC 8080).
+const AlgEd25519 = 15
+
+// Errors returned by signing and validation.
+var (
+	ErrNoRecords     = errors.New("dnssec: empty RRset")
+	ErrMixedRRset    = errors.New("dnssec: records differ in name/type/class/TTL")
+	ErrBadAlgorithm  = errors.New("dnssec: unsupported algorithm")
+	ErrBadKey        = errors.New("dnssec: malformed key")
+	ErrBadSignature  = errors.New("dnssec: signature verification failed")
+	ErrKeyMismatch   = errors.New("dnssec: RRSIG key tag/signer does not match DNSKEY")
+	ErrTypeMismatch  = errors.New("dnssec: RRSIG type covered does not match RRset")
+	ErrSigExpired    = errors.New("dnssec: signature outside its validity window")
+	ErrDigestInvalid = errors.New("dnssec: DS digest does not match DNSKEY")
+)
+
+// Key is a zone signing key.
+type Key struct {
+	ZoneName string
+	Flags    uint16 // 256 ZSK, 257 KSK
+	priv     ed25519.PrivateKey
+	pub      ed25519.PublicKey
+	tag      uint16
+}
+
+// NewKey derives a deterministic Ed25519 key for a zone from a 32-byte
+// seed. flags should be 256 (zone signing) or 257 (key signing).
+func NewKey(zone string, flags uint16, seed []byte) (*Key, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, ErrBadKey
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	k := &Key{
+		ZoneName: dnswire.Canonical(zone),
+		Flags:    flags,
+		priv:     priv,
+		pub:      priv.Public().(ed25519.PublicKey),
+	}
+	k.tag = KeyTag(k.DNSKEY())
+	return k, nil
+}
+
+// DNSKEY returns the public key record data.
+func (k *Key) DNSKEY() dnswire.DNSKEYRData {
+	return dnswire.DNSKEYRData{
+		Flags:     k.Flags,
+		Protocol:  3,
+		Algorithm: AlgEd25519,
+		PublicKey: append([]byte(nil), k.pub...),
+	}
+}
+
+// DNSKEYRR returns the full DNSKEY resource record at the given TTL.
+func (k *Key) DNSKEYRR(ttl uint32) dnswire.RR {
+	return dnswire.RR{
+		Name: k.ZoneName, Type: dnswire.TypeDNSKEY, Class: dnswire.ClassINET,
+		TTL: ttl, Data: k.DNSKEY(),
+	}
+}
+
+// Tag returns the key tag (RFC 4034 Appendix B).
+func (k *Key) Tag() uint16 { return k.tag }
+
+// KeyTag computes the RFC 4034 Appendix B key tag over the DNSKEY RDATA.
+func KeyTag(key dnswire.DNSKEYRData) uint16 {
+	rdata := []byte{byte(key.Flags >> 8), byte(key.Flags), key.Protocol, key.Algorithm}
+	rdata = append(rdata, key.PublicKey...)
+	var ac uint32
+	for i, b := range rdata {
+		if i&1 == 0 {
+			ac += uint32(b) << 8
+		} else {
+			ac += uint32(b)
+		}
+	}
+	ac += ac >> 16 & 0xffff
+	return uint16(ac & 0xffff)
+}
+
+// DS returns the delegation-signer record data for the key (SHA-256
+// digest type 2, RFC 4034 §5.1.4: digest over owner name || RDATA).
+func (k *Key) DS() (dnswire.DSRData, error) {
+	owner, err := canonicalName(k.ZoneName)
+	if err != nil {
+		return dnswire.DSRData{}, err
+	}
+	key := k.DNSKEY()
+	h := sha256.New()
+	h.Write(owner)
+	h.Write([]byte{byte(key.Flags >> 8), byte(key.Flags), key.Protocol, key.Algorithm})
+	h.Write(key.PublicKey)
+	return dnswire.DSRData{
+		KeyTag:     k.tag,
+		Algorithm:  AlgEd25519,
+		DigestType: 2,
+		Digest:     h.Sum(nil),
+	}, nil
+}
+
+// Sign produces an RRSIG covering rrset, valid in
+// [inception, expiration]. All records must share name, class, type and
+// TTL (an RRset in the RFC sense).
+func (k *Key) Sign(rrset []dnswire.RR, inception, expiration time.Time) (dnswire.RR, error) {
+	if len(rrset) == 0 {
+		return dnswire.RR{}, ErrNoRecords
+	}
+	first := rrset[0]
+	for _, rr := range rrset[1:] {
+		if dnswire.Canonical(rr.Name) != dnswire.Canonical(first.Name) ||
+			rr.Type != first.Type || rr.Class != first.Class || rr.TTL != first.TTL {
+			return dnswire.RR{}, ErrMixedRRset
+		}
+	}
+	sig := dnswire.RRSIGRData{
+		TypeCovered: first.Type,
+		Algorithm:   AlgEd25519,
+		Labels:      uint8(dnswire.CountLabels(first.Name)),
+		OriginalTTL: first.TTL,
+		Expiration:  uint32(expiration.Unix()),
+		Inception:   uint32(inception.Unix()),
+		KeyTag:      k.tag,
+		SignerName:  k.ZoneName,
+	}
+	msg, err := signedData(sig, rrset)
+	if err != nil {
+		return dnswire.RR{}, err
+	}
+	sig.Signature = ed25519.Sign(k.priv, msg)
+	return dnswire.RR{
+		Name: dnswire.Canonical(first.Name), Type: dnswire.TypeRRSIG,
+		Class: first.Class, TTL: first.TTL, Data: sig,
+	}, nil
+}
+
+// Validate verifies that rrsig is a valid signature over rrset by the
+// given DNSKEY at time now.
+func Validate(rrset []dnswire.RR, rrsig dnswire.RRSIGRData, key dnswire.DNSKEYRData, now time.Time) error {
+	if len(rrset) == 0 {
+		return ErrNoRecords
+	}
+	if rrsig.Algorithm != AlgEd25519 || key.Algorithm != AlgEd25519 {
+		return ErrBadAlgorithm
+	}
+	if len(key.PublicKey) != ed25519.PublicKeySize {
+		return ErrBadKey
+	}
+	if rrsig.KeyTag != KeyTag(key) {
+		return ErrKeyMismatch
+	}
+	if rrsig.TypeCovered != rrset[0].Type {
+		return ErrTypeMismatch
+	}
+	t := uint32(now.Unix())
+	if t < rrsig.Inception || t > rrsig.Expiration {
+		return ErrSigExpired
+	}
+	msg, err := signedData(rrsig, rrset)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(ed25519.PublicKey(key.PublicKey), msg, rrsig.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// VerifyDS checks a DS record against a DNSKEY (digest type 2 only).
+func VerifyDS(ds dnswire.DSRData, zone string, key dnswire.DNSKEYRData) error {
+	if ds.DigestType != 2 {
+		return ErrBadAlgorithm
+	}
+	k := Key{ZoneName: dnswire.Canonical(zone), Flags: key.Flags}
+	k.pub = ed25519.PublicKey(key.PublicKey)
+	k.tag = KeyTag(key)
+	want, err := k.DS()
+	if err != nil {
+		return err
+	}
+	if ds.KeyTag != want.KeyTag || !equalBytes(ds.Digest, want.Digest) {
+		return ErrDigestInvalid
+	}
+	return nil
+}
+
+// signedData builds the RFC 4034 §3.1.8.1 message: RRSIG RDATA (minus
+// the signature) || canonical RRset.
+func signedData(sig dnswire.RRSIGRData, rrset []dnswire.RR) ([]byte, error) {
+	buf := []byte{
+		byte(sig.TypeCovered >> 8), byte(sig.TypeCovered),
+		sig.Algorithm, sig.Labels,
+		byte(sig.OriginalTTL >> 24), byte(sig.OriginalTTL >> 16), byte(sig.OriginalTTL >> 8), byte(sig.OriginalTTL),
+		byte(sig.Expiration >> 24), byte(sig.Expiration >> 16), byte(sig.Expiration >> 8), byte(sig.Expiration),
+		byte(sig.Inception >> 24), byte(sig.Inception >> 16), byte(sig.Inception >> 8), byte(sig.Inception),
+		byte(sig.KeyTag >> 8), byte(sig.KeyTag),
+	}
+	signer, err := canonicalName(sig.SignerName)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, signer...)
+
+	// Canonical RRset: each RR as owner || type || class || origTTL ||
+	// rdlength || rdata, sorted by canonical RDATA (RFC 4034 §6.3).
+	type wireRR struct{ owner, rdata []byte }
+	wires := make([]wireRR, 0, len(rrset))
+	for _, rr := range rrset {
+		owner, err := canonicalName(rr.Name)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := canonicalRData(rr)
+		if err != nil {
+			return nil, err
+		}
+		wires = append(wires, wireRR{owner, rd})
+	}
+	sort.Slice(wires, func(i, j int) bool { return lessBytes(wires[i].rdata, wires[j].rdata) })
+	for _, wr := range wires {
+		buf = append(buf, wr.owner...)
+		buf = append(buf,
+			byte(rrset[0].Type>>8), byte(rrset[0].Type),
+			byte(rrset[0].Class>>8), byte(rrset[0].Class),
+			byte(sig.OriginalTTL>>24), byte(sig.OriginalTTL>>16), byte(sig.OriginalTTL>>8), byte(sig.OriginalTTL),
+			byte(len(wr.rdata)>>8), byte(len(wr.rdata)))
+		buf = append(buf, wr.rdata...)
+	}
+	return buf, nil
+}
+
+// canonicalName encodes a name in canonical (lower-case, uncompressed)
+// wire form.
+func canonicalName(name string) ([]byte, error) {
+	return dnswire.AppendName(nil, name, nil)
+}
+
+// canonicalRData encodes RDATA without compression, as required for
+// signing (RFC 4034 §6.2).
+func canonicalRData(rr dnswire.RR) ([]byte, error) {
+	return dnswire.AppendRData(nil, rr)
+}
+
+func lessBytes(a, b []byte) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package dnssec
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+)
+
+var (
+	sigStart = time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	sigEnd   = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	sigNow   = time.Date(2019, 4, 15, 0, 0, 0, 0, time.UTC)
+)
+
+func testKey(t *testing.T, zone string) *Key {
+	t.Helper()
+	seed := make([]byte, 32)
+	copy(seed, zone)
+	k, err := NewKey(zone, 256, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func aRRset(name string, ttl uint32, addrs ...string) []dnswire.RR {
+	var rrs []dnswire.RR
+	for _, a := range addrs {
+		rrs = append(rrs, dnswire.RR{
+			Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: ttl,
+			Data: dnswire.ARData{Addr: netip.MustParseAddr(a)},
+		})
+	}
+	return rrs
+}
+
+func TestSignAndValidate(t *testing.T) {
+	k := testKey(t, "example.com.")
+	rrset := aRRset("www.example.com.", 300, "192.0.2.1", "192.0.2.2")
+	sig, err := k.Sign(rrset, sigStart, sigEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := sig.Data.(dnswire.RRSIGRData)
+	if rd.SignerName != "example.com." || rd.KeyTag != k.Tag() || rd.Labels != 3 {
+		t.Errorf("rrsig = %+v", rd)
+	}
+	if err := Validate(rrset, rd, k.DNSKEY(), sigNow); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestValidateRejectsTampering(t *testing.T) {
+	k := testKey(t, "example.com.")
+	rrset := aRRset("www.example.com.", 300, "192.0.2.1")
+	sig, err := k.Sign(rrset, sigStart, sigEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := sig.Data.(dnswire.RRSIGRData)
+
+	// Changed address.
+	forged := aRRset("www.example.com.", 300, "203.0.113.66")
+	if err := Validate(forged, rd, k.DNSKEY(), sigNow); err != ErrBadSignature {
+		t.Errorf("forged rrset: %v", err)
+	}
+	// Changed owner.
+	moved := aRRset("evil.example.com.", 300, "192.0.2.1")
+	if err := Validate(moved, rd, k.DNSKEY(), sigNow); err != ErrBadSignature {
+		t.Errorf("moved rrset: %v", err)
+	}
+	// Corrupted signature bytes.
+	bad := rd
+	bad.Signature = append([]byte(nil), rd.Signature...)
+	bad.Signature[0] ^= 0xff
+	if err := Validate(rrset, bad, k.DNSKEY(), sigNow); err != ErrBadSignature {
+		t.Errorf("corrupt sig: %v", err)
+	}
+	// Wrong key.
+	other := testKey(t, "other.com.")
+	if err := Validate(rrset, rd, other.DNSKEY(), sigNow); err != ErrKeyMismatch {
+		t.Errorf("wrong key: %v", err)
+	}
+}
+
+func TestValidateTimeWindow(t *testing.T) {
+	k := testKey(t, "example.com.")
+	rrset := aRRset("a.example.com.", 60, "192.0.2.9")
+	sig, err := k.Sign(rrset, sigStart, sigEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := sig.Data.(dnswire.RRSIGRData)
+	if err := Validate(rrset, rd, k.DNSKEY(), sigStart.Add(-time.Hour)); err != ErrSigExpired {
+		t.Errorf("before inception: %v", err)
+	}
+	if err := Validate(rrset, rd, k.DNSKEY(), sigEnd.Add(time.Hour)); err != ErrSigExpired {
+		t.Errorf("after expiration: %v", err)
+	}
+}
+
+func TestSignRejectsMixedRRset(t *testing.T) {
+	k := testKey(t, "example.com.")
+	mixed := aRRset("a.example.com.", 300, "192.0.2.1")
+	mixed = append(mixed, aRRset("b.example.com.", 300, "192.0.2.2")...)
+	if _, err := k.Sign(mixed, sigStart, sigEnd); err != ErrMixedRRset {
+		t.Errorf("mixed names: %v", err)
+	}
+	if _, err := k.Sign(nil, sigStart, sigEnd); err != ErrNoRecords {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestRRsetOrderIndependence(t *testing.T) {
+	// Canonical form sorts by RDATA, so signing [a,b] validates [b,a].
+	k := testKey(t, "example.com.")
+	rrset := aRRset("www.example.com.", 300, "192.0.2.9", "192.0.2.1", "192.0.2.5")
+	sig, err := k.Sign(rrset, sigStart, sigEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := sig.Data.(dnswire.RRSIGRData)
+	reordered := []dnswire.RR{rrset[2], rrset[0], rrset[1]}
+	if err := Validate(reordered, rd, k.DNSKEY(), sigNow); err != nil {
+		t.Errorf("reordered rrset: %v", err)
+	}
+}
+
+func TestSignNameBearingRData(t *testing.T) {
+	// NS RDATA contains a name; canonical encoding must not compress it.
+	k := testKey(t, "example.com.")
+	rrset := []dnswire.RR{
+		{Name: "example.com.", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 86400,
+			Data: dnswire.NSRData{NS: "ns1.example.com."}},
+		{Name: "example.com.", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 86400,
+			Data: dnswire.NSRData{NS: "ns2.example.com."}},
+	}
+	sig, err := k.Sign(rrset, sigStart, sigEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(rrset, sig.Data.(dnswire.RRSIGRData), k.DNSKEY(), sigNow); err != nil {
+		t.Fatalf("validate NS rrset: %v", err)
+	}
+}
+
+func TestKeyTagStability(t *testing.T) {
+	k := testKey(t, "example.com.")
+	if k.Tag() != KeyTag(k.DNSKEY()) {
+		t.Error("tag mismatch")
+	}
+	// Different zones/seeds give different tags (overwhelmingly likely).
+	k2 := testKey(t, "other.org.")
+	if k.Tag() == k2.Tag() {
+		t.Error("distinct keys share a tag (possible but suspicious with fixed seeds)")
+	}
+}
+
+func TestDSRoundTrip(t *testing.T) {
+	k := testKey(t, "example.com.")
+	ds, err := k.DS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Digest) != 32 || ds.DigestType != 2 || ds.Algorithm != AlgEd25519 {
+		t.Fatalf("ds = %+v", ds)
+	}
+	if err := VerifyDS(ds, "example.com.", k.DNSKEY()); err != nil {
+		t.Fatalf("verify ds: %v", err)
+	}
+	// Wrong zone name changes the digest.
+	if err := VerifyDS(ds, "evil.com.", k.DNSKEY()); err != ErrDigestInvalid {
+		t.Errorf("wrong zone: %v", err)
+	}
+	// Tampered digest.
+	ds.Digest[0] ^= 1
+	if err := VerifyDS(ds, "example.com.", k.DNSKEY()); err != ErrDigestInvalid {
+		t.Errorf("tampered: %v", err)
+	}
+}
+
+func TestDNSKEYWireRoundTrip(t *testing.T) {
+	k := testKey(t, "example.com.")
+	m := dnswire.Message{Answers: []dnswire.RR{k.DNSKEYRR(3600)}}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got dnswire.Message
+	if err := got.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	kd := got.Answers[0].Data.(dnswire.DNSKEYRData)
+	if kd.Flags != 256 || kd.Algorithm != AlgEd25519 || len(kd.PublicKey) != 32 {
+		t.Errorf("dnskey = %+v", kd)
+	}
+	// The parsed key still validates signatures.
+	rrset := aRRset("www.example.com.", 300, "192.0.2.1")
+	sig, err := k.Sign(rrset, sigStart, sigEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(rrset, sig.Data.(dnswire.RRSIGRData), kd, sigNow); err != nil {
+		t.Fatalf("validate with parsed key: %v", err)
+	}
+}
+
+func TestNewKeyBadSeed(t *testing.T) {
+	if _, err := NewKey("x.com.", 256, []byte("short")); err != ErrBadKey {
+		t.Errorf("bad seed: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package dnswire
+
+import "errors"
+
+// HeaderLen is the fixed size of the DNS message header.
+const HeaderLen = 12
+
+// ErrHeaderTruncated is returned when fewer than HeaderLen bytes are given.
+var ErrHeaderTruncated = errors.New("dnswire: header truncated")
+
+// Header is the fixed 12-octet DNS message header (RFC 1035 §4.1.1).
+type Header struct {
+	ID    uint16
+	Flags Flags
+	QD    uint16 // question count
+	AN    uint16 // answer count
+	NS    uint16 // authority count
+	AR    uint16 // additional count
+}
+
+// Flags holds the 16 bits of flags/opcode/rcode between ID and QDCOUNT.
+type Flags struct {
+	Response           bool   // QR
+	Opcode             Opcode // 4 bits
+	Authoritative      bool   // AA
+	Truncated          bool   // TC
+	RecursionDesired   bool   // RD
+	RecursionAvailable bool   // RA
+	AuthenticData      bool   // AD (RFC 4035)
+	CheckingDisabled   bool   // CD (RFC 4035)
+	RCode              RCode  // 4 bits (extended bits live in OPT TTL)
+}
+
+// Pack encodes the flag word.
+func (f Flags) Pack() uint16 {
+	var w uint16
+	if f.Response {
+		w |= 1 << 15
+	}
+	w |= uint16(f.Opcode&0xf) << 11
+	if f.Authoritative {
+		w |= 1 << 10
+	}
+	if f.Truncated {
+		w |= 1 << 9
+	}
+	if f.RecursionDesired {
+		w |= 1 << 8
+	}
+	if f.RecursionAvailable {
+		w |= 1 << 7
+	}
+	if f.AuthenticData {
+		w |= 1 << 5
+	}
+	if f.CheckingDisabled {
+		w |= 1 << 4
+	}
+	w |= uint16(f.RCode & 0xf)
+	return w
+}
+
+// UnpackFlags decodes the flag word.
+func UnpackFlags(w uint16) Flags {
+	return Flags{
+		Response:           w&(1<<15) != 0,
+		Opcode:             Opcode(w >> 11 & 0xf),
+		Authoritative:      w&(1<<10) != 0,
+		Truncated:          w&(1<<9) != 0,
+		RecursionDesired:   w&(1<<8) != 0,
+		RecursionAvailable: w&(1<<7) != 0,
+		AuthenticData:      w&(1<<5) != 0,
+		CheckingDisabled:   w&(1<<4) != 0,
+		RCode:              RCode(w & 0xf),
+	}
+}
+
+// AppendHeader appends the 12-octet header to dst.
+func (h Header) AppendHeader(dst []byte) []byte {
+	w := h.Flags.Pack()
+	return append(dst,
+		byte(h.ID>>8), byte(h.ID),
+		byte(w>>8), byte(w),
+		byte(h.QD>>8), byte(h.QD),
+		byte(h.AN>>8), byte(h.AN),
+		byte(h.NS>>8), byte(h.NS),
+		byte(h.AR>>8), byte(h.AR))
+}
+
+// UnpackHeader decodes the header at the start of msg.
+func UnpackHeader(msg []byte) (Header, error) {
+	if len(msg) < HeaderLen {
+		return Header{}, ErrHeaderTruncated
+	}
+	return Header{
+		ID:    uint16(msg[0])<<8 | uint16(msg[1]),
+		Flags: UnpackFlags(uint16(msg[2])<<8 | uint16(msg[3])),
+		QD:    uint16(msg[4])<<8 | uint16(msg[5]),
+		AN:    uint16(msg[6])<<8 | uint16(msg[7]),
+		NS:    uint16(msg[8])<<8 | uint16(msg[9]),
+		AR:    uint16(msg[10])<<8 | uint16(msg[11]),
+	}, nil
+}

@@ -1,0 +1,276 @@
+package dnswire
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFlagsRoundTrip(t *testing.T) {
+	cases := []Flags{
+		{},
+		{Response: true, RCode: RCodeNXDomain},
+		{Response: true, Authoritative: true, RecursionAvailable: true},
+		{RecursionDesired: true, CheckingDisabled: true},
+		{Opcode: OpcodeUpdate, Truncated: true, AuthenticData: true},
+		{Response: true, Opcode: OpcodeNotify, RCode: RCodeRefused},
+	}
+	for _, f := range cases {
+		if got := UnpackFlags(f.Pack()); got != f {
+			t.Errorf("round trip %+v -> %+v", f, got)
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{ID: 0xbeef, Flags: Flags{Response: true, RCode: RCodeServFail}, QD: 1, AN: 2, NS: 3, AR: 4}
+	buf := h.AppendHeader(nil)
+	if len(buf) != HeaderLen {
+		t.Fatalf("header len %d", len(buf))
+	}
+	got, err := UnpackHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip %+v -> %+v", h, got)
+	}
+	if _, err := UnpackHeader(buf[:5]); err != ErrHeaderTruncated {
+		t.Errorf("short header: %v", err)
+	}
+}
+
+func exampleResponse() *Message {
+	return &Message{
+		ID: 4242,
+		Flags: Flags{
+			Response: true, Authoritative: true,
+			RecursionDesired: true, RCode: RCodeNoError,
+		},
+		Questions: []Question{{Name: "www.example.com.", Type: TypeA, Class: ClassINET}},
+		Answers: []RR{
+			{Name: "www.example.com.", Type: TypeCNAME, Class: ClassINET, TTL: 300,
+				Data: CNAMERData{"web.example.com."}},
+			{Name: "web.example.com.", Type: TypeA, Class: ClassINET, TTL: 60,
+				Data: ARData{netip.MustParseAddr("192.0.2.1")}},
+		},
+		Authority: []RR{
+			{Name: "example.com.", Type: TypeNS, Class: ClassINET, TTL: 86400,
+				Data: NSRData{"ns1.example.com."}},
+			{Name: "example.com.", Type: TypeNS, Class: ClassINET, TTL: 86400,
+				Data: NSRData{"ns2.example.com."}},
+		},
+		Additional: []RR{
+			{Name: "ns1.example.com.", Type: TypeA, Class: ClassINET, TTL: 86400,
+				Data: ARData{netip.MustParseAddr("192.0.2.53")}},
+		},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := exampleResponse()
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, m) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", &got, m)
+	}
+}
+
+func TestMessageCompressionSavesSpace(t *testing.T) {
+	m := exampleResponse()
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without compression the names repeat: www.example.com appears twice,
+	// example.com four more times. A compressed message must be much smaller.
+	var raw int
+	for _, q := range m.Questions {
+		raw += len(q.Name) + 6
+	}
+	if len(wire) >= 180 {
+		t.Errorf("message not compressed: %d bytes", len(wire))
+	}
+}
+
+func TestAllRDataRoundTrip(t *testing.T) {
+	rrs := []RR{
+		{Name: "a.test.", Type: TypeA, Class: ClassINET, TTL: 1, Data: ARData{netip.MustParseAddr("198.51.100.7")}},
+		{Name: "aaaa.test.", Type: TypeAAAA, Class: ClassINET, TTL: 2, Data: AAAARData{netip.MustParseAddr("2001:db8::7")}},
+		{Name: "ns.test.", Type: TypeNS, Class: ClassINET, TTL: 3, Data: NSRData{"ns1.test."}},
+		{Name: "cn.test.", Type: TypeCNAME, Class: ClassINET, TTL: 4, Data: CNAMERData{"target.test."}},
+		{Name: "7.2.0.192.in-addr.arpa.", Type: TypePTR, Class: ClassINET, TTL: 5, Data: PTRRData{"host.test."}},
+		{Name: "test.", Type: TypeSOA, Class: ClassINET, TTL: 6, Data: SOARData{
+			MName: "ns1.test.", RName: "hostmaster.test.",
+			Serial: 2019040101, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300}},
+		{Name: "mx.test.", Type: TypeMX, Class: ClassINET, TTL: 7, Data: MXRData{10, "mail.test."}},
+		{Name: "txt.test.", Type: TypeTXT, Class: ClassINET, TTL: 8, Data: TXTRData{[]string{"v=spf1 -all", "second"}}},
+		{Name: "_sip._udp.test.", Type: TypeSRV, Class: ClassINET, TTL: 9, Data: SRVRData{1, 2, 5060, "sip.test."}},
+		{Name: "ds.test.", Type: TypeDS, Class: ClassINET, TTL: 10, Data: DSRData{12345, 8, 2, []byte{1, 2, 3, 4}}},
+		{Name: "sig.test.", Type: TypeRRSIG, Class: ClassINET, TTL: 11, Data: RRSIGRData{
+			TypeCovered: TypeA, Algorithm: 8, Labels: 2, OriginalTTL: 300,
+			Expiration: 1556668800, Inception: 1554076800, KeyTag: 31337,
+			SignerName: "test.", Signature: []byte{9, 8, 7}}},
+		{Name: "raw.test.", Type: Type(9999), Class: ClassINET, TTL: 12, Data: RawRData{[]byte{0xde, 0xad}}},
+	}
+	m := &Message{ID: 7, Flags: Flags{Response: true}, Answers: rrs}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != len(rrs) {
+		t.Fatalf("answers %d, want %d", len(got.Answers), len(rrs))
+	}
+	for i, rr := range rrs {
+		if !reflect.DeepEqual(got.Answers[i], rr) {
+			t.Errorf("rr %d mismatch:\n got %+v\nwant %+v", i, got.Answers[i], rr)
+		}
+	}
+}
+
+func TestEDNS(t *testing.T) {
+	var m Message
+	m.Questions = []Question{{Name: "example.com.", Type: TypeAAAA, Class: ClassINET}}
+	if m.EDNSDo() {
+		t.Error("DO set on message without OPT")
+	}
+	m.SetEDNS(4096, true)
+	if !m.EDNSDo() {
+		t.Error("DO not set after SetEDNS")
+	}
+	opt := m.OPT()
+	if opt == nil || Class(opt.Class) != Class(4096) {
+		t.Fatalf("OPT = %+v", opt)
+	}
+	// Replacing must not add a second OPT.
+	m.SetEDNS(1232, false)
+	if m.EDNSDo() {
+		t.Error("DO still set after replacement")
+	}
+	var count int
+	for _, rr := range m.Additional {
+		if rr.Type == TypeOPT {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("OPT count = %d", count)
+	}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got.OPT() == nil {
+		t.Error("OPT lost in round trip")
+	}
+}
+
+func TestEDNSOptionsRoundTrip(t *testing.T) {
+	m := &Message{
+		Questions: []Question{{Name: "example.com.", Type: TypeA, Class: ClassINET}},
+		Additional: []RR{{Name: ".", Type: TypeOPT, Class: 4096, Data: OPTRData{[]EDNSOption{
+			{Code: EDNSOptionCookie, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+			{Code: EDNSOptionClientSubnet, Data: []byte{0, 1, 24, 0, 192, 0, 2}},
+		}}}},
+	}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	opt := got.OPT()
+	if opt == nil {
+		t.Fatal("no OPT")
+	}
+	opts := opt.Data.(OPTRData).Options
+	if len(opts) != 2 || opts[0].Code != EDNSOptionCookie || opts[1].Code != EDNSOptionClientSubnet {
+		t.Errorf("options = %+v", opts)
+	}
+}
+
+func TestUnpackRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		// Header claiming 1000 answers in a 20-byte message.
+		{0, 1, 0x80, 0, 0, 0, 3, 0xe8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	var m Message
+	for i, buf := range cases {
+		if err := m.Unpack(buf); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestUnpackTruncatedEverywhere(t *testing.T) {
+	wire, err := exampleResponse().Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	for i := 0; i < len(wire); i++ {
+		if err := m.Unpack(wire[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	if err := m.Unpack(wire); err != nil {
+		t.Errorf("full message rejected: %v", err)
+	}
+}
+
+func TestMessageResetReusesCapacity(t *testing.T) {
+	wire, err := exampleResponse().Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	if err := m.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	c1 := cap(m.Answers)
+	if err := m.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	if cap(m.Answers) != c1 {
+		t.Errorf("answers capacity changed %d -> %d", c1, cap(m.Answers))
+	}
+}
+
+func TestQuestionAccessor(t *testing.T) {
+	var m Message
+	if q := m.Question(); q != (Question{}) {
+		t.Errorf("empty message question = %+v", q)
+	}
+	m.Questions = []Question{{Name: "x.test.", Type: TypeTXT, Class: ClassINET}}
+	if q := m.Question(); q.Name != "x.test." || q.Type != TypeTXT {
+		t.Errorf("question = %+v", q)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	s := exampleResponse().String()
+	for _, want := range []string{"www.example.com.", "NOERROR", "ANSWER", "AUTHORITY", "aa"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package dnswire
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "."},
+		{".", "."},
+		{"com", "com."},
+		{"COM.", "com."},
+		{"WwW.Example.COM", "www.example.com."},
+		{"example.com.", "example.com."},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.in); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCountLabels(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{".", 0},
+		{"com", 1},
+		{"example.com", 2},
+		{"www.example.com.", 3},
+		{"a.b.c.d.e.f", 6},
+	}
+	for _, c := range cases {
+		if got := CountLabels(c.in); got != c.want {
+			t.Errorf("CountLabels(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLastLabels(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"www.bbc.co.uk", 1, "uk."},
+		{"www.bbc.co.uk", 2, "co.uk."},
+		{"www.bbc.co.uk", 3, "bbc.co.uk."},
+		{"www.bbc.co.uk", 9, "www.bbc.co.uk."},
+		{"com", 2, "com."},
+		{".", 1, "."},
+		{"x.y", 0, "."},
+	}
+	for _, c := range cases {
+		if got := LastLabels(c.in, c.n); got != c.want {
+			t.Errorf("LastLabels(%q, %d) = %q, want %q", c.in, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTLDAndSLD(t *testing.T) {
+	if got := TLD("www.example.com"); got != "com." {
+		t.Errorf("TLD = %q", got)
+	}
+	if got := SLD("www.example.com"); got != "example.com." {
+		t.Errorf("SLD = %q", got)
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	cases := []struct {
+		child, parent string
+		want          bool
+	}{
+		{"www.example.com", "example.com", true},
+		{"example.com", "example.com", true},
+		{"example.com", "com", true},
+		{"anything.", ".", true},
+		{"notexample.com", "example.com", false},
+		{"example.org", "example.com", false},
+		{"com", "example.com", false},
+	}
+	for _, c := range cases {
+		if got := IsSubdomainOf(c.child, c.parent); got != c.want {
+			t.Errorf("IsSubdomainOf(%q, %q) = %v, want %v", c.child, c.parent, got, c.want)
+		}
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	names := []string{".", "com.", "example.com.", "www.example.com.",
+		"a.very.deep.chain.of.labels.example.net.",
+		strings.Repeat("a", 63) + ".example.org."}
+	for _, name := range names {
+		buf, err := AppendName(nil, name, nil)
+		if err != nil {
+			t.Fatalf("AppendName(%q): %v", name, err)
+		}
+		got, end, err := ReadName(buf, 0)
+		if err != nil {
+			t.Fatalf("ReadName(%q): %v", name, err)
+		}
+		if got != name {
+			t.Errorf("round trip %q -> %q", name, got)
+		}
+		if end != len(buf) {
+			t.Errorf("end = %d, want %d", end, len(buf))
+		}
+	}
+}
+
+func TestNameCompression(t *testing.T) {
+	cmap := make(map[string]int)
+	buf, err := AppendName(nil, "example.com.", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(buf)
+	buf, err = AppendName(buf, "www.example.com.", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "www" label (4 bytes) + 2-byte pointer instead of re-encoding.
+	if len(buf)-full != 6 {
+		t.Errorf("compressed suffix used %d bytes, want 6", len(buf)-full)
+	}
+	name, _, err := ReadName(buf, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "www.example.com." {
+		t.Errorf("decoded %q", name)
+	}
+}
+
+func TestNameCompressionSharedTail(t *testing.T) {
+	cmap := make(map[string]int)
+	var buf []byte
+	var offs []int
+	names := []string{"a.example.com.", "b.example.com.", "c.b.example.com.", "example.com."}
+	for _, n := range names {
+		offs = append(offs, len(buf))
+		var err error
+		buf, err = AppendName(buf, n, cmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range names {
+		got, _, err := ReadName(buf, offs[i])
+		if err != nil {
+			t.Fatalf("ReadName(%q): %v", n, err)
+		}
+		if got != n {
+			t.Errorf("decoded %q, want %q", got, n)
+		}
+	}
+}
+
+func TestNameErrors(t *testing.T) {
+	if _, err := AppendName(nil, strings.Repeat("a", 64)+".com", nil); err != ErrLabelTooLong {
+		t.Errorf("long label: %v", err)
+	}
+	long := strings.Repeat("abcdefgh.", 32) // 288 > 255
+	if _, err := AppendName(nil, long, nil); err != ErrNameTooLong {
+		t.Errorf("long name: %v", err)
+	}
+	if _, err := AppendName(nil, "a..com", nil); err != ErrEmptyLabel {
+		t.Errorf("empty label: %v", err)
+	}
+}
+
+func TestReadNameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+		err  error
+	}{
+		{"empty", nil, ErrNameTruncated},
+		{"cut label", []byte{5, 'a', 'b'}, ErrNameTruncated},
+		{"no terminator", []byte{1, 'a'}, ErrNameTruncated},
+		{"forward pointer", []byte{0xc0, 10}, ErrBadPointer},
+		{"self pointer", []byte{0xc0, 0}, ErrBadPointer},
+		{"cut pointer", []byte{0xc0}, ErrNameTruncated},
+		{"bad label type", []byte{0x80, 0}, ErrBadLabelType},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadName(c.buf, 0); err != c.err {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.err)
+		}
+	}
+}
+
+func TestReadNamePointerChainTerminates(t *testing.T) {
+	// Build a long chain of backward pointers; must error out, not hang.
+	buf := []byte{0} // offset 0: root
+	for i := 0; i < 300; i++ {
+		off := len(buf) - 2
+		if off < 0 {
+			off = 0
+		}
+		buf = append(buf, 0xc0|byte(off>>8), byte(off))
+	}
+	_, _, err := ReadName(buf, len(buf)-2)
+	if err != nil && err != ErrTooManyPointers {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestNameRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() string {
+		n := rng.Intn(5) + 1
+		labels := make([]string, n)
+		for i := range labels {
+			l := rng.Intn(10) + 1
+			b := make([]byte, l)
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			labels[i] = string(b)
+		}
+		return strings.Join(labels, ".") + "."
+	}
+	f := func() bool {
+		name := gen()
+		buf, err := AppendName(nil, name, nil)
+		if err != nil {
+			return false
+		}
+		got, _, err := ReadName(buf, 0)
+		return err == nil && got == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for typ, name := range typeNames {
+		if got := ParseType(name); got != typ {
+			t.Errorf("ParseType(%q) = %v, want %v", name, got, typ)
+		}
+	}
+	if got := ParseType("TYPE999"); got != Type(999) {
+		t.Errorf("ParseType(TYPE999) = %v", got)
+	}
+	if got := ParseType("BOGUS"); got != TypeNone {
+		t.Errorf("ParseType(BOGUS) = %v", got)
+	}
+	if s := Type(9999).String(); s != "TYPE9999" {
+		t.Errorf("Type(9999).String() = %q", s)
+	}
+}

@@ -1,0 +1,110 @@
+package dnswire
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestUnpackNeverPanicsOnMutations flips random bytes of valid messages
+// and random garbage; Unpack must always return (error or not) without
+// panicking and without unbounded allocation.
+func TestUnpackNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base, err := exampleResponse().Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	for i := 0; i < 20000; i++ {
+		buf := append([]byte(nil), base...)
+		for f := 0; f < 1+rng.Intn(6); f++ {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		_ = m.Unpack(buf) // must not panic
+	}
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		_ = m.Unpack(buf)
+	}
+}
+
+// TestRepackAfterUnpack: any message that unpacks cleanly must pack
+// again and unpack to the same structure (canonicalization fixpoint).
+func TestRepackAfterUnpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base, err := exampleResponse().Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m1, m2 Message
+	ok := 0
+	for i := 0; i < 20000; i++ {
+		buf := append([]byte(nil), base...)
+		buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		if err := m1.Unpack(buf); err != nil {
+			continue
+		}
+		// Counts above the section lengths are rejected at Unpack, so a
+		// clean parse must round-trip unless the mutation produced a
+		// semantically unpackable name (too long after decompression).
+		wire, err := m1.Pack(nil)
+		if err != nil {
+			continue
+		}
+		if err := m2.Unpack(wire); err != nil {
+			t.Fatalf("iteration %d: repack does not parse: %v", i, err)
+		}
+		ok++
+	}
+	if ok == 0 {
+		t.Error("no mutation survived parsing; mutation test is vacuous")
+	}
+}
+
+// TestNameInsaneCompressionChains builds adversarial pointer structures.
+func TestNameInsaneCompressionChains(t *testing.T) {
+	// A ladder of names each pointing into the previous one, ending in a
+	// maximum-length name: decoding must respect the 255-octet cap.
+	var buf []byte
+	// 120 labels of "aa." = 360 octets worth of name at the deepest point.
+	start := len(buf)
+	for i := 0; i < 120; i++ {
+		buf = append(buf, 2, 'a', 'a')
+	}
+	buf = append(buf, 0)
+	// A pointer to the start.
+	ptrAt := len(buf)
+	buf = append(buf, 0xc0|byte(start>>8), byte(start))
+	if _, _, err := ReadName(buf, ptrAt); err != ErrNameTooLong {
+		// The direct read also exceeds the cap.
+		if _, _, err2 := ReadName(buf, start); err2 != ErrNameTooLong {
+			t.Errorf("over-long names accepted: ptr=%v direct=%v", err, err2)
+		}
+	}
+}
+
+func TestPackSectionsIndependent(t *testing.T) {
+	// Messages with only additional records, only authority, etc.
+	cases := []*Message{
+		{Additional: []RR{{Name: "x.test.", Type: TypeA, Class: ClassINET, Data: ARData{netip.MustParseAddr("192.0.2.1")}}}},
+		{Authority: []RR{{Name: "test.", Type: TypeNS, Class: ClassINET, Data: NSRData{"ns.test."}}}},
+		{Questions: []Question{{Name: ".", Type: TypeANY, Class: ClassANY}}},
+		{},
+	}
+	var got Message
+	for i, m := range cases {
+		wire, err := m.Pack(nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := got.Unpack(wire); err != nil {
+			t.Fatalf("case %d unpack: %v", i, err)
+		}
+		if len(got.Answers) != len(m.Answers) || len(got.Authority) != len(m.Authority) ||
+			len(got.Additional) != len(m.Additional) || len(got.Questions) != len(m.Questions) {
+			t.Errorf("case %d: section counts differ", i)
+		}
+	}
+}

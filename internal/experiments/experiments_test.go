@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	return NewContext(Options{Scale: 0.05, Seed: 3, OutDir: t.TempDir()})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "tab1", "tab2", "fig3", "tab3", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "tab4", "fig9", "v6on", "ablate"}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for i, id := range want {
+		if Registry[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, Registry[i].ID, id)
+		}
+		if Find(id) == nil {
+			t.Errorf("Find(%q) = nil", id)
+		}
+		if Registry[i].Title == "" || Registry[i].Run == nil {
+			t.Errorf("registry[%d] incomplete", i)
+		}
+	}
+	if Find("nope") != nil {
+		t.Error("Find(nope) != nil")
+	}
+}
+
+func TestLogRanks(t *testing.T) {
+	r := logRanks(1057)
+	if r[0] != 1 || r[len(r)-1] != 1057 {
+		t.Errorf("ranks = %v", r)
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i] <= r[i-1] {
+			t.Fatalf("not increasing: %v", r)
+		}
+	}
+	if got := logRanks(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("logRanks(1) = %v", got)
+	}
+}
+
+// TestMainScenarioExperiments exercises the five experiments that share
+// the main scenario, checking each prints its key content.
+func TestMainScenarioExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	ctx := testContext(t)
+	cases := []struct {
+		id   string
+		want []string
+	}{
+		{"fig2", []string{"Fig2a) nameservers", "NXDOMAIN", "half of the traffic"}},
+		{"tab1", []string{"VERISIGN", "AMAZON", "global", "organizations receive"}},
+		{"tab2", []string{"QTYPE", "A", "AAAA", "PTR"}},
+		{"fig3", []string{"sections:", "root nameservers", "gTLD nameservers", "letter"}},
+		{"tab3", []string{"root NS", "TLD NS", "qmin resolvers", "share"}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := Find(c.id).Run(ctx, &buf); err != nil {
+			t.Fatalf("%s: %v", c.id, err)
+		}
+		out := buf.String()
+		for _, want := range c.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q:\n%s", c.id, want, out)
+			}
+		}
+	}
+}
+
+func TestFig6WritesArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	dir := t.TempDir()
+	ctx := NewContext(Options{Scale: 0.05, Seed: 3, OutDir: dir})
+	var buf bytes.Buffer
+	if err := ctx.Fig6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "prefixes with 1 address") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.pgm"))
+	if len(matches) != 1 {
+		t.Errorf("PGM artifacts: %v", matches)
+	}
+}
+
+func TestTTLExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	ctx := testContext(t)
+	var buf bytes.Buffer
+	if err := ctx.Fig7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slashes TTL") || !strings.Contains(out, "mean rate before") {
+		t.Errorf("fig7 output:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := ctx.Table4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"Non-conforming", "Renumbering", "Change NS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHappyEyeballsExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	ctx := testContext(t)
+	var buf bytes.Buffer
+	if err := ctx.Fig9(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty AAAA") {
+		t.Errorf("fig9 output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := ctx.V6On(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "enabling IPv6") {
+		t.Errorf("v6on output:\n%s", buf.String())
+	}
+}
+
+func TestRepresentativenessExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	ctx := testContext(t)
+	var buf bytes.Buffer
+	if err := ctx.Fig4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nameservers seen", "top-1K coverage", "TLDs seen", "100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := ctx.Fig5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cumulative distinct nameserver IPs") {
+		t.Errorf("fig5 output:\n%s", buf.String())
+	}
+}
+
+func TestFig8Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	ctx := testContext(t)
+	var buf bytes.Buffer
+	if err := ctx.Fig8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TTL down", "TTL up", "NXD-driven"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblateExperiment(t *testing.T) {
+	ctx := testContext(t)
+	var buf bytes.Buffer
+	if err := ctx.Ablate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Ablation 1", "Ablation 2", "Ablation 3", "precision@100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablate missing %q", want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Seed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+	ctx := NewContext(Options{})
+	if ctx.opts.Scale != 1 {
+		t.Error("context did not apply defaults")
+	}
+	_ = io.Discard
+}

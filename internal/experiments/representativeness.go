@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"dnsobservatory/internal/analysis"
+	"dnsobservatory/internal/simnet"
+)
+
+// recording runs the representativeness scenario once (a larger resolver
+// pool, so subsampling has room) and records the tuples.
+func (c *Context) recording(durationSec float64) *analysis.Recording {
+	cfg := simnet.DefaultConfig()
+	cfg.Seed = c.opts.Seed + 100
+	cfg.Duration = durationSec * c.opts.Scale
+	if cfg.Duration < 60 {
+		cfg.Duration = 60
+	}
+	cfg.Resolvers = 400
+	cfg.Sensors = 60
+	return analysis.Record(simnet.New(cfg))
+}
+
+// Fig4 prints the three representativeness curves: nameservers seen,
+// Top-10K coverage and TLDs seen within one window, as the resolver
+// sample grows from 5 % to 100 % (20 repetitions, as in the paper).
+func (c *Context) Fig4(w io.Writer) error {
+	rec := c.recording(300)
+	window := int32(300 * c.opts.Scale)
+	if window < 60 {
+		window = 60
+	}
+	fractions := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	const reps = 20
+	ns := rec.NameserversSeen(fractions, window, reps, c.opts.Seed)
+	top := rec.TopKCoverage(fractions, 1000, window, reps, c.opts.Seed)
+	tlds := rec.TLDsSeen(fractions, window, reps, c.opts.Seed)
+
+	fmt.Fprintf(w, "Fig4: representativeness over %d recorded transactions, %d resolvers, %d reps\n",
+		rec.Len(), len(rec.Resolvers), reps)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  resolvers\ta) nameservers seen\tb) top-1K coverage\tc) TLDs seen")
+	for i := range fractions {
+		fmt.Fprintf(tw, "  %.0f%%\t%.0f\t%.1f%%\t%.0f\n",
+			100*fractions[i], ns[i].Value, top[i].Value, tlds[i].Value)
+	}
+	return tw.Flush()
+}
+
+// Fig5 prints the cumulative nameserver count over monitoring time.
+func (c *Context) Fig5(w io.Writer) error {
+	rec := c.recording(1200)
+	step := int32(60)
+	points := rec.ServersOverTime(step)
+	fmt.Fprintln(w, "Fig5: cumulative distinct nameserver IPs vs. monitoring time")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  time\tnameservers")
+	stride := len(points)/20 + 1
+	for i := 0; i < len(points); i += stride {
+		fmt.Fprintf(tw, "  %dm\t%.0f\n", points[i].Sec/60, points[i].Count)
+	}
+	last := points[len(points)-1]
+	fmt.Fprintf(tw, "  %dm\t%.0f\n", last.Sec/60, last.Count)
+	return tw.Flush()
+}
+
+// Fig6 prints /24 density statistics and, when OutDir is set, writes the
+// Hilbert heatmap PGM.
+func (c *Context) Fig6(w io.Writer) error {
+	rec := c.recording(600)
+	density := rec.PrefixDensity()
+	one, two, three := analysis.DensityShares(density)
+	fmt.Fprintf(w, "Fig6: %d observed /24 prefixes with nameservers\n", len(density))
+	fmt.Fprintf(w, "  prefixes with 1 address: %.1f%%, 2: %.1f%%, 3: %.1f%%\n",
+		100*one, 100*two, 100*three)
+	grid := analysis.Heatmap(density, 8)
+	fmt.Fprintf(w, "  heatmap: %dx%d cells, %d occupied, max density %d\n",
+		grid.Side, grid.Side, grid.Occupied(), grid.Max)
+	if c.opts.OutDir != "" {
+		if err := os.MkdirAll(c.opts.OutDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(c.opts.OutDir, "fig6-heatmap.pgm")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := grid.WritePGM(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", path)
+	}
+	return nil
+}

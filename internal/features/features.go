@@ -1,0 +1,287 @@
+// Package features implements the per-object traffic statistics of paper
+// §2.3: counters for RCODE and section shapes, averages for QNAME depth
+// and section sizes, HyperLogLog cardinalities for name/address sets,
+// top-TTL trackers and quartile histograms for delays, hops and sizes.
+//
+// One Set hangs off each live Space-Saving entry (as its State); Observe
+// folds in a transaction summary, Snapshot extracts a Row for the TSV
+// time series, and Reset clears the statistics at each window boundary
+// without touching the top-k list itself (§2.4).
+package features
+
+import (
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/hll"
+	"dnsobservatory/internal/publicsuffix"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/sketch"
+)
+
+// Config sizes the probabilistic structures of a Set.
+type Config struct {
+	// HLLPrecision is the register exponent for cardinality estimates;
+	// 2^p bytes per estimator. 10 keeps per-object state near 8 kB.
+	HLLPrecision uint8
+	// DelayMaxMs / SizeMax bound the quartile histograms.
+	DelayMaxMs float64
+	SizeMax    float64
+	// TTLTracked caps distinct TTL values tracked per object.
+	TTLTracked int
+	// Suffixes drives eTLD/eSLD extraction; nil uses the embedded list.
+	Suffixes *publicsuffix.List
+}
+
+// DefaultConfig is the Observatory's standard sizing.
+func DefaultConfig() Config {
+	return Config{
+		HLLPrecision: 10,
+		DelayMaxMs:   60_000,
+		SizeMax:      65_536,
+		TTLTracked:   32,
+		Suffixes:     publicsuffix.Default,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.HLLPrecision == 0 {
+		c.HLLPrecision = d.HLLPrecision
+	}
+	if c.DelayMaxMs == 0 {
+		c.DelayMaxMs = d.DelayMaxMs
+	}
+	if c.SizeMax == 0 {
+		c.SizeMax = d.SizeMax
+	}
+	if c.TTLTracked == 0 {
+		c.TTLTracked = d.TTLTracked
+	}
+	if c.Suffixes == nil {
+		c.Suffixes = d.Suffixes
+	}
+	return c
+}
+
+// Set accumulates the traffic features of one DNS object.
+type Set struct {
+	cfg Config
+
+	// Plain counters.
+	Hits   uint64 // all transactions
+	Unans  uint64 // unanswered queries
+	OK     uint64 // NoError responses
+	NXD    uint64 // NXDOMAIN
+	RFS    uint64 // Refused
+	Fail   uint64 // ServFail
+	OKAns  uint64 // NoError with non-empty ANSWER
+	OKNS   uint64 // NoError with NS records in AUTHORITY
+	OKAdd  uint64 // NoError with non-empty ADDITIONAL (minus OPT)
+	OKNil  uint64 // NoError with neither answer nor delegation (NoData)
+	OK6    uint64 // AAAA queries with NoError
+	OK6Nil uint64 // AAAA queries with NoData
+	OKSec  uint64 // DNSSEC-signed responses (DO + data + RRSIG)
+	TCP    uint64 // transactions over TCP/53
+	Trunc  uint64 // truncated (TC) responses forcing TCP retries
+
+	// Averages (sum; divide by the observation count).
+	qdotsSum float64
+	lvlSum   float64 // records in ANSWER per response
+	nslvlSum float64 // NS records in AUTHORITY per response
+	answered uint64
+
+	// Cardinality estimates.
+	SrvIPs  *hll.Sketch // nameserver IPs
+	SrcIPs  *hll.Sketch // resolver IPs
+	Sources *hll.Sketch // contributing sensors
+	QNamesA *hll.Sketch // distinct QNAMEs, all queries
+	QNames  *hll.Sketch // distinct QNAMEs with NoError responses
+	TLDs    *hll.Sketch // TLDs in NoError responses
+	ESLDs   *hll.Sketch // effective SLDs in NoError responses
+	QTypes  *hll.Sketch // distinct QTYPEs
+	IP4s    *hll.Sketch // distinct IPv4 addresses in answers
+	IP6s    *hll.Sketch // distinct IPv6 addresses in answers
+
+	// Distributions.
+	TTL    *sketch.TopValues // ANSWER record TTLs
+	NSTTL  *sketch.TopValues // AUTHORITY NS TTLs
+	NegTTL *sketch.TopValues // negative-caching TTLs from AUTHORITY SOAs
+	Delays *sketch.Histogram // response delays [ms]
+	Hops   *sketch.Histogram // inferred network hops
+	Sizes  *sketch.Histogram // response sizes [B]
+}
+
+// NewSet returns an empty feature set.
+func NewSet(cfg Config) *Set {
+	cfg = cfg.withDefaults()
+	p := cfg.HLLPrecision
+	return &Set{
+		cfg:     cfg,
+		SrvIPs:  hll.MustNew(p),
+		SrcIPs:  hll.MustNew(p),
+		Sources: hll.MustNew(p),
+		QNamesA: hll.MustNew(p),
+		QNames:  hll.MustNew(p),
+		TLDs:    hll.MustNew(p),
+		ESLDs:   hll.MustNew(p),
+		QTypes:  hll.MustNew(p),
+		IP4s:    hll.MustNew(p),
+		IP6s:    hll.MustNew(p),
+		TTL:     sketch.NewTopValues(cfg.TTLTracked),
+		NSTTL:   sketch.NewTopValues(cfg.TTLTracked),
+		NegTTL:  sketch.NewTopValues(cfg.TTLTracked),
+		Delays:  sketch.NewHistogram(cfg.DelayMaxMs, 1.15),
+		Hops:    sketch.NewHistogram(64, 1.15),
+		Sizes:   sketch.NewHistogram(cfg.SizeMax, 1.15),
+	}
+}
+
+// Observe folds one transaction summary into the set.
+func (s *Set) Observe(sum *sie.Summary) {
+	s.Hits++
+	s.SrvIPs.Add(sum.Nameserver.String())
+	s.SrcIPs.Add(sum.Resolver.String())
+	s.Sources.AddUint64(uint64(sum.SensorID))
+	s.QNamesA.Add(sum.QName)
+	s.QTypes.AddUint64(uint64(sum.QType))
+	s.qdotsSum += float64(sum.QDots)
+	if sum.TCP {
+		s.TCP++
+	}
+	if sum.Trunc {
+		s.Trunc++
+	}
+
+	if !sum.Answered {
+		s.Unans++
+		return
+	}
+	s.answered++
+	s.lvlSum += float64(sum.AnswerCount)
+	s.nslvlSum += float64(sum.AuthorityNS)
+	s.Delays.Observe(sum.DelayMs)
+	s.Hops.Observe(float64(sum.Hops))
+	s.Sizes.Observe(float64(sum.RespSize))
+
+	switch sum.RCode {
+	case dnswire.RCodeNoError:
+		s.OK++
+	case dnswire.RCodeNXDomain:
+		s.NXD++
+	case dnswire.RCodeRefused:
+		s.RFS++
+	case dnswire.RCodeServFail:
+		s.Fail++
+	}
+	if sum.RCode != dnswire.RCodeNoError {
+		return
+	}
+
+	if sum.HasAnswerData {
+		s.OKAns++
+	}
+	if sum.AuthorityNS > 0 {
+		s.OKNS++
+	}
+	if sum.HasAdditional {
+		s.OKAdd++
+	}
+	nodata := !sum.HasAnswerData && sum.AuthorityNS == 0
+	if nodata {
+		s.OKNil++
+	}
+	if sum.QType == dnswire.TypeAAAA {
+		s.OK6++
+		if nodata {
+			s.OK6Nil++
+		}
+	}
+	if sum.DNSSECOK && sum.HasRRSIG && (sum.HasAnswerData || sum.AuthorityNS > 0) {
+		s.OKSec++
+	}
+
+	s.QNames.Add(sum.QName)
+	s.TLDs.Add(dnswire.TLD(sum.QName))
+	s.ESLDs.Add(s.cfg.Suffixes.ESLD(sum.QName))
+	for _, a := range sum.V4Addrs {
+		s.IP4s.Add(a.String())
+	}
+	for _, a := range sum.V6Addrs {
+		s.IP6s.Add(a.String())
+	}
+	for _, ttl := range sum.AnswerTTLs {
+		s.TTL.Observe(ttl)
+	}
+	for _, ttl := range sum.NSTTLs {
+		s.NSTTL.Observe(ttl)
+	}
+	if sum.HasSOA {
+		s.NegTTL.Observe(sum.SOAMinimum)
+	}
+}
+
+// QDots returns the mean number of QNAME labels.
+func (s *Set) QDots() float64 {
+	if s.Hits == 0 {
+		return 0
+	}
+	return s.qdotsSum / float64(s.Hits)
+}
+
+// Lvl returns the mean ANSWER record count per answered transaction.
+func (s *Set) Lvl() float64 {
+	if s.answered == 0 {
+		return 0
+	}
+	return s.lvlSum / float64(s.answered)
+}
+
+// NSLvl returns the mean AUTHORITY NS count per answered transaction.
+func (s *Set) NSLvl() float64 {
+	if s.answered == 0 {
+		return 0
+	}
+	return s.nslvlSum / float64(s.answered)
+}
+
+// Answered returns the number of answered transactions.
+func (s *Set) Answered() uint64 { return s.answered }
+
+// Reset clears all statistics for the next time window.
+func (s *Set) Reset() {
+	cfg := s.cfg
+	*s = Set{
+		cfg:     cfg,
+		SrvIPs:  s.SrvIPs,
+		SrcIPs:  s.SrcIPs,
+		Sources: s.Sources,
+		QNamesA: s.QNamesA,
+		QNames:  s.QNames,
+		TLDs:    s.TLDs,
+		ESLDs:   s.ESLDs,
+		QTypes:  s.QTypes,
+		IP4s:    s.IP4s,
+		IP6s:    s.IP6s,
+		TTL:     s.TTL,
+		NSTTL:   s.NSTTL,
+		NegTTL:  s.NegTTL,
+		Delays:  s.Delays,
+		Hops:    s.Hops,
+		Sizes:   s.Sizes,
+	}
+	s.SrvIPs.Reset()
+	s.SrcIPs.Reset()
+	s.Sources.Reset()
+	s.QNamesA.Reset()
+	s.QNames.Reset()
+	s.TLDs.Reset()
+	s.ESLDs.Reset()
+	s.QTypes.Reset()
+	s.IP4s.Reset()
+	s.IP6s.Reset()
+	s.TTL.Reset()
+	s.NSTTL.Reset()
+	s.NegTTL.Reset()
+	s.Delays.Reset()
+	s.Hops.Reset()
+	s.Sizes.Reset()
+}

@@ -1,0 +1,167 @@
+package ipwire
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	v4a = netip.MustParseAddr("192.0.2.10")
+	v4b = netip.MustParseAddr("198.51.100.53")
+	v6a = netip.MustParseAddr("2001:db8::10")
+	v6b = netip.MustParseAddr("2001:db8:1::53")
+)
+
+func TestIPv4UDPRoundTrip(t *testing.T) {
+	payload := []byte("dns message bytes")
+	pkt := AppendIPv4UDP(nil, v4a, v4b, 40000, DNSPort, 57, payload)
+	if len(pkt) != IPv4HeaderLen+UDPHeaderLen+len(payload) {
+		t.Fatalf("packet len %d", len(pkt))
+	}
+	p, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Src != v4a || p.Dst != v4b || p.SrcPort != 40000 || p.DstPort != DNSPort || p.TTL != 57 {
+		t.Errorf("decoded %+v", p)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Errorf("payload %q", p.Payload)
+	}
+}
+
+func TestIPv6UDPRoundTrip(t *testing.T) {
+	payload := []byte("v6 dns message")
+	pkt := AppendIPv6UDP(nil, v6a, v6b, 50123, DNSPort, 60, payload)
+	if len(pkt) != IPv6HeaderLen+UDPHeaderLen+len(payload) {
+		t.Fatalf("packet len %d", len(pkt))
+	}
+	p, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Src != v6a || p.Dst != v6b || p.SrcPort != 50123 || p.DstPort != DNSPort || p.TTL != 60 {
+		t.Errorf("decoded %+v", p)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Errorf("payload %q", p.Payload)
+	}
+}
+
+func TestIPv4HeaderChecksumValid(t *testing.T) {
+	pkt := AppendIPv4UDP(nil, v4a, v4b, 1234, 53, 64, []byte("x"))
+	// Recomputing the checksum over the header including the stored
+	// checksum must yield zero (ones-complement property).
+	var sum uint32
+	for i := 0; i < IPv4HeaderLen; i += 2 {
+		sum += uint32(pkt[i])<<8 | uint32(pkt[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Errorf("header checksum does not verify: %#x", sum)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := AppendIPv4UDP(nil, v4a, v4b, 1, 53, 64, []byte("hello"))
+	cases := []struct {
+		name string
+		pkt  []byte
+		err  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad version", []byte{0x50, 0, 0, 0}, ErrBadVersion},
+		{"short v4", good[:10], ErrTruncated},
+		{"bad ihl", append([]byte{0x42}, good[1:]...), ErrBadIHL},
+		{"short v6", AppendIPv6UDP(nil, v6a, v6b, 1, 53, 64, nil)[:20], ErrTruncated},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.pkt); err != c.err {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.err)
+		}
+	}
+
+	tcp := append([]byte(nil), good...)
+	tcp[9] = 6 // protocol = TCP
+	if _, err := Decode(tcp); err != ErrNotUDP {
+		t.Errorf("tcp: err = %v", err)
+	}
+
+	lied := append([]byte(nil), good...)
+	lied[2], lied[3] = 0xff, 0xff // total length > buffer
+	if _, err := Decode(lied); err != ErrLengthField {
+		t.Errorf("lied total length: err = %v", err)
+	}
+}
+
+func TestDecodeTruncatedEverywhere(t *testing.T) {
+	for _, pkt := range [][]byte{
+		AppendIPv4UDP(nil, v4a, v4b, 9, 53, 64, []byte("abcdef")),
+		AppendIPv6UDP(nil, v6a, v6b, 9, 53, 64, []byte("abcdef")),
+	} {
+		for i := 0; i < len(pkt); i++ {
+			if _, err := Decode(pkt[:i]); err == nil {
+				t.Errorf("truncation at %d accepted", i)
+			}
+		}
+	}
+}
+
+func TestInferHops(t *testing.T) {
+	cases := []struct {
+		recv uint8
+		want int
+	}{
+		{64, 0},
+		{57, 3},    // smallest initial >= 57 is 60
+		{55, 5},    // 60 - 55
+		{128, 0},   // exactly Windows initial
+		{120, 8},   // 128 - 120
+		{247, 8},   // 255 - 247
+		{255, 0},   // no hops
+		{30, 0},    // smallest initial
+		{29, 1},    // 30 - 29
+		{1, 29},    // nearly exhausted
+		{0, 30},    // exhausted
+		{65, 63},   // just above 64 -> initial 128
+		{129, 126}, // just above 128 -> initial 255
+	}
+	for _, c := range cases {
+		if got := InferHops(c.recv); got != c.want {
+			t.Errorf("InferHops(%d) = %d, want %d", c.recv, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(sp, dp uint16, ttl uint8, n uint8) bool {
+		payload := make([]byte, int(n))
+		rng.Read(payload)
+		pkt := AppendIPv4UDP(nil, v4a, v4b, sp, dp, ttl, payload)
+		p, err := Decode(pkt)
+		if err != nil {
+			return false
+		}
+		return p.SrcPort == sp && p.DstPort == dp && p.TTL == ttl && bytes.Equal(p.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendPreservesPrefix(t *testing.T) {
+	prefix := []byte{0xaa, 0xbb}
+	pkt := AppendIPv4UDP(prefix, v4a, v4b, 1, 2, 3, []byte("p"))
+	if !bytes.Equal(pkt[:2], prefix) {
+		t.Error("prefix clobbered")
+	}
+	if _, err := Decode(pkt[2:]); err != nil {
+		t.Errorf("decode after prefix: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package ipwire
+
+import (
+	"errors"
+	"net/netip"
+)
+
+// TCP/53 support. The paper's pipeline analyzed UDP/53 only and listed
+// TCP as future work (§2.1, noting TCP is <3 % of DNS traffic); this
+// implementation covers that extension. Passive sensors reassemble TCP
+// streams, so a captured transaction carries one segment holding the
+// complete DNS message behind the RFC 1035 §4.2.2 two-octet length
+// prefix.
+
+// TCPHeaderLen is the fixed TCP header size (no options).
+const TCPHeaderLen = 20
+
+// ProtoTCP is the IP protocol number of TCP.
+const ProtoTCP = 6
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// Errors returned by the TCP codec.
+var (
+	ErrNotTCP          = errors.New("ipwire: not a TCP packet")
+	ErrDNSLenMismatch  = errors.New("ipwire: DNS length prefix disagrees with segment")
+	ErrBadTCPOffset    = errors.New("ipwire: bad TCP data offset")
+	ErrSegmentTooShort = errors.New("ipwire: TCP segment truncated")
+)
+
+// AppendIPv4TCPDNS appends an IPv4+TCP segment carrying one complete DNS
+// message (length-prefixed per RFC 1035 §4.2.2), as a stream-reassembly
+// sensor would emit it. The segment has PSH|ACK set.
+func AppendIPv4TCPDNS(dst []byte, src, dstAddr netip.Addr, srcPort, dstPort uint16, ttl uint8, seq uint32, msg []byte) []byte {
+	payload := make([]byte, 2+len(msg))
+	payload[0] = byte(len(msg) >> 8)
+	payload[1] = byte(len(msg))
+	copy(payload[2:], msg)
+
+	total := IPv4HeaderLen + TCPHeaderLen + len(payload)
+	s4, d4 := src.As4(), dstAddr.As4()
+	hdrAt := len(dst)
+	dst = append(dst,
+		0x45, 0,
+		byte(total>>8), byte(total),
+		0, 0, 0x40, 0,
+		ttl, ProtoTCP,
+		0, 0,
+	)
+	dst = append(dst, s4[:]...)
+	dst = append(dst, d4[:]...)
+	ck := headerChecksum(dst[hdrAt : hdrAt+IPv4HeaderLen])
+	dst[hdrAt+10] = byte(ck >> 8)
+	dst[hdrAt+11] = byte(ck)
+	return appendTCP(dst, src, dstAddr, srcPort, dstPort, seq, payload)
+}
+
+// AppendIPv6TCPDNS is AppendIPv4TCPDNS over IPv6.
+func AppendIPv6TCPDNS(dst []byte, src, dstAddr netip.Addr, srcPort, dstPort uint16, hopLimit uint8, seq uint32, msg []byte) []byte {
+	payload := make([]byte, 2+len(msg))
+	payload[0] = byte(len(msg) >> 8)
+	payload[1] = byte(len(msg))
+	copy(payload[2:], msg)
+
+	plen := TCPHeaderLen + len(payload)
+	s16, d16 := src.As16(), dstAddr.As16()
+	dst = append(dst,
+		0x60, 0, 0, 0,
+		byte(plen>>8), byte(plen),
+		ProtoTCP, hopLimit,
+	)
+	dst = append(dst, s16[:]...)
+	dst = append(dst, d16[:]...)
+	return appendTCP(dst, src, dstAddr, srcPort, dstPort, seq, payload)
+}
+
+func appendTCP(dst []byte, src, dstAddr netip.Addr, srcPort, dstPort uint16, seq uint32, payload []byte) []byte {
+	tcpAt := len(dst)
+	dst = append(dst,
+		byte(srcPort>>8), byte(srcPort),
+		byte(dstPort>>8), byte(dstPort),
+		byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq),
+		0, 0, 0, 0, // ack
+		5<<4, TCPFlagPSH|TCPFlagACK, // data offset 5 words, flags
+		0xff, 0xff, // window
+		0, 0, // checksum (patched)
+		0, 0, // urgent pointer
+	)
+	dst = append(dst, payload...)
+	ck := tcpChecksum(src, dstAddr, dst[tcpAt:])
+	dst[tcpAt+16] = byte(ck >> 8)
+	dst[tcpAt+17] = byte(ck)
+	return dst
+}
+
+// tcpChecksum is the ones-complement sum over the TCP pseudo-header and
+// segment.
+func tcpChecksum(src, dst netip.Addr, seg []byte) uint16 {
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(b[i])<<8 | uint32(b[i+1])
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	if src.Is4() {
+		s4, d4 := src.As4(), dst.As4()
+		add(s4[:])
+		add(d4[:])
+	} else {
+		s16, d16 := src.As16(), dst.As16()
+		add(s16[:])
+		add(d16[:])
+	}
+	sum += ProtoTCP
+	sum += uint32(len(seg))
+	add(seg)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// DecodeAny parses an IPv4/IPv6 packet carrying either UDP/53-style DNS
+// (payload is the raw message) or TCP/53 DNS (payload is behind a
+// two-octet length prefix). The returned Packet's Payload is always the
+// bare DNS message; IsTCP reports the transport.
+func DecodeAny(pkt []byte) (p Packet, isTCP bool, err error) {
+	if len(pkt) < 1 {
+		return Packet{}, false, ErrTruncated
+	}
+	var proto byte
+	switch pkt[0] >> 4 {
+	case 4:
+		if len(pkt) < IPv4HeaderLen {
+			return Packet{}, false, ErrTruncated
+		}
+		proto = pkt[9]
+	case 6:
+		if len(pkt) < IPv6HeaderLen {
+			return Packet{}, false, ErrTruncated
+		}
+		proto = pkt[6]
+	default:
+		return Packet{}, false, ErrBadVersion
+	}
+	if proto == ProtoUDP {
+		p, err = Decode(pkt)
+		return p, false, err
+	}
+	if proto != ProtoTCP {
+		return Packet{}, false, ErrNotUDP
+	}
+	p, err = decodeTCP(pkt)
+	return p, true, err
+}
+
+func decodeTCP(pkt []byte) (Packet, error) {
+	var p Packet
+	var seg []byte
+	switch pkt[0] >> 4 {
+	case 4:
+		ihl := int(pkt[0]&0xf) * 4
+		if ihl < IPv4HeaderLen || len(pkt) < ihl {
+			return Packet{}, ErrBadIHL
+		}
+		total := int(pkt[2])<<8 | int(pkt[3])
+		if total > len(pkt) || total < ihl+TCPHeaderLen {
+			return Packet{}, ErrLengthField
+		}
+		p.Src = netip.AddrFrom4([4]byte(pkt[12:16]))
+		p.Dst = netip.AddrFrom4([4]byte(pkt[16:20]))
+		p.TTL = pkt[8]
+		seg = pkt[ihl:total]
+	case 6:
+		plen := int(pkt[4])<<8 | int(pkt[5])
+		if IPv6HeaderLen+plen > len(pkt) || plen < TCPHeaderLen {
+			return Packet{}, ErrLengthField
+		}
+		p.Src = netip.AddrFrom16([16]byte(pkt[8:24]))
+		p.Dst = netip.AddrFrom16([16]byte(pkt[24:40]))
+		p.TTL = pkt[7]
+		seg = pkt[IPv6HeaderLen : IPv6HeaderLen+plen]
+	}
+	if len(seg) < TCPHeaderLen {
+		return Packet{}, ErrSegmentTooShort
+	}
+	p.SrcPort = uint16(seg[0])<<8 | uint16(seg[1])
+	p.DstPort = uint16(seg[2])<<8 | uint16(seg[3])
+	off := int(seg[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(seg) {
+		return Packet{}, ErrBadTCPOffset
+	}
+	data := seg[off:]
+	if len(data) < 2 {
+		return Packet{}, ErrSegmentTooShort
+	}
+	n := int(data[0])<<8 | int(data[1])
+	if 2+n > len(data) {
+		return Packet{}, ErrDNSLenMismatch
+	}
+	p.Payload = data[2 : 2+n]
+	return p, nil
+}

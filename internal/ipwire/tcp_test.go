@@ -1,0 +1,119 @@
+package ipwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIPv4TCPDNSRoundTrip(t *testing.T) {
+	msg := []byte("a full dns message, length-prefixed in the segment")
+	pkt := AppendIPv4TCPDNS(nil, v4a, v4b, 33000, DNSPort, 64, 12345, msg)
+	p, isTCP, err := DecodeAny(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isTCP {
+		t.Error("not detected as TCP")
+	}
+	if p.Src != v4a || p.Dst != v4b || p.SrcPort != 33000 || p.DstPort != DNSPort {
+		t.Errorf("decoded %+v", p)
+	}
+	if !bytes.Equal(p.Payload, msg) {
+		t.Errorf("payload %q", p.Payload)
+	}
+}
+
+func TestIPv6TCPDNSRoundTrip(t *testing.T) {
+	msg := []byte("v6 tcp dns")
+	pkt := AppendIPv6TCPDNS(nil, v6a, v6b, 40001, DNSPort, 57, 7, msg)
+	p, isTCP, err := DecodeAny(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isTCP || p.Src != v6a || p.TTL != 57 {
+		t.Errorf("decoded %+v tcp=%v", p, isTCP)
+	}
+	if !bytes.Equal(p.Payload, msg) {
+		t.Errorf("payload %q", p.Payload)
+	}
+}
+
+func TestDecodeAnyUDP(t *testing.T) {
+	pkt := AppendIPv4UDP(nil, v4a, v4b, 1000, 53, 64, []byte("udp dns"))
+	p, isTCP, err := DecodeAny(pkt)
+	if err != nil || isTCP {
+		t.Fatalf("err=%v tcp=%v", err, isTCP)
+	}
+	if string(p.Payload) != "udp dns" {
+		t.Errorf("payload %q", p.Payload)
+	}
+}
+
+func TestDecodeAnyErrors(t *testing.T) {
+	if _, _, err := DecodeAny(nil); err != ErrTruncated {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := DecodeAny([]byte{0x50}); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+	// ICMP protocol.
+	pkt := AppendIPv4UDP(nil, v4a, v4b, 1, 53, 64, []byte("x"))
+	icmp := append([]byte(nil), pkt...)
+	icmp[9] = 1
+	if _, _, err := DecodeAny(icmp); err != ErrNotUDP {
+		t.Errorf("icmp: %v", err)
+	}
+}
+
+func TestTCPDecodeErrors(t *testing.T) {
+	good := AppendIPv4TCPDNS(nil, v4a, v4b, 33000, 53, 64, 1, []byte("hello dns"))
+
+	// Lying DNS length prefix.
+	lied := append([]byte(nil), good...)
+	lied[IPv4HeaderLen+TCPHeaderLen] = 0xff
+	lied[IPv4HeaderLen+TCPHeaderLen+1] = 0xff
+	if _, _, err := DecodeAny(lied); err != ErrDNSLenMismatch {
+		t.Errorf("lied length: %v", err)
+	}
+
+	// Bad data offset.
+	badOff := append([]byte(nil), good...)
+	badOff[IPv4HeaderLen+12] = 0xf0 // 60-byte header beyond segment
+	if _, _, err := DecodeAny(badOff); err != ErrBadTCPOffset {
+		t.Errorf("bad offset: %v", err)
+	}
+
+	// Truncations never panic and always error.
+	for i := 0; i < len(good); i++ {
+		if _, _, err := DecodeAny(good[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestTCPChecksumVerifies(t *testing.T) {
+	pkt := AppendIPv4TCPDNS(nil, v4a, v4b, 2000, 53, 64, 99, []byte("checksummed"))
+	seg := pkt[IPv4HeaderLen:]
+	// Recomputing over the segment with its embedded checksum must give 0.
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(b[i])<<8 | uint32(b[i+1])
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	s4, d4 := v4a.As4(), v4b.As4()
+	add(s4[:])
+	add(d4[:])
+	sum += ProtoTCP
+	sum += uint32(len(seg))
+	add(seg)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Errorf("tcp checksum does not verify: %#x", sum)
+	}
+}

@@ -1,0 +1,245 @@
+// Package observatory is the DNS Observatory stream-analytics pipeline
+// (paper §2): it ingests transaction summaries, tracks Top-k DNS objects
+// per aggregation with Space-Saving caches guarded by Bloom admission
+// filters, accumulates per-object traffic features, and every 60 seconds
+// dumps a TSV snapshot per aggregation — resetting the statistics but
+// keeping the top-k lists.
+package observatory
+
+import (
+	"fmt"
+	"sort"
+
+	"dnsobservatory/internal/bloom"
+	"dnsobservatory/internal/features"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/spacesaving"
+	"dnsobservatory/internal/tsv"
+)
+
+// KeyFunc extracts a DNS object key from a transaction summary; ok=false
+// drops the transaction from this aggregation (input filtering, §2.2).
+type KeyFunc func(*sie.Summary) (key string, ok bool)
+
+// Aggregation configures one tracked Top-k object universe.
+type Aggregation struct {
+	Name string  // dataset name (srvip, etld, esld, qname, …)
+	K    int     // Space-Saving capacity
+	Key  KeyFunc // key extractor / filter
+	// NoAdmitter disables the Bloom eviction guard (for ablation and for
+	// aggregations with tiny key universes such as qtype/rcode).
+	NoAdmitter bool
+}
+
+// Config tunes the pipeline.
+type Config struct {
+	// WindowSec is the statistics window; the paper dumps every 60 s.
+	WindowSec float64
+	// HalfLifeSec is the decay half-life for Space-Saving rate estimates.
+	HalfLifeSec float64
+	// Features sizes per-object feature sets.
+	Features features.Config
+	// AdmitterN / AdmitterFP size Bloom admission filters.
+	AdmitterN  int
+	AdmitterFP float64
+	// SkipFreshObjects drops objects inserted during the current window
+	// from its snapshot — they have not yet survived a full window
+	// (§2.4). Disable for ablation.
+	SkipFreshObjects bool
+}
+
+// DefaultConfig mirrors the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		WindowSec:        60,
+		HalfLifeSec:      60,
+		Features:         features.DefaultConfig(),
+		AdmitterN:        1 << 20,
+		AdmitterFP:       0.01,
+		SkipFreshObjects: true,
+	}
+}
+
+// aggState is one aggregation's runtime state.
+type aggState struct {
+	agg        Aggregation
+	cache      *spacesaving.Cache
+	admitter   *bloom.Filter
+	seenBefore uint64 // window transactions before filtering
+	seenAfter  uint64 // window transactions aggregated into some object
+}
+
+// Pipeline is the Observatory core. It is not safe for concurrent use;
+// shard streams by flow hash across pipelines to parallelize.
+type Pipeline struct {
+	cfg  Config
+	aggs []*aggState
+	// OnSnapshot receives each window's snapshot per aggregation.
+	onSnapshot func(*tsv.Snapshot)
+
+	windowStart float64
+	started     bool
+	total       uint64
+}
+
+// New builds a pipeline over the given aggregations. onSnapshot may be
+// nil when snapshots are collected via Flush's return value only.
+func New(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Pipeline {
+	if cfg.WindowSec <= 0 {
+		cfg.WindowSec = 60
+	}
+	if cfg.HalfLifeSec <= 0 {
+		cfg.HalfLifeSec = cfg.WindowSec
+	}
+	if cfg.AdmitterN <= 0 {
+		cfg.AdmitterN = 1 << 20
+	}
+	if cfg.AdmitterFP <= 0 {
+		cfg.AdmitterFP = 0.01
+	}
+	p := &Pipeline{cfg: cfg, onSnapshot: onSnapshot}
+	for _, a := range aggs {
+		st := &aggState{agg: a}
+		if !a.NoAdmitter {
+			st.admitter = bloom.New(cfg.AdmitterN, cfg.AdmitterFP)
+		}
+		var adm spacesaving.Admitter
+		if st.admitter != nil {
+			adm = st.admitter
+		}
+		st.cache = spacesaving.New(a.K, cfg.HalfLifeSec, adm)
+		p.aggs = append(p.aggs, st)
+	}
+	return p
+}
+
+// Ingest processes one summary observed at stream time now (seconds).
+// Crossing a window boundary dumps snapshots first.
+func (p *Pipeline) Ingest(sum *sie.Summary, now float64) {
+	if !p.started {
+		p.windowStart = now - mod(now, p.cfg.WindowSec)
+		p.started = true
+	}
+	for now >= p.windowStart+p.cfg.WindowSec {
+		p.dump()
+		p.windowStart += p.cfg.WindowSec
+	}
+	p.total++
+	for _, st := range p.aggs {
+		st.seenBefore++
+		key, ok := st.agg.Key(sum)
+		if !ok {
+			continue
+		}
+		e := st.cache.Observe(key, now)
+		if e == nil {
+			continue
+		}
+		set, ok := e.State.(*features.Set)
+		if !ok {
+			set = features.NewSet(p.cfg.Features)
+			e.State = set
+		}
+		set.Observe(sum)
+		st.seenAfter++
+	}
+}
+
+func mod(x, m float64) float64 {
+	r := x - float64(int64(x/m))*m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// Flush dumps the current (possibly partial) window. Call at end of
+// stream.
+func (p *Pipeline) Flush() {
+	if p.started {
+		p.dump()
+	}
+}
+
+// dump emits one snapshot per aggregation and resets window state.
+func (p *Pipeline) dump() {
+	for _, st := range p.aggs {
+		snap := p.snapshot(st)
+		if p.onSnapshot != nil {
+			p.onSnapshot(snap)
+		}
+		st.cache.Entries(func(e *spacesaving.Entry) {
+			if set, ok := e.State.(*features.Set); ok {
+				set.Reset()
+			}
+		})
+		if st.admitter != nil {
+			st.admitter.Reset()
+		}
+		st.seenBefore, st.seenAfter = 0, 0
+	}
+}
+
+// snapshot builds the TSV snapshot for one aggregation's current window.
+func (p *Pipeline) snapshot(st *aggState) *tsv.Snapshot {
+	cols := make([]string, len(features.Columns))
+	kinds := make([]tsv.Kind, len(features.Columns))
+	for i, c := range features.Columns {
+		cols[i] = c.Name
+		kinds[i] = tsv.Kind(c.Kind)
+	}
+	snap := &tsv.Snapshot{
+		Aggregation: st.agg.Name,
+		Level:       tsv.Minutely,
+		Start:       int64(p.windowStart),
+		Columns:     cols,
+		Kinds:       kinds,
+		TotalBefore: st.seenBefore,
+		TotalAfter:  st.seenAfter,
+		Windows:     1,
+	}
+	windowEnd := p.windowStart + p.cfg.WindowSec
+	st.cache.Entries(func(e *spacesaving.Entry) {
+		if p.cfg.SkipFreshObjects && e.InsertedAt > p.windowStart {
+			return // has not survived a full window yet (§2.4)
+		}
+		set, ok := e.State.(*features.Set)
+		if !ok || set.Hits == 0 {
+			return
+		}
+		// Rates are read decayed to the window end, so idle objects do
+		// not report their last burst forever.
+		rate := st.cache.RateAt(e, windowEnd)
+		snap.Rows = append(snap.Rows, tsv.Row{Key: e.Key, Values: set.Values(rate)})
+	})
+	sort.Slice(snap.Rows, func(i, j int) bool {
+		hi, hj := snap.Rows[i].Values[0], snap.Rows[j].Values[0] // hits
+		if hi != hj {
+			return hi > hj
+		}
+		return snap.Rows[i].Key < snap.Rows[j].Key
+	})
+	return snap
+}
+
+// Cache exposes an aggregation's Space-Saving cache (for analyses that
+// read live state); nil if the aggregation does not exist.
+func (p *Pipeline) Cache(name string) *spacesaving.Cache {
+	for _, st := range p.aggs {
+		if st.agg.Name == name {
+			return st.cache
+		}
+	}
+	return nil
+}
+
+// Total returns the number of summaries ingested.
+func (p *Pipeline) Total() uint64 { return p.total }
+
+// WindowStart returns the start of the current window.
+func (p *Pipeline) WindowStart() float64 { return p.windowStart }
+
+// String describes the pipeline configuration.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("observatory: %d aggregations, window %.0fs", len(p.aggs), p.cfg.WindowSec)
+}

@@ -1,0 +1,134 @@
+package observatory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/tsv"
+)
+
+// TestParallelMatchesSerial feeds the same stream through the serial
+// pipeline and the parallel one and compares every snapshot.
+func TestParallelMatchesSerial(t *testing.T) {
+	aggs := func() []Aggregation {
+		return []Aggregation{
+			{Name: "srvip", K: 200, Key: SrvIPKey, NoAdmitter: true},
+			{Name: "qname", K: 200, Key: QNameKey, NoAdmitter: true},
+			{Name: "qtype", K: 16, Key: QTypeKey, NoAdmitter: true},
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.SkipFreshObjects = false
+
+	type event struct {
+		resolver, ns, qname string
+		qtype               dnswire.Type
+		now                 float64
+	}
+	var events []event
+	for i := 0; i < 5000; i++ {
+		events = append(events, event{
+			resolver: fmt.Sprintf("192.0.2.%d", i%20+1),
+			ns:       fmt.Sprintf("198.51.100.%d", i%50+1),
+			qname:    fmt.Sprintf("h%d.example%d.com.", i%7, i%90),
+			qtype:    dnswire.TypeA,
+			now:      float64(i) * 0.05,
+		})
+	}
+
+	var serial []*tsv.Snapshot
+	sp := New(cfg, aggs(), func(s *tsv.Snapshot) { serial = append(serial, s) })
+	for _, e := range events {
+		sp.Ingest(sum(e.resolver, e.ns, e.qname, e.qtype), e.now)
+	}
+	sp.Flush()
+
+	var mu sync.Mutex
+	var parallel []*tsv.Snapshot
+	pp := NewParallel(cfg, aggs(), func(s *tsv.Snapshot) {
+		mu.Lock()
+		parallel = append(parallel, s)
+		mu.Unlock()
+	})
+	for _, e := range events {
+		pp.Ingest(sum(e.resolver, e.ns, e.qname, e.qtype), e.now)
+	}
+	pp.Close()
+
+	key := func(s *tsv.Snapshot) string { return fmt.Sprintf("%s@%d", s.Aggregation, s.Start) }
+	sortSnaps := func(ss []*tsv.Snapshot) {
+		sort.Slice(ss, func(i, j int) bool { return key(ss[i]) < key(ss[j]) })
+	}
+	sortSnaps(serial)
+	sortSnaps(parallel)
+	if len(serial) != len(parallel) {
+		t.Fatalf("snapshot counts: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if key(a) != key(b) {
+			t.Fatalf("snapshot %d: %s vs %s", i, key(a), key(b))
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: rows %d vs %d", key(a), len(a.Rows), len(b.Rows))
+		}
+		for j := range a.Rows {
+			if a.Rows[j].Key != b.Rows[j].Key {
+				t.Fatalf("%s row %d: %s vs %s", key(a), j, a.Rows[j].Key, b.Rows[j].Key)
+			}
+			for c := range a.Rows[j].Values {
+				va, vb := a.Rows[j].Values[c], b.Rows[j].Values[c]
+				// The rate column depends on Space-Saving state shared
+				// across aggregations in the serial case only through
+				// identical inputs, so exact equality is expected.
+				if va != vb {
+					t.Fatalf("%s row %s col %s: %v vs %v",
+						key(a), a.Rows[j].Key, a.Columns[c], va, vb)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelCallerMayReuseSummary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipFreshObjects = false
+	var mu sync.Mutex
+	var got []*tsv.Snapshot
+	pp := NewParallel(cfg, []Aggregation{{Name: "qname", K: 50, Key: QNameKey, NoAdmitter: true}},
+		func(s *tsv.Snapshot) {
+			mu.Lock()
+			got = append(got, s)
+			mu.Unlock()
+		})
+	s := sum("192.0.2.1", "198.51.100.1", "reused.example.com.", dnswire.TypeA)
+	for i := 0; i < 1000; i++ {
+		pp.Ingest(s, float64(i)*0.1)
+		// Mutate the reused summary aggressively after handing it over.
+		s.QName = "reused.example.com."
+		s.AnswerTTLs = append(s.AnswerTTLs[:0], uint32(i))
+	}
+	pp.Close()
+	if len(got) == 0 {
+		t.Fatal("no snapshots")
+	}
+	var rows int
+	for _, snap := range got {
+		rows += len(snap.Rows)
+	}
+	if rows == 0 {
+		t.Fatal("no rows despite 1000 ingests")
+	}
+}
+
+func TestParallelCloseIdempotent(t *testing.T) {
+	pp := NewParallel(DefaultConfig(), []Aggregation{{Name: "srvip", K: 10, Key: SrvIPKey}}, nil)
+	pp.Ingest(sum("192.0.2.1", "198.51.100.1", "a.example.com.", dnswire.TypeA), 1)
+	pp.Close()
+	pp.Close() // must not panic or deadlock
+	// Ingest after close is a no-op.
+	pp.Ingest(sum("192.0.2.1", "198.51.100.1", "b.example.com.", dnswire.TypeA), 2)
+}

@@ -1,0 +1,51 @@
+package publicsuffix
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dnsobservatory/internal/dnswire"
+)
+
+// Structural invariants of eTLD/eSLD extraction over random names:
+// the eTLD is a suffix of the eSLD, which is a suffix of the name; the
+// eSLD has exactly one more label than the eTLD (unless the name is a
+// bare suffix); and both are idempotent.
+func TestSuffixInvariantsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tlds := []string{"com", "co.uk", "org.il", "ck", "unknowntld", "net.me", "bn", "de"}
+	gen := func() string {
+		n := rng.Intn(4)
+		labels := make([]string, 0, n+1)
+		for i := 0; i < n; i++ {
+			l := make([]byte, 1+rng.Intn(8))
+			for j := range l {
+				l[j] = byte('a' + rng.Intn(26))
+			}
+			labels = append(labels, string(l))
+		}
+		labels = append(labels, tlds[rng.Intn(len(tlds))])
+		return strings.Join(labels, ".")
+	}
+	f := func() bool {
+		name := dnswire.Canonical(gen())
+		etld := ETLD(name)
+		esld := ESLD(name)
+		if !dnswire.IsSubdomainOf(name, etld) || !dnswire.IsSubdomainOf(name, esld) {
+			return false
+		}
+		if !dnswire.IsSubdomainOf(esld, etld) {
+			return false
+		}
+		if esld != etld && dnswire.CountLabels(esld) != dnswire.CountLabels(etld)+1 {
+			return false
+		}
+		// Idempotence.
+		return ETLD(etld) == etld && ESLD(esld) == esld
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

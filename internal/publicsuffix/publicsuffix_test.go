@@ -1,0 +1,105 @@
+package publicsuffix
+
+import "testing"
+
+func TestETLD(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"www.example.com", "com."},
+		{"example.com.", "com."},
+		{"com", "com."},
+		{"www.bbc.co.uk", "co.uk."},
+		{"co.uk", "co.uk."},
+		{"uk", "uk."},
+		{"something.org.il", "org.il."},
+		{"host.net.me", "net.me."},
+		{"plain.me", "me."},
+		{"7.2.0.192.in-addr.arpa", "in-addr.arpa."},
+		{"x.ip6.arpa", "ip6.arpa."},
+		// Unlisted TLD: implicit * rule.
+		{"foo.unlistedtld", "unlistedtld."},
+		// Wildcard: any label under .ck is a suffix…
+		{"shop.weird.ck", "weird.ck."},
+		// …except www.ck.
+		{"www.ck", "ck."},
+		{"sub.www.ck", "ck."},
+		{".", "."},
+	}
+	for _, c := range cases {
+		if got := ETLD(c.name); got != c.want {
+			t.Errorf("ETLD(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestESLD(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"www.example.com", "example.com."},
+		{"example.com", "example.com."},
+		{"com", "com."},
+		{"www.bbc.co.uk", "bbc.co.uk."},
+		{"bbc.co.uk", "bbc.co.uk."},
+		{"co.uk", "co.uk."},
+		{"a.b.c.something.org.il", "something.org.il."},
+		{"deep.shop.weird.ck", "shop.weird.ck."},
+		{"www.ck", "www.ck."},
+		{".", "."},
+	}
+	for _, c := range cases {
+		if got := ESLD(c.name); got != c.want {
+			t.Errorf("ESLD(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIsSuffix(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"com", true},
+		{"co.uk", true},
+		{"example.com", false},
+		{"anything.ck", true}, // wildcard
+		{"www.ck", false},     // exception
+		{".", false},
+	}
+	for _, c := range cases {
+		if got := Default.IsSuffix(c.name); got != c.want {
+			t.Errorf("IsSuffix(%q) = %v", c.name, got)
+		}
+	}
+}
+
+func TestMultiLabelSuffixes(t *testing.T) {
+	found := map[string]bool{}
+	for _, s := range Default.MultiLabelSuffixes() {
+		found[s] = true
+	}
+	for _, want := range []string{"co.uk.", "org.il.", "net.me."} {
+		if !found[want] {
+			t.Errorf("missing multi-label suffix %q", want)
+		}
+	}
+	if found["com."] {
+		t.Error("single-label suffix reported as multi-label")
+	}
+}
+
+func TestNewListSkipsCommentsAndBlank(t *testing.T) {
+	l := NewList([]string{"", "// comment", "test", "*.wild", "!ok.wild"})
+	if got := l.ETLD("a.test"); got != "test." {
+		t.Errorf("ETLD = %q", got)
+	}
+	if got := l.ETLD("x.wild"); got != "x.wild." {
+		t.Errorf("wildcard ETLD = %q", got)
+	}
+	if got := l.ETLD("ok.wild"); got != "wild." {
+		t.Errorf("exception ETLD = %q", got)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	if got := ETLD("WWW.BBC.CO.UK"); got != "co.uk." {
+		t.Errorf("ETLD upper = %q", got)
+	}
+}

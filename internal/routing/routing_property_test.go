@@ -1,0 +1,57 @@
+package routing
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestLookupMatchesBruteForce checks the trie against a linear scan
+// over randomly generated prefix tables.
+func TestLookupMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var tb Table
+		type entry struct {
+			pfx netip.Prefix
+			asn uint32
+		}
+		// More-specifics may overwrite less specifics at equal length;
+		// keep the latest ASN per masked prefix, like the trie does.
+		byPrefix := map[netip.Prefix]uint32{}
+		for i := 0; i < 200; i++ {
+			length := 4 + rng.Intn(25)
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			pfx, err := addr.Prefix(length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asn := uint32(1000 + rng.Intn(500))
+			tb.Add(pfx, asn)
+			byPrefix[pfx] = asn
+		}
+		var entries []entry
+		for p, a := range byPrefix {
+			entries = append(entries, entry{p, a})
+		}
+		brute := func(a netip.Addr) (uint32, bool) {
+			best := -1
+			var bestASN uint32
+			for _, e := range entries {
+				if e.pfx.Contains(a) && e.pfx.Bits() > best {
+					best = e.pfx.Bits()
+					bestASN = e.asn
+				}
+			}
+			return bestASN, best >= 0
+		}
+		for i := 0; i < 500; i++ {
+			a := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			wantASN, wantOK := brute(a)
+			gotASN, gotOK := tb.Lookup(a)
+			if gotOK != wantOK || (wantOK && gotASN != wantASN) {
+				t.Fatalf("trial %d addr %v: got %d,%v want %d,%v", trial, a, gotASN, gotOK, wantASN, wantOK)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package scenario loads simulation scenarios from JSON: the knobs of a
+// simnet.Config, per-domain overrides (TTLs, IPv6, DNSSEC), and a
+// schedule of infrastructure events. It is the configuration surface of
+// cmd/dnsgen, letting users stage the paper's experiments — TTL slashes,
+// negative-caching pathologies, renumberings — without writing Go.
+//
+// A minimal file:
+//
+//	{
+//	  "duration_sec": 600,
+//	  "qps": 1000,
+//	  "domains": [
+//	    {"index": 3, "attl": 750, "negttl": 15, "ipv6": false}
+//	  ],
+//	  "events": [
+//	    {"at_sec": 300, "type": "ttl", "domain": 3, "ttl": 10},
+//	    {"at_sec": 400, "type": "enable-v6", "domain": 3}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"dnsobservatory/internal/simnet"
+)
+
+// File is the JSON scenario document. Zero-valued simulation fields
+// inherit simnet.DefaultConfig.
+type File struct {
+	// Comment is ignored; a place for humans to describe the scenario.
+	Comment     string  `json:"_comment"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+	QPS         float64 `json:"qps"`
+	Resolvers   int     `json:"resolvers"`
+	Sensors     int     `json:"sensors"`
+	SLDs        int     `json:"slds"`
+	HEShare     float64 `json:"happy_eyeballs_share"`
+	V6Share     float64 `json:"v6_server_share"`
+
+	Domains []DomainOverride `json:"domains"`
+	Events  []EventSpec      `json:"events"`
+}
+
+// DomainOverride adjusts one generated domain, addressed by its
+// popularity index (0 = most popular).
+type DomainOverride struct {
+	Index         int    `json:"index"`
+	ATTL          uint32 `json:"attl"`
+	NegTTL        uint32 `json:"negttl"`
+	IPv6          *bool  `json:"ipv6"`
+	Signed        *bool  `json:"signed"`
+	NonConforming bool   `json:"non_conforming"`
+}
+
+// EventSpec schedules one infrastructure change. Types: "ttl",
+// "negttl", "renumber", "change-ns", "non-conforming", "enable-v6",
+// "prsd-target".
+type EventSpec struct {
+	AtSec    float64 `json:"at_sec"`
+	Type     string  `json:"type"`
+	Domain   int     `json:"domain"`
+	TTL      uint32  `json:"ttl"`
+	Addr     string  `json:"addr"`     // renumber target base address
+	Provider string  `json:"provider"` // change-ns provider label
+}
+
+// Load parses a scenario document.
+func Load(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &f, nil
+}
+
+// Config converts the file's simulation knobs to a simnet.Config.
+func (f *File) Config() simnet.Config {
+	cfg := simnet.DefaultConfig()
+	if f.Seed != 0 {
+		cfg.Seed = f.Seed
+	}
+	if f.DurationSec > 0 {
+		cfg.Duration = f.DurationSec
+	}
+	if f.QPS > 0 {
+		cfg.QPS = f.QPS
+	}
+	if f.Resolvers > 0 {
+		cfg.Resolvers = f.Resolvers
+	}
+	if f.Sensors > 0 {
+		cfg.Sensors = f.Sensors
+	}
+	if f.SLDs > 0 {
+		cfg.SLDs = f.SLDs
+	}
+	if f.HEShare > 0 {
+		cfg.HEShare = f.HEShare
+	}
+	if f.V6Share > 0 {
+		cfg.V6ServerShare = f.V6Share
+	}
+	return cfg
+}
+
+// Build instantiates the simulation, applies domain overrides and
+// schedules the events.
+func (f *File) Build() (*simnet.Sim, error) {
+	sim := simnet.New(f.Config())
+	for _, d := range f.Domains {
+		z, err := f.domain(sim, d.Index)
+		if err != nil {
+			return nil, err
+		}
+		if d.ATTL > 0 {
+			z.ATTL = d.ATTL
+		}
+		if d.NegTTL > 0 {
+			z.NegTTL = d.NegTTL
+		}
+		if d.IPv6 != nil {
+			z.IPv6 = *d.IPv6
+			for _, fq := range z.FQDNs {
+				if *d.IPv6 {
+					fq.V6Override = 1
+				} else {
+					fq.V6Override = 0
+				}
+			}
+		}
+		if d.Signed != nil {
+			z.Signed = *d.Signed
+		}
+		if d.NonConforming {
+			z.NonConforming = true
+		}
+	}
+	for _, e := range f.Events {
+		z, err := f.domain(sim, e.Domain)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Type {
+		case "ttl":
+			sim.Schedule(simnet.TTLChangeEvent(e.AtSec, z.Name, e.TTL))
+		case "negttl":
+			sim.Schedule(simnet.NegTTLChangeEvent(e.AtSec, z.Name, e.TTL))
+		case "renumber":
+			addr, err := netip.ParseAddr(e.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: renumber addr: %w", err)
+			}
+			sim.Schedule(simnet.RenumberEvent(e.AtSec, z.Name, addr, e.TTL))
+		case "change-ns":
+			provider := e.Provider
+			if provider == "" {
+				provider = "newdns.example"
+			}
+			sim.Schedule(simnet.NSChangeEvent(e.AtSec, z.Name, provider))
+		case "non-conforming":
+			sim.Schedule(simnet.NonConformingEvent(e.AtSec, z.Name))
+		case "enable-v6":
+			sim.Schedule(simnet.V6EnableEvent(e.AtSec, z.Name))
+		case "prsd-target":
+			sim.Schedule(simnet.PRSDTargetEvent(e.AtSec, z.Name))
+		default:
+			return nil, fmt.Errorf("scenario: unknown event type %q", e.Type)
+		}
+	}
+	return sim, nil
+}
+
+func (f *File) domain(sim *simnet.Sim, idx int) (*simnet.SLD, error) {
+	if idx < 0 || idx >= len(sim.Universe.SLDs) {
+		return nil, fmt.Errorf("scenario: domain index %d out of range (%d domains)",
+			idx, len(sim.Universe.SLDs))
+	}
+	return sim.Universe.SLDs[idx], nil
+}

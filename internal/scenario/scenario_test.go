@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/sie"
+)
+
+const fixture = `{
+  "seed": 7,
+  "duration_sec": 120,
+  "qps": 400,
+  "resolvers": 40,
+  "slds": 300,
+  "happy_eyeballs_share": 0.9,
+  "domains": [
+    {"index": 2, "attl": 750, "negttl": 15, "ipv6": false},
+    {"index": 5, "non_conforming": true}
+  ],
+  "events": [
+    {"at_sec": 60, "type": "ttl", "domain": 2, "ttl": 10},
+    {"at_sec": 80, "type": "enable-v6", "domain": 2}
+  ]
+}`
+
+func TestLoadAndConfig(t *testing.T) {
+	f, err := Load(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := f.Config()
+	if cfg.Seed != 7 || cfg.Duration != 120 || cfg.QPS != 400 ||
+		cfg.Resolvers != 40 || cfg.SLDs != 300 || cfg.HEShare != 0.9 {
+		t.Errorf("config = %+v", cfg)
+	}
+	// Defaults inherited for unset fields.
+	if cfg.Sensors == 0 || cfg.DelegCacheSec == 0 {
+		t.Error("defaults not inherited")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBuildAppliesOverridesAndEvents(t *testing.T) {
+	f, err := Load(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := sim.Universe.SLDs[2]
+	if z.ATTL != 750 || z.NegTTL != 15 || z.IPv6 {
+		t.Errorf("overrides: %+v", z)
+	}
+	if !sim.Universe.SLDs[5].NonConforming {
+		t.Error("non-conforming override lost")
+	}
+
+	// Run it: before t=60 the domain serves TTL 750; after, TTL 10;
+	// after t=80 it serves AAAA data.
+	var s sie.Summarizer
+	var sum sie.Summary
+	sawOld, sawNew, sawV6 := false, false, false
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if !sum.AA || sim.Universe.Suffixes.ESLD(sum.QName) != z.Name {
+			return
+		}
+		for _, ttl := range sum.AnswerTTLs {
+			switch ttl {
+			case 750:
+				sawOld = true
+			case 10:
+				sawNew = true
+			}
+		}
+		if sum.QType == dnswire.TypeAAAA && len(sum.V6Addrs) > 0 {
+			sawV6 = true
+		}
+	})
+	if !sawOld || !sawNew || !sawV6 {
+		t.Errorf("old=%v new=%v v6=%v", sawOld, sawNew, sawV6)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []string{
+		`{"slds": 10, "domains": [{"index": 99}]}`,
+		`{"slds": 10, "events": [{"type": "warp", "domain": 0}]}`,
+		`{"slds": 10, "events": [{"type": "renumber", "domain": 0, "addr": "zzz"}]}`,
+	}
+	for i, c := range cases {
+		f, err := Load(strings.NewReader(c))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if _, err := f.Build(); err == nil {
+			t.Errorf("case %d: Build accepted", i)
+		}
+	}
+}
+
+func TestAllEventTypes(t *testing.T) {
+	doc := `{
+	  "slds": 50, "duration_sec": 30, "qps": 100, "resolvers": 10,
+	  "events": [
+	    {"at_sec": 1, "type": "ttl", "domain": 0, "ttl": 30},
+	    {"at_sec": 1, "type": "negttl", "domain": 1, "ttl": 30},
+	    {"at_sec": 1, "type": "renumber", "domain": 2, "ttl": 600, "addr": "203.0.113.9"},
+	    {"at_sec": 1, "type": "change-ns", "domain": 3, "provider": "dns.example"},
+	    {"at_sec": 1, "type": "non-conforming", "domain": 4},
+	    {"at_sec": 1, "type": "enable-v6", "domain": 5},
+	    {"at_sec": 1, "type": "prsd-target", "domain": 6}
+	  ]
+	}`
+	f, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(nil) // events fire without panicking
+	if sim.Universe.SLDs[4].NonConforming != true {
+		t.Error("non-conforming event not applied")
+	}
+	if sim.Universe.SLDs[0].ATTL != 30 {
+		t.Error("ttl event not applied")
+	}
+}

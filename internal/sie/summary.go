@@ -1,0 +1,184 @@
+package sie
+
+import (
+	"errors"
+	"net/netip"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+)
+
+// Summary is the "line of text" the preprocessing stage keeps per
+// transaction (paper §2.1): only the details that end up aggregated in
+// traffic statistics. Possibly sensitive EDNS0 data (cookies, client
+// subnet) is dropped here, and timestamps survive only as the computed
+// response delay — the privacy layers of §2.5.
+type Summary struct {
+	Resolver   netip.Addr // recursive resolver IP (srcip)
+	Nameserver netip.Addr // authoritative nameserver IP (srvip)
+	SensorID   uint32
+
+	QName string
+	QType dnswire.Type
+	QDots int // labels in QNAME
+
+	Answered bool
+	DelayMs  float64 // server response delay
+	Hops     int     // inferred network hops, from the response IP TTL
+	RespSize int     // response packet size in bytes (IP layer)
+	TCP      bool    // transaction ran over TCP/53
+	Trunc    bool    // response had the TC bit set (UDP size exceeded)
+
+	RCode         dnswire.RCode
+	AA            bool // authoritative answer
+	HasAnswerData bool // non-empty ANSWER section (ok_ans)
+	AuthorityNS   int  // NS records in AUTHORITY (ok_ns when > 0)
+	HasAdditional bool // non-empty ADDITIONAL, skipping OPT (ok_add)
+	AnswerCount   int  // records in ANSWER (lvl)
+	DNSSECOK      bool // query had EDNS0 DO set
+	HasRRSIG      bool // RRSIG present in answer/authority sections
+
+	V4Addrs []netip.Addr // A records in NoError answers
+	V6Addrs []netip.Addr // AAAA records in NoError answers
+
+	AnswerTTLs []uint32 // TTLs of ANSWER records
+	NSTTLs     []uint32 // TTLs of AUTHORITY NS records
+	NSNames    []string // NS targets in AUTHORITY (infrastructure changes)
+
+	SOAMinimum uint32 // negative-caching TTL from an AUTHORITY SOA
+	HasSOA     bool
+}
+
+// Errors returned by the summarizer.
+var (
+	ErrNotDNSPort = errors.New("sie: transaction not on UDP/53")
+	ErrIPMismatch = errors.New("sie: response addresses do not mirror query")
+)
+
+// Summarizer converts transactions to summaries, reusing parse buffers
+// so a steady-state ingest loop allocates only per-record data.
+type Summarizer struct {
+	qmsg, rmsg dnswire.Message
+	// KeepUnparsableResponses degrades a transaction with a malformed
+	// response to an unanswered one instead of failing, matching a
+	// tolerant production ingest path.
+	KeepUnparsableResponses bool
+}
+
+// Summarize parses tx into out. out is fully overwritten; its slices are
+// reused across calls.
+func (s *Summarizer) Summarize(tx *Transaction, out *Summary) error {
+	qpkt, qTCP, err := ipwire.DecodeAny(tx.QueryPacket)
+	if err != nil {
+		return err
+	}
+	if qpkt.DstPort != ipwire.DNSPort {
+		return ErrNotDNSPort
+	}
+	if err := s.qmsg.Unpack(qpkt.Payload); err != nil {
+		return err
+	}
+	q := s.qmsg.Question()
+
+	*out = Summary{
+		Resolver:   qpkt.Src,
+		Nameserver: qpkt.Dst,
+		SensorID:   tx.SensorID,
+		QName:      q.Name,
+		QType:      q.Type,
+		QDots:      dnswire.CountLabels(q.Name),
+		DNSSECOK:   s.qmsg.EDNSDo(),
+		TCP:        qTCP,
+		V4Addrs:    out.V4Addrs[:0],
+		V6Addrs:    out.V6Addrs[:0],
+		AnswerTTLs: out.AnswerTTLs[:0],
+		NSTTLs:     out.NSTTLs[:0],
+		NSNames:    out.NSNames[:0],
+	}
+
+	if !tx.Answered() {
+		return nil
+	}
+	rpkt, _, err := ipwire.DecodeAny(tx.ResponsePacket)
+	if err != nil {
+		if s.KeepUnparsableResponses {
+			return nil
+		}
+		return err
+	}
+	if rpkt.Src != qpkt.Dst || rpkt.Dst != qpkt.Src {
+		return ErrIPMismatch
+	}
+	if err := s.rmsg.Unpack(rpkt.Payload); err != nil {
+		if s.KeepUnparsableResponses {
+			return nil
+		}
+		return err
+	}
+
+	out.Answered = true
+	out.DelayMs = float64(tx.Delay().Microseconds()) / 1000
+	out.Hops = ipwire.InferHops(rpkt.TTL)
+	out.RespSize = len(tx.ResponsePacket)
+	out.RCode = s.rmsg.Flags.RCode
+	out.AA = s.rmsg.Flags.Authoritative
+	out.Trunc = s.rmsg.Flags.Truncated
+	out.AnswerCount = len(s.rmsg.Answers)
+	out.HasAnswerData = len(s.rmsg.Answers) > 0
+
+	for i := range s.rmsg.Answers {
+		rr := &s.rmsg.Answers[i]
+		out.AnswerTTLs = append(out.AnswerTTLs, rr.TTL)
+		switch d := rr.Data.(type) {
+		case dnswire.ARData:
+			out.V4Addrs = append(out.V4Addrs, d.Addr)
+		case dnswire.AAAARData:
+			out.V6Addrs = append(out.V6Addrs, d.Addr)
+		case dnswire.RRSIGRData:
+			out.HasRRSIG = true
+		}
+	}
+	for i := range s.rmsg.Authority {
+		rr := &s.rmsg.Authority[i]
+		switch d := rr.Data.(type) {
+		case dnswire.NSRData:
+			out.AuthorityNS++
+			out.NSTTLs = append(out.NSTTLs, rr.TTL)
+			out.NSNames = append(out.NSNames, d.NS)
+		case dnswire.SOARData:
+			out.HasSOA = true
+			out.SOAMinimum = d.Minimum
+			// RFC 2308: the negative-caching TTL is the lesser of the
+			// SOA minimum and the SOA record's own TTL.
+			if rr.TTL < out.SOAMinimum {
+				out.SOAMinimum = rr.TTL
+			}
+		case dnswire.RRSIGRData:
+			out.HasRRSIG = true
+		}
+	}
+	for i := range s.rmsg.Additional {
+		if s.rmsg.Additional[i].Type != dnswire.TypeOPT {
+			out.HasAdditional = true
+			break
+		}
+	}
+	return nil
+}
+
+// NoError+NoData classification helpers used by the feature extractor
+// and the Happy Eyeballs analysis.
+
+// OKData reports a NoError response carrying an answer or a delegation
+// ("NOERROR + data" in Fig. 2).
+func (sum *Summary) OKData() bool {
+	return sum.Answered && sum.RCode == dnswire.RCodeNoError &&
+		(sum.HasAnswerData || sum.AuthorityNS > 0)
+}
+
+// NoData reports a NoError response with neither answer nor delegation
+// (ok_nil, the NODATA case).
+func (sum *Summary) NoData() bool {
+	return sum.Answered && sum.RCode == dnswire.RCodeNoError &&
+		!sum.HasAnswerData && sum.AuthorityNS == 0
+}

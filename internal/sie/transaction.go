@@ -1,0 +1,158 @@
+package sie
+
+import (
+	"io"
+	"time"
+)
+
+// Transaction is one DNS query/response pair reconstructed by a sensor,
+// as submitted to the exchange: raw packets starting at the IP header,
+// with detailed timestamps (paper §2.1). ResponsePacket is empty when
+// the query went unanswered.
+type Transaction struct {
+	QueryPacket    []byte
+	ResponsePacket []byte
+	QueryTime      time.Time
+	ResponseTime   time.Time
+	SensorID       uint32 // the contributing SIE sensor (source)
+}
+
+// Answered reports whether a response was captured.
+func (tx *Transaction) Answered() bool { return len(tx.ResponsePacket) > 0 }
+
+// Delay returns the nameserver response delay, or 0 if unanswered.
+func (tx *Transaction) Delay() time.Duration {
+	if !tx.Answered() {
+		return 0
+	}
+	d := tx.ResponseTime.Sub(tx.QueryTime)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Field numbers of the transaction message.
+const (
+	fieldQueryPacket    = 1
+	fieldResponsePacket = 2
+	fieldQueryTimeNs    = 3
+	fieldResponseTimeNs = 4
+	fieldSensorID       = 5
+)
+
+// Append serializes tx in protobuf wire format.
+func (tx *Transaction) Append(dst []byte) []byte {
+	dst = appendBytesField(dst, fieldQueryPacket, tx.QueryPacket)
+	if len(tx.ResponsePacket) > 0 {
+		dst = appendBytesField(dst, fieldResponsePacket, tx.ResponsePacket)
+	}
+	dst = appendVarintField(dst, fieldQueryTimeNs, uint64(tx.QueryTime.UnixNano()))
+	if !tx.ResponseTime.IsZero() {
+		dst = appendVarintField(dst, fieldResponseTimeNs, uint64(tx.ResponseTime.UnixNano()))
+	}
+	dst = appendVarintField(dst, fieldSensorID, uint64(tx.SensorID))
+	return dst
+}
+
+// Unmarshal decodes a serialized transaction, replacing tx's contents.
+// Packet slices alias frame. Unknown fields are skipped, as in protobuf.
+func (tx *Transaction) Unmarshal(frame []byte) error {
+	*tx = Transaction{}
+	for off := 0; off < len(frame); {
+		tag, n, err := readUvarint(frame[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		field, wt := int(tag>>3), int(tag&7)
+		switch wt {
+		case wireVarint:
+			v, n, err := readUvarint(frame[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+			switch field {
+			case fieldQueryTimeNs:
+				tx.QueryTime = time.Unix(0, int64(v))
+			case fieldResponseTimeNs:
+				tx.ResponseTime = time.Unix(0, int64(v))
+			case fieldSensorID:
+				tx.SensorID = uint32(v)
+			}
+		case wireBytes:
+			l, n, err := readUvarint(frame[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+			if off+int(l) > len(frame) {
+				return ErrTruncatedFrame
+			}
+			b := frame[off : off+int(l)]
+			off += int(l)
+			switch field {
+			case fieldQueryPacket:
+				tx.QueryPacket = b
+			case fieldResponsePacket:
+				tx.ResponsePacket = b
+			}
+		default:
+			return ErrUnknownField
+		}
+	}
+	if len(tx.QueryPacket) == 0 {
+		return ErrTruncatedFrame
+	}
+	return nil
+}
+
+// Writer serializes transactions onto an io.Writer as framed messages.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+	n   uint64
+}
+
+// NewWriter returns a transaction writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write serializes and frames one transaction.
+func (tw *Writer) Write(tx *Transaction) error {
+	tw.buf = tx.Append(tw.buf[:0])
+	if err := WriteFrame(tw.w, tw.buf); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of transactions written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Reader deserializes framed transactions from an io.Reader.
+type Reader struct {
+	fr *FrameReader
+	n  uint64
+}
+
+// NewReader returns a transaction reader.
+func NewReader(r io.Reader) *Reader { return &Reader{fr: NewFrameReader(r)} }
+
+// Read decodes the next transaction into tx. Packet slices are valid
+// until the next Read. It returns io.EOF at a clean end of stream.
+func (tr *Reader) Read(tx *Transaction) error {
+	frame, err := tr.fr.Next()
+	if err != nil {
+		return err
+	}
+	if err := tx.Unmarshal(frame); err != nil {
+		return err
+	}
+	tr.n++
+	return nil
+}
+
+// Count returns the number of transactions read.
+func (tr *Reader) Count() uint64 { return tr.n }

@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Scheduled infrastructure events, the ground truth behind the paper's
+// §4 (TTL dynamics, Table 4 change classes) and §5.3 (IPv6 enablement).
+
+// TTLChangeEvent changes an SLD's answer TTL at time at — the Fig. 7
+// scenario (xmsecu.com slashing 600 s to 10 s) is one of these.
+func TTLChangeEvent(at float64, sldName string, newTTL uint32) Event {
+	return Event{At: at, Apply: func(s *Sim) {
+		if z := s.Universe.Lookup(sldName); z != nil {
+			z.ATTL = newTTL
+		}
+	}}
+}
+
+// NegTTLChangeEvent changes an SLD's negative-caching TTL.
+func NegTTLChangeEvent(at float64, sldName string, newTTL uint32) Event {
+	return Event{At: at, Apply: func(s *Sim) {
+		if z := s.Universe.Lookup(sldName); z != nil {
+			z.NegTTL = newTTL
+		}
+	}}
+}
+
+// RenumberEvent moves an SLD's address block (all its FQDNs change A
+// records), bumping the zone serial and setting a new answer TTL — the
+// Table 4 "Renumbering" class, where e.g. ns2.oh-isp.com moved into a
+// cloud and its TTL rose from 600 to 38400.
+func RenumberEvent(at float64, sldName string, newBase netip.Addr, newTTL uint32) Event {
+	return Event{At: at, Apply: func(s *Sim) {
+		if z := s.Universe.Lookup(sldName); z != nil {
+			z.V4Base = newBase
+			z.ATTL = newTTL
+			z.Serial++
+		}
+	}}
+}
+
+// NSChangeEvent switches an SLD to a new DNS provider: fresh NS names
+// on fresh servers, after the operator slashed TTLs (Table 4 "Change
+// NS": f1g1ns1.dnspod.net → ns3.dnsv2.com with TTL 600→10).
+func NSChangeEvent(at float64, sldName string, provider string) Event {
+	return Event{At: at, Apply: func(s *Sim) {
+		z := s.Universe.Lookup(sldName)
+		if z == nil {
+			return
+		}
+		org := s.Infra.PickHostingOrg()
+		var servers []*Server
+		var names []string
+		for i := 0; i < len(z.NS); i++ {
+			servers = append(servers, s.Infra.NewServer(org, 500+i))
+			names = append(names, fmt.Sprintf("ns%d.%s.", i+3, provider))
+		}
+		z.NS = servers
+		z.NSNames = names
+		z.Org = org
+		z.Serial++
+	}}
+}
+
+// NonConformingEvent marks an SLD's servers as returning a different
+// TTL on every response — Table 4's largest class.
+func NonConformingEvent(at float64, sldName string) Event {
+	return Event{At: at, Apply: func(s *Sim) {
+		if z := s.Universe.Lookup(sldName); z != nil {
+			z.NonConforming = true
+		}
+	}}
+}
+
+// V6EnableEvent turns on AAAA data for every FQDN of an SLD (§5.3: 10
+// FQDNs added IPv6 during April 2019).
+func V6EnableEvent(at float64, sldName string) Event {
+	return Event{At: at, Apply: func(s *Sim) {
+		if z := s.Universe.Lookup(sldName); z != nil {
+			z.IPv6 = true
+			for _, f := range z.FQDNs {
+				f.V6Override = 1
+			}
+		}
+	}}
+}
+
+// PRSDTargetEvent adds an SLD to the PRSD attack target set, used by
+// the Fig. 8 analysis to reproduce the "TTL up yet queries up" outliers
+// (query-rate increases that are NXDOMAIN-driven).
+func PRSDTargetEvent(at float64, sldName string) Event {
+	return Event{At: at, Apply: func(s *Sim) {
+		if z := s.Universe.Lookup(sldName); z != nil {
+			s.prsdTargets = append(s.prsdTargets, z)
+		}
+	}}
+}

@@ -1,0 +1,345 @@
+// Package simnet synthesizes the Internet that DNS Observatory watches:
+// a domain universe with Zipf popularity, an authoritative nameserver
+// population owned by realistic organizations (with per-org delay, hop
+// and anycast profiles), recursive resolvers with RFC 2308 caches,
+// Happy-Eyeballs clients, a DGA botnet, PRSD attacks, and scheduled
+// infrastructure events (TTL changes, renumbering, IPv6 enablement).
+//
+// It replaces the paper's proprietary Farsight SIE feed: the output is
+// the same stream of cache-miss resolver↔nameserver transactions, as
+// raw IP/UDP/DNS packets with timestamps, so every downstream Observatory
+// code path runs unchanged (see DESIGN.md, "Substitutions").
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+
+	"dnsobservatory/internal/routing"
+)
+
+// OrgProfile describes one hosting / DNS organization, calibrated against
+// Table 1 of the paper.
+type OrgProfile struct {
+	Name        string  // organization handle (org name after extraction)
+	ASNs        int     // how many ASes announce its prefixes
+	HostShare   float64 // share of SLD hosting popularity mass
+	Servers     int     // nameserver IP count at scale 1.0
+	MeanDelayMs float64 // mean response delay
+	MeanHops    float64 // mean router hops from resolvers
+	Anycast     bool    // few IPs, many locations (CLOUDFLARE-style)
+}
+
+// DefaultOrgs mirrors Table 1. VERISIGN and PCH host TLD infrastructure
+// rather than SLDs, so their HostShare is zero — their traffic share
+// emerges from TLD referral volume instead.
+func DefaultOrgs() []OrgProfile {
+	return []OrgProfile{
+		{Name: "AMAZON", ASNs: 3, HostShare: 0.16, Servers: 5026, MeanDelayMs: 60.9, MeanHops: 12.0},
+		{Name: "VERISIGN", ASNs: 7, HostShare: 0, Servers: 62, MeanDelayMs: 53.5, MeanHops: 9.6},
+		{Name: "CLOUDFLARE", ASNs: 2, HostShare: 0.066, Servers: 995, MeanDelayMs: 26.5, MeanHops: 6.6, Anycast: true},
+		{Name: "AKAMAI", ASNs: 6, HostShare: 0.064, Servers: 6844, MeanDelayMs: 14.9, MeanHops: 7.3},
+		{Name: "MICROSOFT", ASNs: 5, HostShare: 0.027, Servers: 475, MeanDelayMs: 74.8, MeanHops: 13.5},
+		{Name: "PCH", ASNs: 2, HostShare: 0, Servers: 178, MeanDelayMs: 29.9, MeanHops: 7.2, Anycast: true},
+		{Name: "ULTRADNS", ASNs: 1, HostShare: 0.023, Servers: 925, MeanDelayMs: 24.6, MeanHops: 8.2, Anycast: true},
+		{Name: "GOOGLE", ASNs: 1, HostShare: 0.021, Servers: 243, MeanDelayMs: 89.9, MeanHops: 13.3},
+		{Name: "DYNDNS", ASNs: 1, HostShare: 0.018, Servers: 598, MeanDelayMs: 56.0, MeanHops: 10.5},
+		{Name: "GODADDY", ASNs: 2, HostShare: 0.012, Servers: 372, MeanDelayMs: 63.0, MeanHops: 11.0},
+	}
+}
+
+// tailOrgCount is how many small long-tail hosting organizations exist
+// beyond the named ones; together they absorb the remaining popularity.
+const tailOrgCount = 400
+
+// Org is an instantiated organization.
+type Org struct {
+	OrgProfile
+	asns     []uint32
+	prefixes []netip.Prefix
+}
+
+// Server is one authoritative nameserver IP.
+type Server struct {
+	Addr        netip.Addr
+	Addr6       netip.Addr // zero when the server is v4-only
+	Org         *Org
+	BaseDelayMs float64 // median response delay of this server
+	Hops        int     // router distance from the resolver population
+	Impaired    bool    // >350 ms class of Fig. 3a
+}
+
+// Infra is the instantiated server-side Internet: organizations, their
+// prefixes and the routing table, plus root and gTLD server sets.
+type Infra struct {
+	Orgs    []*Org
+	Tail    []*Org // long-tail hosting orgs
+	Routing *routing.Table
+
+	// Root and TLD infrastructure: 13 lettered servers each, per the
+	// paper's Fig. 3 (anycast IPv4 addresses).
+	RootServers []*Server
+	GTLDServers []*Server // com/net registry (VERISIGN)
+	CCTLDByTLD  map[string]*Server
+
+	rng     *rand.Rand
+	nextASN uint32
+	// next /16 block per org for address allocation.
+	nextBlock int
+	// hierarchy indexes root and TLD server addresses.
+	hierarchy map[netip.Addr]bool
+}
+
+// letterDelays approximate Fig. 3c/d medians: root letters vary widely
+// with E, F, L fastest; gTLD letters form consistent groups with B
+// fastest.
+var rootLetterDelay = [13]float64{32, 68, 47, 42, 14, 12, 95, 52, 36, 41, 57, 11, 118}
+var gtldLetterDelay = [13]float64{28, 9, 24, 24, 38, 38, 41, 26, 30, 45, 46, 33, 35}
+
+// newInfra builds organizations, address space and TLD infrastructure.
+// serverScale scales per-org server counts (1.0 = paper scale).
+func newInfra(rng *rand.Rand, serverScale float64) *Infra {
+	inf := &Infra{
+		Routing:    &routing.Table{},
+		CCTLDByTLD: map[string]*Server{},
+		rng:        rng,
+		nextASN:    64500,
+		hierarchy:  map[netip.Addr]bool{},
+	}
+	for _, p := range DefaultOrgs() {
+		inf.Orgs = append(inf.Orgs, inf.newOrg(p))
+	}
+	for i := 0; i < tailOrgCount; i++ {
+		inf.Tail = append(inf.Tail, inf.newOrg(OrgProfile{
+			Name:        fmt.Sprintf("HOSTER%03d", i),
+			ASNs:        1,
+			Servers:     8,
+			MeanDelayMs: inf.tailDelay(),
+			MeanHops:    0, // derived from delay below
+		}))
+	}
+	_ = serverScale
+	inf.buildRoots()
+	inf.buildGTLD()
+	return inf
+}
+
+// tailDelay draws a long-tail org's mean delay matching the Fig. 3a
+// sections: 3.1 % colocated (0–5 ms), 22.3 % regional (5–35 ms), 71.5 %
+// distant (35–350 ms), 2.3 % impaired (>350 ms).
+func (inf *Infra) tailDelay() float64 {
+	u := inf.rng.Float64()
+	switch {
+	case u < 0.031:
+		return 1 + inf.rng.Float64()*4
+	case u < 0.031+0.223:
+		return 5 + inf.rng.Float64()*30
+	case u < 0.031+0.223+0.715:
+		// Log-uniform across 35–350 ms.
+		return 35 * math.Exp(inf.rng.Float64()*math.Log(10))
+	default:
+		return 350 + inf.rng.Float64()*650
+	}
+}
+
+// newOrg allocates ASNs, prefixes and routing entries for a profile.
+func (inf *Infra) newOrg(p OrgProfile) *Org {
+	o := &Org{OrgProfile: p}
+	for i := 0; i < p.ASNs; i++ {
+		asn := inf.nextASN
+		inf.nextASN++
+		o.asns = append(o.asns, asn)
+		if i == 0 {
+			inf.Routing.SetASName(asn, fmt.Sprintf("%s - %s Inc., US", p.Name, p.Name))
+		} else {
+			inf.Routing.SetASName(asn, fmt.Sprintf("%s-%02d - %s Inc., US", p.Name, i+1, p.Name))
+		}
+		// One /16 per ASN, carved from 10.0.0.0/8-style space spread over
+		// distinct /8s so the Hilbert heatmap shows dispersion.
+		block := inf.nextBlock
+		inf.nextBlock++
+		a := byte(13 + block/200)
+		b := byte(block % 200)
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{a, b, 0, 0}), 16)
+		o.prefixes = append(o.prefixes, pfx)
+		inf.Routing.Add(pfx, asn)
+	}
+	return o
+}
+
+// serverGroupPattern clusters consecutive server indices into shared
+// /24 prefixes: five singletons, two pairs, one triple per cycle of
+// twelve, approximating the paper's observed /24 density (48 % of
+// prefixes hold one nameserver address, 24 % two, 7.7 % three).
+var serverGroupPattern = []struct{ group, offset int }{
+	{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0},
+	{5, 0}, {5, 1},
+	{6, 0}, {6, 1},
+	{7, 0}, {7, 1}, {7, 2},
+}
+
+// NewServer mints a nameserver inside one of org's prefixes. Anycast
+// orgs concentrate many logical servers on few addresses, so callers
+// should mint fewer addresses for them.
+func (inf *Infra) NewServer(o *Org, index int) *Server {
+	pfx := o.prefixes[index%len(o.prefixes)]
+	base := pfx.Addr().As4()
+	// Spread across the /16 in clustered /24 groups.
+	n := index / len(o.prefixes)
+	cycle, pos := n/len(serverGroupPattern), n%len(serverGroupPattern)
+	p24 := cycle*8 + serverGroupPattern[pos].group
+	base[2] = byte((p24 * 13) % 250)
+	base[3] = byte(1 + serverGroupPattern[pos].offset*17 + (p24*5)%60)
+	delay := o.MeanDelayMs
+	if delay <= 0 {
+		delay = inf.tailDelay()
+	}
+	// Per-server spread around the org mean (lognormal, sigma 0.35).
+	delay *= math.Exp(inf.rng.NormFloat64() * 0.35)
+	if delay < 0.3 {
+		delay = 0.3
+	}
+	hops := o.MeanHops
+	if hops <= 0 {
+		hops = hopsForDelay(delay)
+	}
+	h := int(hops + inf.rng.NormFloat64()*1.5 + 0.5)
+	if h < 1 {
+		h = 1
+	}
+	if h > 30 {
+		h = 30
+	}
+	srv := &Server{
+		Addr:        netip.AddrFrom4(base),
+		Org:         o,
+		BaseDelayMs: delay,
+		Hops:        h,
+		Impaired:    delay > 350,
+	}
+	// A quarter of the fleet also answers on an IPv6 address (the
+	// paper's srvip top list mixes IPv4 and IPv6 nameservers).
+	if inf.rng.Float64() < 0.25 {
+		a16 := [16]byte{0x20, 0x01, 0x0d, 0xb8, 0x00, 0xa0}
+		copy(a16[12:], base[:])
+		srv.Addr6 = netip.AddrFrom16(a16)
+	}
+	return srv
+}
+
+// hopsForDelay maps a delay class to a plausible router distance,
+// encoding the paper's observed delay–hops correlation.
+func hopsForDelay(d float64) float64 {
+	switch {
+	case d < 5:
+		return 3
+	case d < 35:
+		return 7
+	case d < 150:
+		return 11
+	case d < 350:
+		return 14
+	default:
+		return 17
+	}
+}
+
+// buildRoots mints the 13 lettered root servers, spread across operators
+// (PCH-style anycast for the fast letters, distinct orgs otherwise).
+func (inf *Infra) buildRoots() {
+	for i := 0; i < 13; i++ {
+		o := inf.Tail[i] // 13 distinct root operators from the tail pool
+		s := inf.NewServer(o, 0)
+		s.BaseDelayMs = rootLetterDelay[i] * math.Exp(inf.rng.NormFloat64()*0.05)
+		s.Hops = int(hopsForDelay(s.BaseDelayMs))
+		// Canonical addresses so experiments can label letters.
+		s.Addr = netip.AddrFrom4([4]byte{198, 41, byte(i), 4})
+		inf.RootServers = append(inf.RootServers, s)
+		inf.hierarchy[s.Addr] = true
+		if s.Addr6.IsValid() {
+			inf.hierarchy[s.Addr6] = true
+		}
+		inf.Routing.Add(netip.PrefixFrom(s.Addr, 24), o.asns[0])
+	}
+}
+
+// buildGTLD mints the 13 lettered com/net registry servers (VERISIGN).
+func (inf *Infra) buildGTLD() {
+	verisign := inf.orgByName("VERISIGN")
+	for i := 0; i < 13; i++ {
+		s := inf.NewServer(verisign, i)
+		s.BaseDelayMs = gtldLetterDelay[i] * math.Exp(inf.rng.NormFloat64()*0.05)
+		s.Hops = int(hopsForDelay(s.BaseDelayMs))
+		s.Addr = netip.AddrFrom4([4]byte{192, 5 + byte(i), 6, 30})
+		inf.GTLDServers = append(inf.GTLDServers, s)
+		inf.hierarchy[s.Addr] = true
+		if s.Addr6.IsValid() {
+			inf.hierarchy[s.Addr6] = true
+		}
+		inf.Routing.Add(netip.PrefixFrom(s.Addr, 24), verisign.asns[i%len(verisign.asns)])
+	}
+}
+
+// CCTLDServer returns (minting on first use) the authoritative server
+// for a ccTLD or non-com/net gTLD; these run on PCH-style anycast.
+func (inf *Infra) CCTLDServer(tld string) *Server {
+	if s, ok := inf.CCTLDByTLD[tld]; ok {
+		return s
+	}
+	pch := inf.orgByName("PCH")
+	s := inf.NewServer(pch, len(inf.CCTLDByTLD))
+	inf.CCTLDByTLD[tld] = s
+	inf.hierarchy[s.Addr] = true
+	if s.Addr6.IsValid() {
+		inf.hierarchy[s.Addr6] = true
+	}
+	return s
+}
+
+// orgByName finds a named organization.
+func (inf *Infra) orgByName(name string) *Org {
+	for _, o := range inf.Orgs {
+		if o.Name == name {
+			return o
+		}
+	}
+	panic("simnet: unknown org " + name)
+}
+
+// PickHostingOrg draws a hosting organization for an SLD according to
+// the Table 1 popularity shares, with the remainder going to the long
+// tail.
+func (inf *Infra) PickHostingOrg() *Org {
+	u := inf.rng.Float64()
+	var cum float64
+	for _, o := range inf.Orgs {
+		cum += o.HostShare
+		if u < cum {
+			return o
+		}
+	}
+	return inf.Tail[inf.rng.Intn(len(inf.Tail))]
+}
+
+// PickHostingOrgRanked weights hosting by domain popularity: the head
+// of the popularity distribution lives mostly on the big CDN / cloud
+// providers (Table 1's named organizations), the tail on small hosters.
+func (inf *Infra) PickHostingOrgRanked(rank, total int) *Org {
+	if rank >= total/10 || inf.rng.Float64() >= 0.55 {
+		return inf.PickHostingOrg()
+	}
+	var sum float64
+	for _, o := range inf.Orgs {
+		sum += o.HostShare
+	}
+	u := inf.rng.Float64() * sum
+	for _, o := range inf.Orgs {
+		u -= o.HostShare
+		if u < 0 {
+			return o
+		}
+	}
+	return inf.Orgs[0]
+}

@@ -1,0 +1,1043 @@
+package simnet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"dnsobservatory/internal/dnssec"
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/sie"
+)
+
+// WorkloadMix weights the client-side query classes. Values are relative
+// weights, not required to sum to 1.
+type WorkloadMix struct {
+	Forward float64 // web lookups: A, plus AAAA from Happy Eyeballs clients
+	Botnet  float64 // Mylobot-style DGA: unique <rand>.com A queries
+	PRSD    float64 // pseudo-random subdomain attack: NS/<rand>.victim
+	Junk    float64 // queries for nonexistent TLDs (root NXDOMAIN)
+	PTR     float64 // reverse DNS
+	TXT     float64 // anti-virus style TXT protocols (deep names, TTL 5)
+	MX      float64
+	SRV     float64
+	CNAME   float64
+	SOA     float64
+	DS      float64
+	NS      float64 // legitimate NS queries
+	Rare    float64 // one-off lookups of never-seen domains on fresh servers
+}
+
+// DefaultMix approximates the QTYPE shares of Table 2 after caching.
+func DefaultMix() WorkloadMix {
+	return WorkloadMix{
+		Forward: 0.600,
+		Botnet:  0.015,
+		PRSD:    0.018,
+		Junk:    0.030,
+		PTR:     0.065,
+		TXT:     0.014,
+		MX:      0.012,
+		SRV:     0.011,
+		CNAME:   0.010,
+		SOA:     0.005,
+		DS:      0.005,
+		NS:      0.006,
+		Rare:    0.004,
+	}
+}
+
+// Event is a scheduled infrastructure change.
+type Event struct {
+	At    float64 // seconds from simulation start
+	Apply func(*Sim)
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	Seed     int64
+	Start    time.Time
+	Duration float64 // simulated seconds
+	QPS      float64 // client query events per second (pre-cache)
+
+	Resolvers     int
+	Sensors       int
+	QMinResolvers int
+
+	SLDs          int
+	ServerScale   float64 // scales per-org nameserver counts
+	V6ServerShare float64 // share of SLDs serving AAAA
+	HEShare       float64 // share of forward lookups from dual-stack (Happy Eyeballs) clients
+
+	Mix    WorkloadMix
+	Events []Event
+
+	// UnansweredBase is the per-transaction drop probability for healthy
+	// servers; impaired servers use 15x this.
+	UnansweredBase float64
+
+	// ColdCaches starts every resolver empty. By default caches are
+	// prewarmed with TLD and SLD delegations carrying uniformly random
+	// residual lifetimes — production resolvers have been up for weeks,
+	// and a cold start floods the TLD infrastructure with one-off
+	// delegation fetches that the paper's steady-state feed never shows.
+	ColdCaches bool
+
+	// DelegCacheSec is how long a resolver effectively retains an SLD
+	// delegation. Real NS TTLs are 172800 s, but production caches evict
+	// under memory pressure long before that; this knob sets the
+	// effective residency and thereby the gTLD refresh-traffic share
+	// (the paper observes gTLDs at 9.6 % of transactions, 26.4 % NXD).
+	DelegCacheSec uint32
+}
+
+// DefaultConfig is a laptop-scale scenario that preserves the paper's
+// distributional shapes.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Start:          time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		Duration:       600,
+		QPS:            2000,
+		Resolvers:      200,
+		Sensors:        40,
+		QMinResolvers:  3,
+		SLDs:           4000,
+		ServerScale:    0.02,
+		V6ServerShare:  0.30,
+		HEShare:        0.35,
+		Mix:            DefaultMix(),
+		UnansweredBase: 0.01,
+		DelegCacheSec:  1800,
+	}
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	ClientQueries uint64 // client-side events
+	CacheHits     uint64 // answered from resolver caches (no transaction)
+	Transactions  uint64 // emitted resolver↔nameserver transactions
+	Truncated     uint64 // oversize responses truncated over UDP
+	TCPRetries    uint64 // TCP/53 retries following truncation
+}
+
+// Sim is an instantiated scenario. Create with New, run with Run.
+type Sim struct {
+	cfg       Config
+	rng       *rand.Rand
+	Infra     *Infra
+	Universe  *Universe
+	Resolvers []*Resolver
+	AVZones   []*SLD // anti-virus TXT domains
+
+	mixCum  []float64
+	mixFns  []func(*Sim, *Resolver, float64)
+	events  []Event
+	nextEvt int
+
+	emit  func(*sie.Transaction)
+	stats Stats
+
+	// prsdTargets, when set by PRSDTargetEvent, focus attack traffic.
+	prsdTargets []*SLD
+	// rareMinted counts the ephemeral domains created by doRare.
+	rareMinted int
+	// registryKeys holds per-TLD registry signing keys (DS RRsets are
+	// signed by the parent zone).
+	registryKeys map[string]*dnssec.Key
+
+	// Scratch buffers reused across transactions; emitted transactions
+	// are valid only during the emit callback.
+	qbuf, rbuf  []byte
+	pbuf, pbuf2 []byte
+	tx          sie.Transaction
+}
+
+// New instantiates the scenario.
+func New(cfg Config) *Sim {
+	if cfg.QPS <= 0 || cfg.Resolvers <= 0 || cfg.SLDs <= 0 {
+		panic("simnet: QPS, Resolvers and SLDs must be positive")
+	}
+	if cfg.ServerScale <= 0 {
+		cfg.ServerScale = 0.02
+	}
+	if cfg.Sensors <= 0 {
+		cfg.Sensors = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Sim{cfg: cfg, rng: rng}
+	s.Infra = newInfra(rng, cfg.ServerScale)
+	s.Universe = newUniverse(rng, s.Infra, cfg.SLDs, cfg.ServerScale, cfg.V6ServerShare)
+	s.Resolvers = newResolverPool(rng, cfg.Resolvers, cfg.Sensors, cfg.QMinResolvers)
+	s.buildAVZones()
+
+	mix := cfg.Mix
+	weights := []float64{mix.Forward, mix.Botnet, mix.PRSD, mix.Junk, mix.PTR,
+		mix.TXT, mix.MX, mix.SRV, mix.CNAME, mix.SOA, mix.DS, mix.NS, mix.Rare}
+	s.mixFns = []func(*Sim, *Resolver, float64){
+		(*Sim).doForward, (*Sim).doBotnet, (*Sim).doPRSD, (*Sim).doJunk, (*Sim).doPTR,
+		(*Sim).doTXT, (*Sim).doMX, (*Sim).doSRV, (*Sim).doCNAME, (*Sim).doSOA,
+		(*Sim).doDS, (*Sim).doNS, (*Sim).doRare,
+	}
+	s.mixCum = cumWeights(len(weights), func(i int) float64 { return weights[i] })
+	s.events = append(s.events, cfg.Events...)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
+	if !cfg.ColdCaches {
+		s.prewarm()
+	}
+	return s
+}
+
+// prewarm seeds every resolver's delegation cache with residual
+// lifetimes drawn uniformly over the delegation TTL, so refresh traffic
+// is steady from the first simulated second.
+func (s *Sim) prewarm() {
+	const delegTTL = 172800
+	tldSet := map[string]bool{}
+	for _, t := range tldWeights {
+		// ensureTLD keys on the last label ("uk." for co.uk zones).
+		tldSet[dnswire.TLD(t.suffix)] = true
+	}
+	for _, z := range s.Universe.PTRZones {
+		tldSet[dnswire.TLD(z.Name)] = true
+	}
+	tlds := make([]string, 0, len(tldSet))
+	for t := range tldSet {
+		tlds = append(tlds, t)
+	}
+	sort.Strings(tlds) // deterministic rng consumption
+	for _, r := range s.Resolvers {
+		for _, t := range tlds {
+			r.store("d|"+t, uint32(1+s.rng.Intn(delegTTL)), 0, false)
+		}
+		sldTTL := int(s.delegCacheSec())
+		for _, z := range s.Universe.SLDs {
+			r.store("d|"+z.Name, uint32(1+s.rng.Intn(sldTTL)), 0, false)
+		}
+		for _, z := range s.Universe.PTRZones {
+			r.store("d|"+z.Name, uint32(1+s.rng.Intn(sldTTL)), 0, false)
+		}
+		for _, z := range s.AVZones {
+			r.store("d|"+z.Name, uint32(1+s.rng.Intn(sldTTL)), 0, false)
+		}
+	}
+}
+
+// buildAVZones mints the anti-virus TXT service domains: distant servers
+// (hops ~10), TTL 5, deep unique query names.
+func (s *Sim) buildAVZones() {
+	for i := 0; i < 4; i++ {
+		org := s.Infra.Tail[(37+i*11)%len(s.Infra.Tail)]
+		srv := s.Infra.NewServer(org, 100+i)
+		srv.BaseDelayMs = 38 + s.rng.Float64()*8
+		srv.Hops = 10
+		z := &SLD{
+			Name:    fmt.Sprintf("avcheck%d.com.", i),
+			Org:     org,
+			Weight:  1,
+			ATTL:    5,
+			NSTTL:   86400,
+			NegTTL:  5,
+			NS:      []*Server{srv},
+			NSNames: []string{fmt.Sprintf("ns1.avcheck%d.com.", i)},
+		}
+		s.AVZones = append(s.AVZones, z)
+		s.Universe.byName[z.Name] = z
+	}
+}
+
+// Schedule adds an event to an instantiated scenario. It must be called
+// before Run.
+func (s *Sim) Schedule(ev Event) {
+	s.events = append(s.events, ev)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
+}
+
+// Run generates cfg.Duration seconds of traffic, invoking emit for every
+// transaction. The *sie.Transaction (and its packet slices) is reused:
+// consume it synchronously.
+func (s *Sim) Run(emit func(*sie.Transaction)) Stats {
+	s.emit = emit
+	var carry float64
+	gcAt := 3600.0
+	for sec := 0.0; sec < s.cfg.Duration; sec++ {
+		for s.nextEvt < len(s.events) && s.events[s.nextEvt].At <= sec {
+			s.events[s.nextEvt].Apply(s)
+			s.nextEvt++
+		}
+		carry += s.cfg.QPS
+		n := int(carry)
+		carry -= float64(n)
+		// Sorted event offsets keep transaction times roughly monotone.
+		offs := make([]float64, n)
+		for i := range offs {
+			offs[i] = s.rng.Float64()
+		}
+		sort.Float64s(offs)
+		for _, off := range offs {
+			s.stats.ClientQueries++
+			t := sec + off
+			r := s.Resolvers[s.rng.Intn(len(s.Resolvers))]
+			cls := sampleCum(s.rng, s.mixCum)
+			s.mixFns[cls](s, r, t)
+		}
+		if sec >= gcAt {
+			for _, r := range s.Resolvers {
+				r.gc(sec)
+			}
+			gcAt += 3600
+		}
+	}
+	return s.stats
+}
+
+// Stats returns the running statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// ---- workload classes ----
+
+func (s *Sim) doForward(r *Resolver, t float64) {
+	sld := s.Universe.PickSLD()
+	f := sld.PickFQDN(s.rng)
+	t = s.lookup(r, t, f.Name, dnswire.TypeA, sld, f, true)
+	if s.rng.Float64() < s.cfg.HEShare {
+		// Happy Eyeballs: the dual-stack client asks for AAAA as well.
+		s.lookup(r, t+0.001, f.Name, dnswire.TypeAAAA, sld, f, true)
+	}
+}
+
+func (s *Sim) doBotnet(r *Resolver, t float64) {
+	// DGA: unique SLD under .com; NXDOMAIN at the gTLD servers.
+	name := fmt.Sprintf("%s.com.", s.randLabel(14))
+	s.lookup(r, t, name, dnswire.TypeA, nil, nil, false)
+}
+
+func (s *Sim) doPRSD(r *Resolver, t float64) {
+	// Random-subdomain attack against a popular (often signed) SLD.
+	var sld *SLD
+	if len(s.prsdTargets) > 0 {
+		sld = s.prsdTargets[s.rng.Intn(len(s.prsdTargets))]
+	} else {
+		sld = s.Universe.PickSLD()
+	}
+	name := s.randLabel(10) + "." + sld.Name
+	s.lookup(r, t, name, dnswire.TypeNS, sld, nil, false)
+}
+
+func (s *Sim) doJunk(r *Resolver, t float64) {
+	// Nonexistent TLD: chromium-style probes and leaked local names.
+	junk := []string{"local.", "lan.", "home.", "corp.", "internal.", s.randLabel(8) + "."}
+	name := junk[s.rng.Intn(len(junk))]
+	if s.rng.Float64() < 0.5 {
+		name = s.randLabel(6) + "." + name
+	}
+	s.lookupJunk(r, t, name, dnswire.TypeA)
+}
+
+func (s *Sim) doPTR(r *Resolver, t float64) {
+	if s.Universe.ptrCum == nil {
+		s.Universe.ptrCum = cumWeights(len(s.Universe.PTRZones),
+			func(i int) float64 { return s.Universe.PTRZones[i].Weight })
+	}
+	z := s.Universe.PTRZones[sampleCum(s.rng, s.Universe.ptrCum)]
+	// x.y.<zone>: two host octet labels, 6 labels total.
+	name := fmt.Sprintf("%d.%d.%s", s.rng.Intn(256), s.rng.Intn(256), z.Name)
+	exists := s.rng.Float64() < 0.56
+	var f *FQDN
+	if exists {
+		f = &FQDN{Name: name, SLD: z, V6Override: 0}
+	}
+	s.lookup(r, t, name, dnswire.TypePTR, z, f, exists)
+}
+
+func (s *Sim) doTXT(r *Resolver, t float64) {
+	z := s.AVZones[s.rng.Intn(len(s.AVZones))]
+	// Deep, mostly unique names: hash-chunk labels (custom protocol).
+	name := fmt.Sprintf("%s.%s.%s.%s", s.randLabel(8), s.randLabel(8), s.randLabel(4), z.Name)
+	f := &FQDN{Name: name, SLD: z, V6Override: 0}
+	s.lookup(r, t, name, dnswire.TypeTXT, z, f, true)
+}
+
+func (s *Sim) doMX(r *Resolver, t float64) {
+	sld := s.Universe.PickSLD()
+	s.lookup(r, t, sld.Name, dnswire.TypeMX, sld, sld.FQDNs[len(sld.FQDNs)-1], true)
+}
+
+func (s *Sim) doSRV(r *Resolver, t float64) {
+	sld := s.Universe.PickSLD()
+	svc := []string{"_sip._udp.", "_ldap._tcp.", "_xmpp-client._tcp.", "_autodiscover._tcp."}
+	name := svc[s.rng.Intn(len(svc))] + sld.Name
+	exists := s.rng.Float64() < 0.25
+	var f *FQDN
+	if exists {
+		f = &FQDN{Name: name, SLD: sld, V6Override: 0}
+	}
+	s.lookup(r, t, name, dnswire.TypeSRV, sld, f, exists)
+}
+
+func (s *Sim) doCNAME(r *Resolver, t float64) {
+	sld := s.Universe.PickSLD()
+	exists := s.rng.Float64() < 0.35
+	var name string
+	var f *FQDN
+	if exists {
+		f = sld.PickFQDN(s.rng)
+		name = f.Name
+	} else {
+		name = s.randLabel(8) + "." + sld.Name
+	}
+	s.lookup(r, t, name, dnswire.TypeCNAME, sld, f, exists)
+}
+
+func (s *Sim) doSOA(r *Resolver, t float64) {
+	sld := s.Universe.PickSLD()
+	exists := s.rng.Float64() < 0.5
+	name := sld.Name
+	if !exists {
+		name = s.randLabel(6) + "." + sld.Name
+	}
+	var f *FQDN
+	if exists {
+		f = sld.FQDNs[len(sld.FQDNs)-1]
+	}
+	s.lookup(r, t, name, dnswire.TypeSOA, sld, f, exists)
+}
+
+func (s *Sim) doNS(r *Resolver, t float64) {
+	sld := s.Universe.PickSLD()
+	s.lookup(r, t, sld.Name, dnswire.TypeNS, sld, sld.FQDNs[len(sld.FQDNs)-1], true)
+}
+
+// doRare looks up a never-before-seen domain hosted on freshly minted
+// tail servers — the long tail of 1.5 M nameserver IPs the paper keeps
+// discovering for days (Fig. 5) and the sparse /24 population of Fig. 6.
+func (s *Sim) doRare(r *Resolver, t float64) {
+	u := s.Universe
+	i := len(u.SLDs) + s.rareMinted
+	s.rareMinted++
+	// Cycle through the tail orgs so successive mints within one org get
+	// consecutive allocation indices — that is what clusters some rare
+	// servers into shared /24s (Fig. 6's 2- and 3-address prefixes).
+	orgIdx := s.rareMinted % len(s.Infra.Tail)
+	org := s.Infra.Tail[orgIdx]
+	srv := s.Infra.NewServer(org, 1000+s.rareMinted/len(s.Infra.Tail))
+	name := fmt.Sprintf("%s%d.%s.", s.randLabel(7), i, u.pickTLD())
+	z := &SLD{
+		Name:    name,
+		Org:     org,
+		ATTL:    3600,
+		NSTTL:   86400,
+		NegTTL:  3600,
+		Serial:  1,
+		NS:      []*Server{srv},
+		NSNames: []string{"ns1." + name},
+		V4Base:  netip.AddrFrom4([4]byte{203, byte(i / 250 % 250), byte(i % 250), 10}),
+		V6Base:  netip.MustParseAddr("2001:db8:ffff::1"),
+	}
+	z.FQDNs = []*FQDN{{Name: "www." + name, SLD: z, Weight: 1, V6Override: 0}}
+	z.buildCum()
+	u.byName[name] = z
+	s.lookup(r, t, z.FQDNs[0].Name, dnswire.TypeA, z, z.FQDNs[0], true)
+}
+
+func (s *Sim) doDS(r *Resolver, t float64) {
+	// DS lives in the parent zone: the TLD registry answers.
+	sld := s.Universe.PickSLD()
+	t = s.ensureTLD(r, t, sld.Name, dnswire.TypeDS)
+	key := "q|" + sld.Name + "|DS"
+	if hit, _ := r.cached(key, t); hit {
+		s.stats.CacheHits++
+		return
+	}
+	srv := s.tldServerFor(sld.Name)
+	resp := s.newResponse(sld.Name, dnswire.TypeDS)
+	resp.Flags.Authoritative = true
+	if sld.Signed {
+		ds, err := sld.Key.DS()
+		if err != nil {
+			panic(err)
+		}
+		resp.Answers = append(resp.Answers, dnswire.RR{
+			Name: sld.Name, Type: dnswire.TypeDS, Class: dnswire.ClassINET, TTL: 86400,
+			Data: ds,
+		})
+		// The parent (registry) zone signs the DS RRset.
+		s.signWith(s.registryKey(dnswire.TLD(sld.Name)), resp, sld.Name, dnswire.TypeDS, 86400, sld.Serial)
+	} else {
+		s.addSOA(resp, dnswire.TLD(sld.Name), 900, 86400)
+	}
+	r.store(key, 86400, t, !sld.Signed)
+	s.transact(r, srv, t, sld.Name, dnswire.TypeDS, resp, true)
+}
+
+// ---- resolution walk ----
+
+// lookup resolves qname/qtype at resolver r starting at time t. zone is
+// the authoritative zone (nil only for the botnet path, which dies at
+// the TLD); f is the existing FQDN (nil when the name does not exist).
+// Returns the time after resolution completes.
+func (s *Sim) lookup(r *Resolver, t float64, qname string, qtype dnswire.Type, zone *SLD, f *FQDN, exists bool) float64 {
+	key := "q|" + qname + "|" + qtype.String()
+	if hit, _ := r.cached(key, t); hit {
+		s.stats.CacheHits++
+		return t
+	}
+	t = s.ensureTLD(r, t, qname, qtype)
+	t = s.ensureSLD(r, t, qname, qtype, zone)
+	if zone == nil {
+		// Botnet DGA: the gTLD returned NXDOMAIN; resolution ends there.
+		return t
+	}
+	// Authoritative query.
+	srv := s.pickByRTT(zone.NS)
+	resp := s.newResponse(qname, qtype)
+	resp.Flags.Authoritative = true
+	var ttl uint32
+	switch {
+	case !exists || f == nil:
+		resp.Flags.RCode = dnswire.RCodeNXDomain
+		s.addSOA(resp, zone.Name, zone.NegTTL, zone.Serial)
+		if zone.Signed {
+			nsec := s.nsec(zone)
+			sig := s.denialSig(zone, nsec)
+			resp.Authority = append(resp.Authority, nsec, sig)
+		}
+		r.store(key, zone.NegTTL, t, true)
+	default:
+		ttl = s.answerTTL(zone)
+		built := s.buildAnswer(resp, zone, f, qname, qtype, ttl)
+		if !built {
+			// NODATA: name exists, type does not (e.g. AAAA on v4-only).
+			s.addSOA(resp, zone.Name, zone.NegTTL, zone.Serial)
+			r.store(key, zone.NegTTL, t, true)
+		} else {
+			if zone.Signed {
+				s.signAnswer(zone, resp, qname, qtype, ttl)
+			}
+			r.store(key, ttl, t, false)
+		}
+	}
+	// Occasional server-side failure overrides the payload.
+	if s.rng.Float64() < s.failShare(qtype) {
+		resp.Answers, resp.Authority, resp.Additional = nil, nil, nil
+		if s.rng.Float64() < 0.5 {
+			resp.Flags.RCode = dnswire.RCodeServFail
+		} else {
+			resp.Flags.RCode = dnswire.RCodeRefused
+		}
+		delete(r.cache, key)
+	}
+	return s.transact(r, srv, t, qname, qtype, resp, true)
+}
+
+// lookupJunk sends a query for a nonexistent TLD to a root server.
+func (s *Sim) lookupJunk(r *Resolver, t float64, qname string, qtype dnswire.Type) {
+	key := "q|" + qname + "|" + qtype.String()
+	if hit, _ := r.cached(key, t); hit {
+		s.stats.CacheHits++
+		return
+	}
+	root := s.pickByRTT(s.Infra.RootServers)
+	sent := qname
+	if r.QMin {
+		sent = dnswire.TLD(qname)
+	}
+	resp := s.newResponse(sent, qtype)
+	resp.Flags.Authoritative = true
+	resp.Flags.RCode = dnswire.RCodeNXDomain
+	s.addSOA(resp, ".", 86400, 2019010100)
+	r.store(key, 3600, t, true)
+	s.transact(r, root, t, sent, qtype, resp, true)
+}
+
+// delegCacheSec returns the effective SLD-delegation cache residency.
+func (s *Sim) delegCacheSec() uint32 {
+	if s.cfg.DelegCacheSec > 0 {
+		return s.cfg.DelegCacheSec
+	}
+	return 7200
+}
+
+// ensureTLD walks to a root server if the TLD delegation is not cached.
+func (s *Sim) ensureTLD(r *Resolver, t float64, qname string, qtype dnswire.Type) float64 {
+	tld := dnswire.TLD(qname)
+	key := "d|" + tld
+	if hit, _ := r.cached(key, t); hit {
+		return t
+	}
+	root := s.pickByRTT(s.Infra.RootServers)
+	sent, sentType := qname, qtype
+	if r.QMin {
+		sent, sentType = tld, dnswire.TypeNS
+	}
+	resp := s.newResponse(sent, sentType)
+	// Referral: NS records for the TLD in AUTHORITY, glue in ADDITIONAL.
+	for i := 0; i < 4; i++ {
+		resp.Authority = append(resp.Authority, dnswire.RR{
+			Name: tld, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.NSRData{NS: fmt.Sprintf("%c.nic.%s", 'a'+i, tld)},
+		})
+		resp.Additional = append(resp.Additional, dnswire.RR{
+			Name: fmt.Sprintf("%c.nic.%s", 'a'+i, tld), Type: dnswire.TypeA,
+			Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.ARData{Addr: netip.AddrFrom4([4]byte{192, 41, byte(i), 30})},
+		})
+	}
+	r.store(key, 172800, t, false)
+	return s.transact(r, root, t, sent, sentType, resp, true)
+}
+
+// ensureSLD walks to the TLD server if the SLD delegation is not cached;
+// for nonexistent SLDs (zone == nil) the TLD answers NXDOMAIN and the
+// walk ends.
+func (s *Sim) ensureSLD(r *Resolver, t float64, qname string, qtype dnswire.Type, zone *SLD) float64 {
+	var sldName string
+	if zone != nil {
+		sldName = zone.Name
+	} else {
+		sldName = s.Universe.Suffixes.ESLD(qname)
+	}
+	key := "d|" + sldName
+	if hit, neg := r.cached(key, t); hit {
+		if neg && zone == nil {
+			s.stats.CacheHits++
+		}
+		return t
+	}
+	srv := s.tldServerFor(sldName)
+	sent, sentType := qname, qtype
+	if r.QMin {
+		// A minimizing resolver reveals at most one label below the
+		// suffix the server is authoritative for; deep zones (reverse
+		// DNS) are approached three labels at a time in our two-level
+		// delegation model, matching the paper's lenient 3-label bound.
+		sent, sentType = dnswire.LastLabels(sldName, 3), dnswire.TypeNS
+	}
+	resp := s.newResponse(sent, sentType)
+	if zone == nil {
+		resp.Flags.Authoritative = true
+		resp.Flags.RCode = dnswire.RCodeNXDomain
+		s.addSOA(resp, dnswire.TLD(qname), 900, 1)
+		r.store(key, 900, t, true)
+		return s.transact(r, srv, t, sent, sentType, resp, true)
+	}
+	for i, nsName := range zone.NSNames {
+		resp.Authority = append(resp.Authority, dnswire.RR{
+			Name: zone.Name, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.NSRData{NS: nsName},
+		})
+		resp.Additional = append(resp.Additional, dnswire.RR{
+			Name: nsName, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.ARData{Addr: zone.NS[i].Addr},
+		})
+	}
+	r.store(key, s.delegCacheSec(), t, false)
+	return s.transact(r, srv, t, sent, sentType, resp, true)
+}
+
+// tldServerFor picks the registry server for a name: the lettered
+// VERISIGN fleet for com/net, per-TLD anycast otherwise.
+func (s *Sim) tldServerFor(name string) *Server {
+	tld := dnswire.TLD(name)
+	if tld == "com." || tld == "net." {
+		return s.pickByRTT(s.Infra.GTLDServers)
+	}
+	return s.Infra.CCTLDServer(tld)
+}
+
+// IsHierarchyServer reports whether addr is a root or TLD server of
+// this scenario (ccTLD servers count from the moment they are minted).
+func (s *Sim) IsHierarchyServer(addr netip.Addr) bool {
+	return s.Infra.hierarchy[addr]
+}
+
+// pickByRTT selects a server weighted by 1/delay² — recursive resolvers
+// prefer low-RTT authoritatives (why the paper's fastest gTLD letter B
+// absorbs the most botnet traffic, §3.5).
+func (s *Sim) pickByRTT(servers []*Server) *Server {
+	var total float64
+	for _, srv := range servers {
+		total += 1 / (srv.BaseDelayMs * srv.BaseDelayMs)
+	}
+	x := s.rng.Float64() * total
+	for _, srv := range servers {
+		x -= 1 / (srv.BaseDelayMs * srv.BaseDelayMs)
+		if x <= 0 {
+			return srv
+		}
+	}
+	return servers[len(servers)-1]
+}
+
+// answerTTL returns the zone's current answer TTL. Non-conforming zones
+// roll a fresh value per response (Table 4); the palette is small enough
+// that each value clears the 10 % detection threshold of §4.2.1 while
+// still flipping the hourly mode.
+func (s *Sim) answerTTL(zone *SLD) uint32 {
+	if zone.NonConforming {
+		return uint32(1+s.rng.Intn(8)) * 100
+	}
+	return zone.ATTL
+}
+
+// buildAnswer fills resp's ANSWER section for an existing name; returns
+// false for the NODATA case.
+func (s *Sim) buildAnswer(resp *dnswire.Message, zone *SLD, f *FQDN, qname string, qtype dnswire.Type, ttl uint32) bool {
+	in := dnswire.ClassINET
+	switch qtype {
+	case dnswire.TypeA:
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: qname, Type: qtype, Class: in, TTL: ttl,
+			Data: dnswire.ARData{Addr: zone.AddrFor(f, false)}})
+	case dnswire.TypeAAAA:
+		if !f.HasV6() {
+			return false
+		}
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: qname, Type: qtype, Class: in, TTL: ttl,
+			Data: dnswire.AAAARData{Addr: zone.AddrFor(f, true)}})
+	case dnswire.TypePTR:
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: qname, Type: qtype, Class: in, TTL: zone.ATTL,
+			Data: dnswire.PTRRData{Target: fmt.Sprintf("host-%s.isp.net.", s.randLabel(6))}})
+	case dnswire.TypeTXT:
+		strs := []string{"st=" + s.randLabel(24)}
+		if s.rng.Float64() < 0.12 {
+			// Some custom-protocol responses ship blobs well past the
+			// UDP ceiling, triggering the TCP fallback.
+			for i := 0; i < 6; i++ {
+				strs = append(strs, s.randLabel(220))
+			}
+		}
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: qname, Type: qtype, Class: in, TTL: zone.ATTL,
+			Data: dnswire.TXTRData{Strings: strs}})
+	case dnswire.TypeMX:
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: qname, Type: qtype, Class: in, TTL: 3600,
+			Data: dnswire.MXRData{Preference: 10, MX: "mail." + zone.Name}})
+	case dnswire.TypeSRV:
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: qname, Type: qtype, Class: in, TTL: 300,
+			Data: dnswire.SRVRData{Priority: 1, Weight: 5, Port: 5060, Target: "sip." + zone.Name}})
+	case dnswire.TypeCNAME:
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: qname, Type: qtype, Class: in, TTL: 300,
+			Data: dnswire.CNAMERData{Target: "edge." + zone.Name}})
+	case dnswire.TypeSOA:
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: zone.Name, Type: qtype, Class: in, TTL: 3600,
+			Data: dnswire.SOARData{MName: zone.NSNames[0], RName: "hostmaster." + zone.Name,
+				Serial: zone.Serial, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: zone.NegTTL}})
+	case dnswire.TypeNS:
+		for _, nsName := range zone.NSNames {
+			resp.Answers = append(resp.Answers, dnswire.RR{Name: zone.Name, Type: qtype, Class: in,
+				TTL: zone.NSTTL, Data: dnswire.NSRData{NS: nsName}})
+		}
+		for i, nsName := range zone.NSNames {
+			resp.Additional = append(resp.Additional, dnswire.RR{Name: nsName, Type: dnswire.TypeA,
+				Class: in, TTL: zone.NSTTL, Data: dnswire.ARData{Addr: zone.NS[i].Addr}})
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// failShare is the per-qtype probability of Refused/ServFail, shaping
+// the "err" column of Table 2 (MX probing gets refused a lot).
+func (s *Sim) failShare(qtype dnswire.Type) float64 {
+	switch qtype {
+	case dnswire.TypeMX:
+		return 0.25
+	case dnswire.TypeSRV:
+		return 0.18
+	case dnswire.TypeSOA:
+		return 0.12
+	case dnswire.TypePTR:
+		return 0.15
+	default:
+		return 0.04
+	}
+}
+
+// ---- message / packet assembly ----
+
+// newResponse starts a response message echoing the question.
+func (s *Sim) newResponse(qname string, qtype dnswire.Type) *dnswire.Message {
+	m := &dnswire.Message{
+		Flags: dnswire.Flags{Response: true, RecursionDesired: false},
+		Questions: []dnswire.Question{
+			{Name: qname, Type: qtype, Class: dnswire.ClassINET}},
+	}
+	return m
+}
+
+// addSOA appends the zone SOA to AUTHORITY (negative answers, RFC 2308).
+func (s *Sim) addSOA(resp *dnswire.Message, zone string, negTTL uint32, serial uint32) {
+	mname := "ns1." + zone
+	if zone == "." {
+		mname = "a.root-servers.net."
+	}
+	resp.Authority = append(resp.Authority, dnswire.RR{
+		Name: zone, Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: negTTL,
+		Data: dnswire.SOARData{MName: mname, RName: "hostmaster." + zone,
+			Serial: serial, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: negTTL},
+	})
+}
+
+// sigWindow returns the validity interval used for all zone signatures:
+// a week before the scenario start to ninety days after.
+func (s *Sim) sigWindow() (time.Time, time.Time) {
+	return s.cfg.Start.Add(-7 * 24 * time.Hour), s.cfg.Start.Add(90 * 24 * time.Hour)
+}
+
+// signAnswer appends a genuine RRSIG over resp.Answers, cached per
+// RRset so steady-state traffic reuses precomputed signatures.
+func (s *Sim) signAnswer(zone *SLD, resp *dnswire.Message, qname string, qtype dnswire.Type, ttl uint32) {
+	s.signWith(zone.Key, resp, qname, qtype, ttl, zone.Serial)
+}
+
+// signWith signs resp.Answers with key, caching in the key owner's zone
+// when available.
+func (s *Sim) signWith(key *dnssec.Key, resp *dnswire.Message, qname string, qtype dnswire.Type, ttl uint32, serial uint32) {
+	if key == nil {
+		return
+	}
+	zone := s.Universe.Lookup(dnswire.Canonical(key.ZoneName))
+	cacheKey := fmt.Sprintf("%s|%d|%d|%d", qname, qtype, ttl, serial)
+	if zone != nil && zone.sigCache != nil {
+		if sig, ok := zone.sigCache[cacheKey]; ok {
+			resp.Answers = append(resp.Answers, sig)
+			return
+		}
+	}
+	inc, exp := s.sigWindow()
+	sig, err := key.Sign(resp.Answers, inc, exp)
+	if err != nil {
+		return
+	}
+	if zone != nil && zone.sigCache != nil && len(zone.sigCache) < 4096 {
+		zone.sigCache[cacheKey] = sig
+	}
+	resp.Answers = append(resp.Answers, sig)
+}
+
+// registryKey returns (minting on first use) the signing key of a TLD
+// registry zone — the parent that signs DS RRsets.
+func (s *Sim) registryKey(tld string) *dnssec.Key {
+	if k, ok := s.registryKeys[tld]; ok {
+		return k
+	}
+	seed := sha256.Sum256([]byte("registry:" + tld))
+	k, err := dnssec.NewKey(tld, 257, seed[:])
+	if err != nil {
+		panic(err)
+	}
+	if s.registryKeys == nil {
+		s.registryKeys = map[string]*dnssec.Key{}
+	}
+	s.registryKeys[tld] = k
+	return k
+}
+
+// nsec builds the zone's denial-of-existence record (a fixed synthetic
+// next-name/bitmap; the signature over it is genuine).
+func (s *Sim) nsec(zone *SLD) dnswire.RR {
+	return dnswire.RR{
+		Name: zone.Name, Type: dnswire.TypeNSEC, Class: dnswire.ClassINET, TTL: zone.NegTTL,
+		Data: dnswire.RawRData{Data: []byte("\x01z" + zone.Name + "\x00\x06@\x80\x00\x00\x00\x03")},
+	}
+}
+
+// denialSig signs the NSEC record, cached per zone serial.
+func (s *Sim) denialSig(zone *SLD, nsec dnswire.RR) dnswire.RR {
+	cacheKey := fmt.Sprintf("nsec|%d|%d", zone.NegTTL, zone.Serial)
+	if sig, ok := zone.sigCache[cacheKey]; ok {
+		return sig
+	}
+	inc, exp := s.sigWindow()
+	sig, err := zone.Key.Sign([]dnswire.RR{nsec}, inc, exp)
+	if err != nil {
+		panic(err)
+	}
+	if len(zone.sigCache) < 4096 {
+		zone.sigCache[cacheKey] = sig
+	}
+	return sig
+}
+
+// transact emits one query/response transaction to srv at time t and
+// returns the completion time. answered=false callers are not used;
+// drops are decided here from server health.
+func (s *Sim) transact(r *Resolver, srv *Server, t float64, qname string, qtype dnswire.Type, resp *dnswire.Message, wantAnswer bool) float64 {
+	id := uint16(s.rng.Intn(65536))
+	q := dnswire.Message{
+		ID:    id,
+		Flags: dnswire.Flags{RecursionDesired: false},
+		Questions: []dnswire.Question{
+			{Name: qname, Type: qtype, Class: dnswire.ClassINET}},
+	}
+	q.SetEDNS(4096, true)
+	// A share of resolvers attach EDNS0 cookies and client-subnet data —
+	// exactly the fields the Observatory's preprocessing must drop
+	// before anything is aggregated (paper §2.5).
+	if s.rng.Float64() < 0.25 {
+		opt := q.OPT()
+		opts := opt.Data.(dnswire.OPTRData)
+		cookie := make([]byte, 8)
+		s.rng.Read(cookie)
+		opts.Options = append(opts.Options,
+			dnswire.EDNSOption{Code: dnswire.EDNSOptionCookie, Data: cookie})
+		if s.rng.Float64() < 0.4 {
+			opts.Options = append(opts.Options, dnswire.EDNSOption{
+				Code: dnswire.EDNSOptionClientSubnet,
+				Data: []byte{0, 1, 24, 0, byte(s.rng.Intn(224)), byte(s.rng.Intn(256)), byte(s.rng.Intn(256))},
+			})
+		}
+		opt.Data = opts
+	}
+	var err error
+	s.qbuf, err = q.Pack(s.qbuf[:0])
+	if err != nil {
+		panic(err)
+	}
+	sport := uint16(1024 + s.rng.Intn(60000))
+	// Dual-stack pairs talk DNS over IPv6.
+	v6 := r.Addr6.IsValid() && srv.Addr6.IsValid() && s.rng.Float64() < 0.5
+	if v6 {
+		s.pbuf = ipwire.AppendIPv6UDP(s.pbuf[:0], r.Addr6, srv.Addr6, sport, ipwire.DNSPort, 64, s.qbuf)
+	} else {
+		s.pbuf = ipwire.AppendIPv4UDP(s.pbuf[:0], r.Addr, srv.Addr, sport, ipwire.DNSPort, 64, s.qbuf)
+	}
+
+	dropP := s.cfg.UnansweredBase
+	if srv.Impaired {
+		dropP *= 15
+	}
+	answered := wantAnswer && s.rng.Float64() >= dropP
+
+	delayMs := srv.BaseDelayMs * math.Exp(s.rng.NormFloat64()*0.25)
+	qt := s.cfg.Start.Add(time.Duration(t * float64(time.Second)))
+
+	s.tx = sie.Transaction{
+		QueryPacket: s.pbuf,
+		QueryTime:   qt,
+		SensorID:    r.SensorID,
+	}
+	if answered {
+		resp.ID = id
+		resp.SetEDNS(4096, true)
+		s.rbuf, err = resp.Pack(s.rbuf[:0])
+		if err != nil {
+			panic(err)
+		}
+		hops := srv.Hops
+		if hops > 254 {
+			hops = 254
+		}
+		rttl := uint8(255 - hops)
+		if len(s.rbuf) > maxUDPPayload {
+			// Oversize response: the server truncates over UDP, the
+			// resolver retries over TCP (RFC 1035 §4.2; the paper lists
+			// TCP/53 support as future work — here it is).
+			return s.truncateAndRetry(r, srv, t, qt, sport, resp, rttl, delayMs, v6)
+		}
+		if v6 {
+			s.pbuf2 = ipwire.AppendIPv6UDP(s.pbuf2[:0], srv.Addr6, r.Addr6, ipwire.DNSPort, sport, rttl, s.rbuf)
+		} else {
+			s.pbuf2 = ipwire.AppendIPv4UDP(s.pbuf2[:0], srv.Addr, r.Addr, ipwire.DNSPort, sport, rttl, s.rbuf)
+		}
+		s.tx.ResponsePacket = s.pbuf2
+		s.tx.ResponseTime = qt.Add(time.Duration(delayMs * float64(time.Millisecond)))
+	}
+	s.stats.Transactions++
+	if s.emit != nil {
+		s.emit(&s.tx)
+	}
+	if !answered {
+		// The resolver retries elsewhere; model the timeout cost only.
+		return t + 0.4
+	}
+	return t + delayMs/1000
+}
+
+// maxUDPPayload is the effective UDP response ceiling; responses above
+// it are truncated (the DNS-flag-day 1232-byte convention).
+const maxUDPPayload = 1232
+
+// truncateAndRetry emits the truncated UDP exchange followed by the TCP
+// retry carrying the full response, and returns the completion time.
+func (s *Sim) truncateAndRetry(r *Resolver, srv *Server, t float64, qt time.Time, sport uint16, resp *dnswire.Message, rttl uint8, delayMs float64, v6 bool) float64 {
+	// 1) Truncated UDP response: TC set, record sections emptied.
+	trunc := dnswire.Message{
+		ID:        resp.ID,
+		Flags:     resp.Flags,
+		Questions: resp.Questions,
+	}
+	trunc.Flags.Truncated = true
+	trunc.SetEDNS(4096, true)
+	var err error
+	s.rbuf, err = trunc.Pack(s.rbuf[:0])
+	if err != nil {
+		panic(err)
+	}
+	if v6 {
+		s.pbuf2 = ipwire.AppendIPv6UDP(s.pbuf2[:0], srv.Addr6, r.Addr6, ipwire.DNSPort, sport, rttl, s.rbuf)
+	} else {
+		s.pbuf2 = ipwire.AppendIPv4UDP(s.pbuf2[:0], srv.Addr, r.Addr, ipwire.DNSPort, sport, rttl, s.rbuf)
+	}
+	s.tx.ResponsePacket = s.pbuf2
+	s.tx.ResponseTime = qt.Add(time.Duration(delayMs * float64(time.Millisecond)))
+	s.stats.Transactions++
+	s.stats.Truncated++
+	if s.emit != nil {
+		s.emit(&s.tx)
+	}
+
+	// 2) TCP retry: same question, full response, one RTT later.
+	q := dnswire.Message{ID: resp.ID + 1, Questions: resp.Questions}
+	q.SetEDNS(4096, true)
+	s.qbuf, err = q.Pack(s.qbuf[:0])
+	if err != nil {
+		panic(err)
+	}
+	tcpPort := uint16(1024 + s.rng.Intn(60000))
+	seq := s.rng.Uint32()
+	t2 := t + delayMs/1000
+	qt2 := s.cfg.Start.Add(time.Duration(t2 * float64(time.Second)))
+	resp.ID = q.ID
+	if v6 {
+		s.pbuf = ipwire.AppendIPv6TCPDNS(s.pbuf[:0], r.Addr6, srv.Addr6, tcpPort, ipwire.DNSPort, 64, seq, s.qbuf)
+	} else {
+		s.pbuf = ipwire.AppendIPv4TCPDNS(s.pbuf[:0], r.Addr, srv.Addr, tcpPort, ipwire.DNSPort, 64, seq, s.qbuf)
+	}
+	s.rbuf, err = resp.Pack(s.rbuf[:0])
+	if err != nil {
+		panic(err)
+	}
+	if v6 {
+		s.pbuf2 = ipwire.AppendIPv6TCPDNS(s.pbuf2[:0], srv.Addr6, r.Addr6, ipwire.DNSPort, tcpPort, rttl, seq+1, s.rbuf)
+	} else {
+		s.pbuf2 = ipwire.AppendIPv4TCPDNS(s.pbuf2[:0], srv.Addr, r.Addr, ipwire.DNSPort, tcpPort, rttl, seq+1, s.rbuf)
+	}
+	s.tx = sie.Transaction{
+		QueryPacket:    s.pbuf,
+		ResponsePacket: s.pbuf2,
+		QueryTime:      qt2,
+		ResponseTime:   qt2.Add(time.Duration(delayMs * float64(time.Millisecond))),
+		SensorID:       r.SensorID,
+	}
+	s.stats.Transactions++
+	s.stats.TCPRetries++
+	if s.emit != nil {
+		s.emit(&s.tx)
+	}
+	return t2 + delayMs/1000
+}
+
+// randLabel returns an n-char lowercase label.
+func (s *Sim) randLabel(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + s.rng.Intn(26))
+	}
+	return string(b)
+}

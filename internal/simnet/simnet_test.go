@@ -1,0 +1,433 @@
+package simnet
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/sie"
+)
+
+// smallConfig is a fast scenario for tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 30
+	cfg.QPS = 400
+	cfg.Resolvers = 40
+	cfg.SLDs = 300
+	cfg.Sensors = 8
+	return cfg
+}
+
+func TestRunDeterministic(t *testing.T) {
+	collect := func() (Stats, []string) {
+		var keys []string
+		var s sie.Summarizer
+		var sum sie.Summary
+		sim := New(smallConfig())
+		st := sim.Run(func(tx *sie.Transaction) {
+			if len(keys) < 500 {
+				if err := s.Summarize(tx, &sum); err != nil {
+					t.Fatal(err)
+				}
+				keys = append(keys, sum.QName+"|"+sum.Nameserver.String())
+			}
+		})
+		return st, keys
+	}
+	st1, k1 := collect()
+	st2, k2 := collect()
+	if st1 != st2 {
+		t.Errorf("stats differ: %+v vs %+v", st1, st2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("transaction %d differs: %q vs %q", i, k1[i], k2[i])
+		}
+	}
+}
+
+func TestAllTransactionsParse(t *testing.T) {
+	var s sie.Summarizer
+	var sum sie.Summary
+	var n, answered int
+	sim := New(smallConfig())
+	st := sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatalf("transaction %d: %v", n, err)
+		}
+		n++
+		if sum.Answered {
+			answered++
+		}
+	})
+	if uint64(n) != st.Transactions {
+		t.Errorf("emitted %d, stats say %d", n, st.Transactions)
+	}
+	if n < 1000 {
+		t.Fatalf("only %d transactions", n)
+	}
+	unansRate := 1 - float64(answered)/float64(n)
+	if unansRate > 0.15 {
+		t.Errorf("unanswered rate %.3f too high", unansRate)
+	}
+	if st.CacheHits == 0 {
+		t.Error("resolver caches never hit")
+	}
+}
+
+func TestCachingMakesVolumeTTLSensitive(t *testing.T) {
+	// Two equally popular domains; one with a 10 s TTL, one with 3600 s.
+	// The short-TTL domain must generate far more cache-miss traffic.
+	cfg := smallConfig()
+	cfg.Duration = 120
+	cfg.Mix = WorkloadMix{Forward: 1}
+	cfg.HEShare = 0
+	sim := New(cfg)
+	short, long := sim.Universe.SLDs[0], sim.Universe.SLDs[1]
+	short.ATTL = 10
+	long.ATTL = 3600
+	// Equalize popularity.
+	long.Weight = short.Weight
+	sim.Universe.buildCum()
+
+	counts := map[string]int{}
+	var s sie.Summarizer
+	var sum sie.Summary
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if sum.QType == dnswire.TypeA && sum.AA {
+			counts[sim.Universe.Suffixes.ESLD(sum.QName)]++
+		}
+	})
+	cs, cl := counts[short.Name], counts[long.Name]
+	if cs < cl*2 {
+		t.Errorf("short TTL domain got %d tx, long TTL %d — caching not TTL-sensitive", cs, cl)
+	}
+}
+
+func TestQMinResolversMinimize(t *testing.T) {
+	cfg := smallConfig()
+	cfg.QMinResolvers = 5
+	sim := New(cfg)
+	qmin := map[netip.Addr]bool{}
+	for _, r := range sim.Resolvers {
+		if r.QMin {
+			qmin[r.Addr] = true
+		}
+	}
+	if len(qmin) != 5 {
+		t.Fatalf("qmin resolvers = %d", len(qmin))
+	}
+	roots := map[netip.Addr]bool{}
+	for _, s := range sim.Infra.RootServers {
+		roots[s.Addr] = true
+	}
+	gtlds := map[netip.Addr]bool{}
+	for _, s := range sim.Infra.GTLDServers {
+		gtlds[s.Addr] = true
+	}
+	var s sie.Summarizer
+	var sum sie.Summary
+	var rootQ, tldQ int
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if !qmin[sum.Resolver] {
+			return
+		}
+		if roots[sum.Nameserver] {
+			rootQ++
+			if sum.QDots > 1 {
+				t.Errorf("qmin resolver sent %d-label %q to root", sum.QDots, sum.QName)
+			}
+		}
+		if gtlds[sum.Nameserver] {
+			tldQ++
+			if sum.QDots > 2 {
+				t.Errorf("qmin resolver sent %d-label %q to gTLD", sum.QDots, sum.QName)
+			}
+		}
+	})
+	if rootQ == 0 || tldQ == 0 {
+		t.Errorf("qmin resolvers sent no root (%d) or TLD (%d) queries", rootQ, tldQ)
+	}
+}
+
+func TestBotnetFloodsGTLDWithNXDomain(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mix = WorkloadMix{Botnet: 1}
+	sim := New(cfg)
+	gtlds := map[netip.Addr]bool{}
+	for _, s := range sim.Infra.GTLDServers {
+		gtlds[s.Addr] = true
+	}
+	var s sie.Summarizer
+	var sum sie.Summary
+	var toGTLD, nxd int
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if gtlds[sum.Nameserver] && sum.Answered {
+			toGTLD++
+			if sum.RCode == dnswire.RCodeNXDomain {
+				nxd++
+				if !sum.AA {
+					t.Error("gTLD NXDOMAIN without AA flag")
+				}
+			}
+		}
+	})
+	if toGTLD == 0 {
+		t.Fatal("no gTLD transactions")
+	}
+	if float64(nxd)/float64(toGTLD) < 0.95 {
+		t.Errorf("gTLD NXD share %.2f, want ~1 for pure DGA traffic", float64(nxd)/float64(toGTLD))
+	}
+}
+
+func TestHappyEyeballsEmptyAAAA(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 90
+	cfg.Mix = WorkloadMix{Forward: 1}
+	cfg.HEShare = 1
+	cfg.V6ServerShare = 0
+	sim := New(cfg)
+	// Give domain 0 a pathological negative TTL vs its A TTL.
+	d := sim.Universe.SLDs[0]
+	d.ATTL = 900
+	d.NegTTL = 15
+
+	var s sie.Summarizer
+	var sum sie.Summary
+	var aaaaEmpty, all int
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if !sum.AA || sim.Universe.Suffixes.ESLD(sum.QName) != d.Name {
+			return
+		}
+		all++
+		if sum.QType == dnswire.TypeAAAA && sum.NoData() {
+			aaaaEmpty++
+			if !sum.HasSOA || sum.SOAMinimum != 15 {
+				t.Errorf("negative answer SOA minimum = %d (has=%v)", sum.SOAMinimum, sum.HasSOA)
+			}
+		}
+	})
+	if all < 20 {
+		t.Fatalf("only %d authoritative tx for the domain", all)
+	}
+	share := float64(aaaaEmpty) / float64(all)
+	if share < 0.6 {
+		t.Errorf("empty AAAA share %.2f, want > 0.6 for negTTL 15 vs A TTL 900", share)
+	}
+}
+
+func TestV6EnableEventStopsEmptyAAAA(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 120
+	cfg.Mix = WorkloadMix{Forward: 1}
+	cfg.HEShare = 1
+	cfg.V6ServerShare = 0
+	cfg.Events = []Event{V6EnableEvent(60, "")} // fixed below
+	sim := New(cfg)
+	d := sim.Universe.SLDs[0]
+	d.NegTTL = 5
+	sim.events[0] = V6EnableEvent(60, d.Name)
+
+	var s sie.Summarizer
+	var sum sie.Summary
+	type half struct{ empty, data int }
+	var h1, h2 half
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if !sum.AA || sum.QType != dnswire.TypeAAAA || sim.Universe.Suffixes.ESLD(sum.QName) != d.Name {
+			return
+		}
+		h := &h1
+		if tx.QueryTime.Sub(cfg.Start).Seconds() >= 60 {
+			h = &h2
+		}
+		if sum.NoData() {
+			h.empty++
+		} else if len(sum.V6Addrs) > 0 {
+			h.data++
+		}
+	})
+	if h1.empty == 0 || h1.data != 0 {
+		t.Errorf("before enablement: empty=%d data=%d", h1.empty, h1.data)
+	}
+	if h2.data == 0 {
+		t.Errorf("after enablement: empty=%d data=%d", h2.empty, h2.data)
+	}
+}
+
+func TestTTLChangeEventIncreasesTraffic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 360
+	cfg.Mix = WorkloadMix{Forward: 1}
+	cfg.HEShare = 0
+	sim := New(cfg)
+	d := sim.Universe.SLDs[0]
+	// Old cache entries must be able to expire within the run, so start
+	// from a modest TTL; the slash to 10 s then multiplies miss traffic.
+	d.ATTL = 60
+	sim.events = append(sim.events, TTLChangeEvent(120, d.Name, 10))
+
+	var s sie.Summarizer
+	var sum sie.Summary
+	var before, after int
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if !sum.AA || sum.QType != dnswire.TypeA || sim.Universe.Suffixes.ESLD(sum.QName) != d.Name {
+			return
+		}
+		if tx.QueryTime.Sub(cfg.Start).Seconds() < 120 {
+			before++
+		} else {
+			after++
+		}
+	})
+	if after < before*3 {
+		t.Errorf("TTL slash: before=%d after=%d, want big increase", before, after)
+	}
+}
+
+func TestRenumberEvent(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 60
+	cfg.Mix = WorkloadMix{Forward: 1}
+	cfg.HEShare = 0
+	sim := New(cfg)
+	d := sim.Universe.SLDs[0]
+	d.ATTL = 1 // keep cache misses flowing
+	newBase := netip.MustParseAddr("203.0.113.10")
+	sim.events = append(sim.events, RenumberEvent(30, d.Name, newBase, 38400))
+
+	var s sie.Summarizer
+	var sum sie.Summary
+	sawOld, sawNew := false, false
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if !sum.AA || sum.QType != dnswire.TypeA || sim.Universe.Suffixes.ESLD(sum.QName) != d.Name {
+			return
+		}
+		for _, a := range sum.V4Addrs {
+			if strings.HasPrefix(a.String(), "203.0.113.") {
+				sawNew = true
+				if len(sum.AnswerTTLs) > 0 && sum.AnswerTTLs[0] != 38400 {
+					t.Errorf("post-renumber TTL = %d", sum.AnswerTTLs[0])
+				}
+			} else {
+				sawOld = true
+			}
+		}
+	})
+	if !sawOld || !sawNew {
+		t.Errorf("renumbering: old=%v new=%v", sawOld, sawNew)
+	}
+}
+
+func TestNonConformingTTLVaries(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 40
+	cfg.Mix = WorkloadMix{Forward: 1}
+	cfg.HEShare = 0
+	sim := New(cfg)
+	d := sim.Universe.SLDs[0]
+	d.NonConforming = true
+	ttls := map[uint32]bool{}
+	var s sie.Summarizer
+	var sum sie.Summary
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if sum.AA && sum.QType == dnswire.TypeA && sim.Universe.Suffixes.ESLD(sum.QName) == d.Name {
+			for _, ttl := range sum.AnswerTTLs {
+				ttls[ttl] = true
+				if ttl >= 1024 {
+					t.Errorf("non-conforming TTL %d >= 1024", ttl)
+				}
+			}
+		}
+	})
+	if len(ttls) < 3 {
+		t.Errorf("non-conforming zone served only %d distinct TTLs", len(ttls))
+	}
+}
+
+func TestOrgSharesOrdering(t *testing.T) {
+	// AMAZON-hosted SLD popularity mass should exceed GODADDY's.
+	sim := New(smallConfig())
+	mass := map[string]float64{}
+	for _, d := range sim.Universe.SLDs {
+		mass[d.Org.Name] += d.Weight
+	}
+	if mass["AMAZON"] <= mass["GODADDY"] {
+		t.Errorf("AMAZON mass %.2f <= GODADDY %.2f", mass["AMAZON"], mass["GODADDY"])
+	}
+}
+
+func TestInfraShape(t *testing.T) {
+	sim := New(smallConfig())
+	if len(sim.Infra.RootServers) != 13 || len(sim.Infra.GTLDServers) != 13 {
+		t.Fatalf("root=%d gtld=%d", len(sim.Infra.RootServers), len(sim.Infra.GTLDServers))
+	}
+	// Every nameserver resolves to an ASN.
+	for _, d := range sim.Universe.SLDs[:50] {
+		for _, ns := range d.NS {
+			if _, ok := sim.Infra.Routing.Lookup(ns.Addr); !ok {
+				t.Errorf("server %v not in routing table", ns.Addr)
+			}
+		}
+	}
+	// Fast letters of Fig. 3c: E, F, L among the quickest roots.
+	e := sim.Infra.RootServers[4].BaseDelayMs
+	g := sim.Infra.RootServers[6].BaseDelayMs
+	if e >= g {
+		t.Errorf("root E (%.1f ms) not faster than G (%.1f ms)", e, g)
+	}
+}
+
+func TestSampleCum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cum := cumWeights(3, func(i int) float64 { return []float64{1, 0, 9}[i] })
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[sampleCum(rng, cum)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	if counts[2] < counts[0]*5 {
+		t.Errorf("weights not respected: %v", counts)
+	}
+	if sampleCum(rng, nil) != -1 {
+		t.Error("empty cum should return -1")
+	}
+}
+
+func TestPublicSuffixAwareSLDNames(t *testing.T) {
+	sim := New(smallConfig())
+	for _, d := range sim.Universe.SLDs[:100] {
+		esld := sim.Universe.Suffixes.ESLD(d.Name)
+		if esld != d.Name {
+			t.Errorf("SLD %q has eSLD %q", d.Name, esld)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"testing"
+
+	"dnsobservatory/internal/sie"
+)
+
+// TestTruncationFallback drives a TXT-heavy workload so oversize
+// responses trigger the UDP-truncate → TCP-retry path, and verifies
+// both legs parse and carry the expected flags.
+func TestTruncationFallback(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 60
+	cfg.Mix = WorkloadMix{TXT: 1}
+	sim := New(cfg)
+
+	var s sie.Summarizer
+	var sum sie.Summary
+	var udpTrunc, tcpFull, tcpAnswered int
+	st := sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if sum.Trunc {
+			udpTrunc++
+			if sum.TCP {
+				t.Error("truncated response marked as TCP")
+			}
+			if sum.HasAnswerData {
+				t.Error("truncated response still carries answers")
+			}
+		}
+		if sum.TCP {
+			tcpFull++
+			if sum.Answered && sum.HasAnswerData {
+				tcpAnswered++
+			}
+			if sum.RespSize <= maxUDPPayload {
+				t.Errorf("TCP retry for small response (%dB)", sum.RespSize)
+			}
+		}
+	})
+	if st.Truncated == 0 || st.TCPRetries == 0 {
+		t.Fatalf("no truncations: %+v", st)
+	}
+	if udpTrunc != int(st.Truncated) || tcpFull != int(st.TCPRetries) {
+		t.Errorf("observed %d/%d, stats %d/%d", udpTrunc, tcpFull, st.Truncated, st.TCPRetries)
+	}
+	if tcpAnswered == 0 {
+		t.Error("no full answers over TCP")
+	}
+	// TCP must stay a small share of all transactions (paper: <3%).
+	share := float64(st.TCPRetries) / float64(st.Transactions)
+	if share > 0.2 {
+		t.Errorf("TCP share %.2f too high even for a pure-TXT workload", share)
+	}
+}
+
+// TestTCPShareInDefaultMix keeps the global TCP share near the paper's
+// <3 % claim under the default workload.
+func TestTCPShareInDefaultMix(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 60
+	sim := New(cfg)
+	st := sim.Run(nil)
+	share := float64(st.TCPRetries) / float64(st.Transactions)
+	if share > 0.03 {
+		t.Errorf("TCP share %.4f exceeds 3%%", share)
+	}
+}

@@ -1,0 +1,163 @@
+package simnet
+
+import (
+	"testing"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/sie"
+)
+
+// classStats runs a single-class workload and tallies QTYPEs and RCODEs.
+func classStats(t *testing.T, mix WorkloadMix) (qtypes map[dnswire.Type]int, rcodes map[dnswire.RCode]int, qdotsSum, n int) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Duration = 40
+	cfg.Mix = mix
+	cfg.HEShare = 0
+	sim := New(cfg)
+	qtypes = map[dnswire.Type]int{}
+	rcodes = map[dnswire.RCode]int{}
+	var s sie.Summarizer
+	var sum sie.Summary
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		qtypes[sum.QType]++
+		if sum.Answered {
+			rcodes[sum.RCode]++
+		}
+		qdotsSum += sum.QDots
+		n++
+	})
+	if n == 0 {
+		t.Fatal("no transactions")
+	}
+	return qtypes, rcodes, qdotsSum, n
+}
+
+func TestWorkloadClassShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		mix   WorkloadMix
+		check func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int)
+	}{
+		{"forward", WorkloadMix{Forward: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				if qt[dnswire.TypeA] < n*8/10 {
+					t.Errorf("A share %d/%d", qt[dnswire.TypeA], n)
+				}
+			}},
+		{"ptr", WorkloadMix{PTR: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				if qt[dnswire.TypePTR] < n/2 {
+					t.Errorf("PTR share %d/%d", qt[dnswire.TypePTR], n)
+				}
+				if qdots < 5 {
+					t.Errorf("PTR qdots %.1f, want deep names", qdots)
+				}
+			}},
+		{"mx", WorkloadMix{MX: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				if qt[dnswire.TypeMX] == 0 {
+					t.Error("no MX queries")
+				}
+				// MX probing attracts Refused/ServFail (Table 2 err 34%).
+				if rc[dnswire.RCodeRefused]+rc[dnswire.RCodeServFail] == 0 {
+					t.Error("no MX failures")
+				}
+			}},
+		{"srv", WorkloadMix{SRV: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				if qt[dnswire.TypeSRV] == 0 {
+					t.Error("no SRV queries")
+				}
+				if rc[dnswire.RCodeNXDomain] == 0 {
+					t.Error("no SRV NXDOMAIN (most service names do not exist)")
+				}
+			}},
+		{"ds", WorkloadMix{DS: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				if qt[dnswire.TypeDS] == 0 {
+					t.Error("no DS queries")
+				}
+			}},
+		{"soa", WorkloadMix{SOA: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				if qt[dnswire.TypeSOA] == 0 {
+					t.Error("no SOA queries")
+				}
+			}},
+		{"cname", WorkloadMix{CNAME: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				if qt[dnswire.TypeCNAME] == 0 {
+					t.Error("no CNAME queries")
+				}
+			}},
+		{"junk", WorkloadMix{Junk: 1},
+			func(t *testing.T, qt map[dnswire.Type]int, rc map[dnswire.RCode]int, qdots float64, n int) {
+				total := 0
+				for _, c := range rc {
+					total += c
+				}
+				if rc[dnswire.RCodeNXDomain] < total*9/10 {
+					t.Errorf("junk NXD %d/%d, want ~all", rc[dnswire.RCodeNXDomain], total)
+				}
+			}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			qt, rc, qdotsSum, n := classStats(t, c.mix)
+			c.check(t, qt, rc, float64(qdotsSum)/float64(n), n)
+		})
+	}
+}
+
+func TestDSServedByParent(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 40
+	cfg.Mix = WorkloadMix{DS: 1}
+	sim := New(cfg)
+	var s sie.Summarizer
+	var sum sie.Summary
+	var dsTx, fromHierarchy int
+	sim.Run(func(tx *sie.Transaction) {
+		if err := s.Summarize(tx, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if sum.QType != dnswire.TypeDS {
+			return
+		}
+		dsTx++
+		if sim.IsHierarchyServer(sum.Nameserver) {
+			fromHierarchy++
+		}
+	})
+	if dsTx == 0 {
+		t.Fatal("no DS transactions")
+	}
+	if fromHierarchy != dsTx {
+		t.Errorf("%d/%d DS answers from non-registry servers (DS lives in the parent zone)",
+			dsTx-fromHierarchy, dsTx)
+	}
+}
+
+func TestSensorsAssigned(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 10
+	cfg.Sensors = 5
+	sim := New(cfg)
+	seen := map[uint32]bool{}
+	sim.Run(func(tx *sie.Transaction) {
+		seen[tx.SensorID] = true
+	})
+	if len(seen) != 5 {
+		t.Errorf("sensors seen = %d, want 5", len(seen))
+	}
+	for id := range seen {
+		if id < 1 || id > 5 {
+			t.Errorf("sensor id %d out of range", id)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package sketch provides the small summary structures behind the
+// Observatory's traffic features (§2.3): counters and averages, a
+// log-bucketed histogram with quantile queries (resp_delays,
+// network_hops, resp_size), and a top-N value tracker with counts
+// (the top-3 TTL values and their distributions).
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram is a log-scale bucketed histogram of non-negative values.
+// Buckets grow geometrically, so quantiles keep constant relative error
+// (about half the growth factor) over the full range. The zero value is
+// not usable; create one with NewHistogram.
+type Histogram struct {
+	bounds []float64 // upper bound of each bucket, ascending
+	counts []uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram covering (0, max] with the given
+// growth factor (e.g. 1.2 gives ~10 % relative quantile error). Values
+// above max land in the final overflow bucket; zero and negatives count
+// into the first bucket.
+func NewHistogram(maxValue, growth float64) *Histogram {
+	if growth <= 1.01 {
+		growth = 1.2
+	}
+	if maxValue <= 1 {
+		maxValue = 1
+	}
+	var bounds []float64
+	for b := 1.0; b < maxValue*growth; b *= growth {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, math.Inf(1))
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx == len(h.bounds) {
+		idx--
+	}
+	h.counts[idx]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the arithmetic mean of observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observed value, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed value, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1), linearly
+// interpolated within the containing bucket. Empty histograms yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if math.IsInf(hi, 1) {
+				hi = h.max
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Quartiles returns the 25th, 50th and 75th percentiles, the form the
+// paper stores for resp_delays, network_hops and resp_size.
+func (h *Histogram) Quartiles() (q25, q50, q75 float64) {
+	return h.Quantile(0.25), h.Quantile(0.5), h.Quantile(0.75)
+}
+
+// Merge adds other's observations into h. Both histograms must have been
+// created with the same parameters; mismatched shapes are merged
+// bucket-by-index up to the shorter length.
+func (h *Histogram) Merge(other *Histogram) {
+	n := len(h.counts)
+	if len(other.counts) < n {
+		n = len(other.counts)
+	}
+	for i := 0; i < n; i++ {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.n > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Reset clears the histogram for the next time window.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.n = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+}

@@ -1,0 +1,105 @@
+package sketch
+
+import "sort"
+
+// TopValues tracks the distribution of a (typically low-cardinality)
+// discrete value such as a record TTL, and reports the most frequent
+// values with their shares. The paper stores "the top-3 TTL values (and
+// distributions)" per object (§2.3).
+//
+// To bound memory against adversarial high-cardinality inputs (e.g.
+// nameservers serving a different TTL on every response, the
+// "non-conforming" class of Table 4), at most maxTracked distinct values
+// are held; further new values are lumped into an "other" count.
+type TopValues struct {
+	counts     map[uint32]uint64
+	other      uint64
+	total      uint64
+	maxTracked int
+}
+
+// NewTopValues returns a tracker holding up to maxTracked distinct values.
+func NewTopValues(maxTracked int) *TopValues {
+	if maxTracked < 1 {
+		maxTracked = 16
+	}
+	return &TopValues{counts: make(map[uint32]uint64), maxTracked: maxTracked}
+}
+
+// Observe records one occurrence of v.
+func (t *TopValues) Observe(v uint32) {
+	t.total++
+	if _, ok := t.counts[v]; !ok && len(t.counts) >= t.maxTracked {
+		t.other++
+		return
+	}
+	t.counts[v]++
+}
+
+// ValueCount is one entry of a Top report.
+type ValueCount struct {
+	Value uint32
+	Count uint64
+	Share float64 // fraction of all observations
+}
+
+// Top returns the n most frequent values, most frequent first. Ties are
+// broken by smaller value for determinism.
+func (t *TopValues) Top(n int) []ValueCount {
+	vcs := make([]ValueCount, 0, len(t.counts))
+	for v, c := range t.counts {
+		vcs = append(vcs, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(vcs, func(i, j int) bool {
+		if vcs[i].Count != vcs[j].Count {
+			return vcs[i].Count > vcs[j].Count
+		}
+		return vcs[i].Value < vcs[j].Value
+	})
+	if n < len(vcs) {
+		vcs = vcs[:n]
+	}
+	for i := range vcs {
+		if t.total > 0 {
+			vcs[i].Share = float64(vcs[i].Count) / float64(t.total)
+		}
+	}
+	return vcs
+}
+
+// Mode returns the single most frequent value and its share; ok is false
+// when nothing was observed.
+func (t *TopValues) Mode() (v uint32, share float64, ok bool) {
+	top := t.Top(1)
+	if len(top) == 0 {
+		return 0, 0, false
+	}
+	return top[0].Value, top[0].Share, true
+}
+
+// Distinct returns the number of tracked distinct values (capped at the
+// tracker size).
+func (t *TopValues) Distinct() int { return len(t.counts) }
+
+// Total returns the number of observations.
+func (t *TopValues) Total() uint64 { return t.total }
+
+// Merge folds other's counts into t, respecting t's cap.
+func (t *TopValues) Merge(other *TopValues) {
+	for v, c := range other.counts {
+		if _, ok := t.counts[v]; !ok && len(t.counts) >= t.maxTracked {
+			t.other += c
+		} else {
+			t.counts[v] += c
+		}
+	}
+	t.other += other.other
+	t.total += other.total
+}
+
+// Reset clears the tracker for the next time window.
+func (t *TopValues) Reset() {
+	clear(t.counts)
+	t.other = 0
+	t.total = 0
+}

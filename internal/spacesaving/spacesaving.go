@@ -1,0 +1,233 @@
+// Package spacesaving implements the Space-Saving algorithm of Metwally,
+// Agrawal and El Abbadi (ICDT 2005) for tracking the top-k most frequent
+// items in a stream with bounded memory — the basic tool of DNS
+// Observatory (§2.2).
+//
+// Two departures from the textbook algorithm follow the paper:
+//
+//   - Each monitored object carries an exponentially decaying moving
+//     average that estimates its transaction rate (hits per second), so
+//     popularity reflects recent traffic rather than all-time counts.
+//   - Before evicting the minimum entry for a never-seen key, an optional
+//     admission filter (a Bloom filter) is consulted, so that a key must
+//     be seen at least twice before it can displace a monitored object.
+//     This shields the top list from incidental observations of rare keys.
+//
+// Evicted entries bequeath their count to the newcomer (the classic
+// overestimation bound: error <= min count).
+package spacesaving
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Admitter decides whether a previously unmonitored key may evict the
+// minimum entry. bloom.Filter satisfies it.
+type Admitter interface {
+	Contains(key string) bool
+	Add(key string)
+}
+
+// Entry is a monitored object.
+type Entry struct {
+	Key   string
+	Count uint64  // estimated hits, includes inherited error
+	Error uint64  // max overestimation (count of the entry evicted for us)
+	Rate  float64 // exponentially decayed transactions per second
+
+	// State is arbitrary per-object state attached by the caller — the
+	// Observatory hangs its feature accumulators here. It survives
+	// rate/count updates but is discarded on eviction.
+	State any
+
+	// InsertedAt is the stream time the key last entered the cache; the
+	// Observatory skips objects younger than one window when dumping
+	// snapshots (§2.4).
+	InsertedAt float64
+
+	index  int     // heap index
+	rateAt float64 // time of the last rate update
+}
+
+// Cache is a Space-Saving top-k cache. Create one with New. Cache is not
+// safe for concurrent use.
+type Cache struct {
+	capacity int
+	halfLife float64 // seconds for a rate estimate to decay by half
+	entries  map[string]*Entry
+	min      minHeap
+	admitter Admitter
+	hits     uint64
+	dropped  uint64
+}
+
+// New returns a cache monitoring up to capacity keys. halfLife is the
+// decay half-life in seconds of the per-object rate estimate; 60 s
+// mirrors the Observatory's 1-minute windows. admitter may be nil.
+func New(capacity int, halfLife float64, admitter Admitter) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if halfLife <= 0 {
+		halfLife = 60
+	}
+	return &Cache{
+		capacity: capacity,
+		halfLife: halfLife,
+		entries:  make(map[string]*Entry, capacity),
+		min:      make(minHeap, 0, capacity),
+		admitter: admitter,
+	}
+}
+
+// Observe records one occurrence of key at stream time now (seconds, any
+// epoch, monotone non-decreasing). It returns the entry monitoring key,
+// or nil if the key was not admitted.
+func (c *Cache) Observe(key string, now float64) *Entry {
+	c.hits++
+	if e, ok := c.entries[key]; ok {
+		e.Count++
+		c.bumpRate(e, now)
+		heap.Fix(&c.min, e.index)
+		return e
+	}
+	if len(c.entries) < c.capacity {
+		e := &Entry{Key: key, Count: 1, InsertedAt: now, rateAt: now}
+		e.Rate = c.instantRate()
+		c.entries[key] = e
+		heap.Push(&c.min, e)
+		return e
+	}
+	// Full: the newcomer must displace the minimum entry. With an
+	// admission filter, a never-before-seen key only registers its first
+	// sighting and is dropped.
+	if c.admitter != nil && !c.admitter.Contains(key) {
+		c.admitter.Add(key)
+		c.dropped++
+		return nil
+	}
+	e := c.min[0]
+	delete(c.entries, e.Key)
+	// Keep (and update) the evicted entry's frequency estimate, per the
+	// paper: the newcomer inherits count and rate, but not State.
+	e.Key = key
+	e.Error = e.Count
+	e.Count++
+	e.State = nil
+	e.InsertedAt = now
+	c.bumpRate(e, now)
+	c.entries[key] = e
+	heap.Fix(&c.min, 0)
+	return e
+}
+
+// bumpRate folds one new observation into the decayed rate estimate.
+func (c *Cache) bumpRate(e *Entry, now float64) {
+	dt := now - e.rateAt
+	if dt < 0 {
+		dt = 0
+	}
+	// Decay the previous estimate, then add the instantaneous
+	// contribution of one event smoothed over the half-life.
+	decay := math.Exp2(-dt / c.halfLife)
+	e.Rate = e.Rate*decay + (1-decay)/math.Max(dt, 1e-9)
+	if dt == 0 {
+		// Multiple events at the same instant: accumulate linearly at
+		// the per-half-life normalization so bursts still register.
+		e.Rate += math.Ln2 / c.halfLife
+	}
+	e.rateAt = now
+}
+
+// instantRate is the rate assigned to a brand-new entry: one event, no
+// history.
+func (c *Cache) instantRate() float64 { return math.Ln2 / c.halfLife }
+
+// RateAt returns e's rate estimate decayed to time now. Entry.Rate is
+// only updated on Observe, so for objects idle since their last hit it
+// overstates current traffic; always read rates through RateAt when
+// comparing objects at a common instant (e.g. at window dumps).
+func (c *Cache) RateAt(e *Entry, now float64) float64 {
+	dt := now - e.rateAt
+	if dt <= 0 {
+		return e.Rate
+	}
+	return e.Rate * math.Exp2(-dt/c.halfLife)
+}
+
+// Get returns the entry monitoring key, or nil.
+func (c *Cache) Get(key string) *Entry {
+	return c.entries[key]
+}
+
+// Len returns the number of monitored keys.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Hits returns the total observations, Dropped those rejected by the
+// admission filter.
+func (c *Cache) Hits() uint64    { return c.hits }
+func (c *Cache) Dropped() uint64 { return c.dropped }
+
+// MinCount returns the smallest monitored count — the overestimation
+// bound for any reported frequency.
+func (c *Cache) MinCount() uint64 {
+	if len(c.min) == 0 {
+		return 0
+	}
+	return c.min[0].Count
+}
+
+// Top returns up to n entries ordered by descending count (ties broken
+// by key). The returned slice is freshly allocated; entries are shared.
+func (c *Cache) Top(n int) []*Entry {
+	all := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// Entries calls fn for every monitored entry in unspecified order.
+func (c *Cache) Entries(fn func(*Entry)) {
+	for _, e := range c.entries {
+		fn(e)
+	}
+}
+
+// minHeap orders entries by ascending count so the eviction victim is at
+// the root.
+type minHeap []*Entry
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i].Count < h[j].Count }
+
+func (h minHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *minHeap) Push(x any) {
+	e := x.(*Entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *minHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,175 @@
+package tsv
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store manages snapshot files in a directory, running the aggregation
+// cascade (minutely → 10-minutely → hourly → …) and the retention
+// policy that deletes old fine-grained files once coarser aggregates
+// exist (paper §2.4).
+type Store struct {
+	dir string
+	// Retain caps how many files of each level are kept; zero means
+	// unlimited. Older files beyond the cap are deleted by Retention.
+	Retain map[Level]int
+}
+
+// NewStore returns a store rooted at dir, creating it if needed.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, Retain: map[Level]int{}}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Put writes snap as a file.
+func (st *Store) Put(snap *Snapshot) error {
+	f, err := os.CreateTemp(st.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := snap.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), filepath.Join(st.dir, snap.FileName()))
+}
+
+// Get loads the snapshot for (agg, level, start), or an error.
+func (st *Store) Get(agg string, level Level, start int64) (*Snapshot, error) {
+	name := (&Snapshot{Aggregation: agg, Level: level, Start: start}).FileName()
+	f, err := os.Open(filepath.Join(st.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	s.Aggregation, s.Level, s.Start = agg, level, start
+	return s, nil
+}
+
+// List returns the start times of stored files for (agg, level),
+// ascending.
+func (st *Store) List(agg string, level Level) ([]int64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var starts []int64
+	for _, e := range entries {
+		a, l, start, err := ParseFileName(e.Name())
+		if err != nil || a != agg || l != level {
+			continue
+		}
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts, nil
+}
+
+// Cascade aggregates complete groups of files into the next level, for
+// every level below Yearly. A group is complete when GroupSize files of
+// the lower level fall within one upper-level window and that window has
+// closed (its end is at or before now). Newly produced files trigger
+// further cascading.
+func (st *Store) Cascade(agg string, now int64) error {
+	for level := Minutely; level < MaxLevel; level++ {
+		upper := level + 1
+		starts, err := st.List(agg, level)
+		if err != nil {
+			return err
+		}
+		groups := map[int64][]int64{}
+		for _, s := range starts {
+			w := s - s%upper.Seconds()
+			groups[w] = append(groups[w], s)
+		}
+		ws := make([]int64, 0, len(groups))
+		for w := range groups {
+			ws = append(ws, w)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for _, w := range ws {
+			if w+upper.Seconds() > now {
+				continue // window still open
+			}
+			if _, err := st.Get(agg, upper, w); err == nil {
+				continue // already aggregated
+			}
+			var snaps []*Snapshot
+			for _, s := range groups[w] {
+				snap, err := st.Get(agg, level, s)
+				if err != nil {
+					return err
+				}
+				snaps = append(snaps, snap)
+			}
+			out, err := Aggregate(snaps)
+			if err != nil {
+				return err
+			}
+			out.Start = w
+			if err := st.Put(out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Retention deletes the oldest files of each level beyond the configured
+// Retain cap, but never deletes a file that has not yet been folded into
+// an existing upper-level aggregate.
+func (st *Store) Retention(agg string) error {
+	for level := Minutely; level <= MaxLevel; level++ {
+		keep := st.Retain[level]
+		if keep <= 0 {
+			continue
+		}
+		starts, err := st.List(agg, level)
+		if err != nil {
+			return err
+		}
+		if len(starts) <= keep {
+			continue
+		}
+		var upperStarts map[int64]bool
+		if level < MaxLevel {
+			us, err := st.List(agg, level+1)
+			if err != nil {
+				return err
+			}
+			upperStarts = make(map[int64]bool, len(us))
+			for _, u := range us {
+				upperStarts[u] = true
+			}
+		}
+		for _, s := range starts[:len(starts)-keep] {
+			if level < MaxLevel {
+				w := s - s%(level+1).Seconds()
+				if !upperStarts[w] {
+					continue // not yet aggregated; keep
+				}
+			}
+			name := (&Snapshot{Aggregation: agg, Level: level, Start: s}).FileName()
+			if err := os.Remove(filepath.Join(st.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

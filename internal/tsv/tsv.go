@@ -1,0 +1,418 @@
+// Package tsv implements the Observatory's on-disk time series (paper
+// §2.4): TSV snapshot files whose names encode the aggregation, time
+// granularity and collection start; cascading time aggregation from
+// minutely files up to yearly ones (mean rates for counters, zero-filled
+// for missing objects; means over present windows for gauges); and the
+// per-granularity retention policy that keeps disk usage bounded.
+package tsv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind mirrors features.Kind without importing it, keeping this package
+// a generic time-series layer.
+type Kind int
+
+// Column kinds. Counters aggregate as mean rates with zero for missing
+// objects; gauges as means over present windows; modes (categorical
+// values such as the dominant TTL) as the window-weighted majority
+// value — averaging a 300 s and an 86400 s TTL into 43350 would be
+// meaningless.
+const (
+	Counter Kind = iota
+	Gauge
+	Mode
+)
+
+// Level identifies a time granularity.
+type Level int
+
+// The aggregation cascade. Each level groups a fixed number of files of
+// the previous one.
+const (
+	Minutely Level = iota
+	Decaminutely
+	Hourly
+	Daily
+	Monthly
+	Yearly
+)
+
+// levelSpec describes one granularity.
+type levelSpec struct {
+	name    string
+	seconds int64
+	group   int // how many lower-level files aggregate into one
+}
+
+var levels = []levelSpec{
+	{"min", 60, 0},
+	{"10min", 600, 10},
+	{"hour", 3600, 6},
+	{"day", 86400, 24},
+	{"month", 30 * 86400, 30},
+	{"year", 360 * 86400, 12},
+}
+
+// Name returns the level's short name used in file names.
+func (l Level) Name() string { return levels[l].name }
+
+// Seconds returns the level's window length.
+func (l Level) Seconds() int64 { return levels[l].seconds }
+
+// GroupSize returns how many files of the previous level form one file
+// of this level (0 for Minutely).
+func (l Level) GroupSize() int { return levels[l].group }
+
+// MaxLevel is the coarsest granularity.
+const MaxLevel = Yearly
+
+// Row is one DNS object's feature vector in a snapshot.
+type Row struct {
+	Key    string
+	Values []float64
+}
+
+// Snapshot is the contents of one TSV file: the top-k objects of one
+// aggregation over one time window.
+type Snapshot struct {
+	Aggregation string // e.g. "srvip", "esld"
+	Level       Level
+	Start       int64 // unix seconds of window start
+	Columns     []string
+	Kinds       []Kind
+	Rows        []Row
+	// Collection statistics (the file's last row): transactions seen
+	// before and after filtering.
+	TotalBefore uint64
+	TotalAfter  uint64
+	// Windows counts how many base windows were averaged into this
+	// snapshot (1 for a freshly dumped file).
+	Windows int
+}
+
+// Errors returned by the codec and aggregator.
+var (
+	ErrBadFile      = errors.New("tsv: malformed snapshot file")
+	ErrSchemaChange = errors.New("tsv: snapshots have different schemas")
+	ErrNothingToAgg = errors.New("tsv: no snapshots to aggregate")
+	ErrMixedLevels  = errors.New("tsv: snapshots from different levels")
+)
+
+// FileName returns the canonical file name: the granularity and the
+// collection start moment are both encoded, per the paper.
+func (s *Snapshot) FileName() string {
+	return fmt.Sprintf("%s-%s-%d.tsv", s.Aggregation, s.Level.Name(), s.Start)
+}
+
+// ParseFileName inverts FileName.
+func ParseFileName(name string) (agg string, level Level, start int64, err error) {
+	name = strings.TrimSuffix(name, ".tsv")
+	parts := strings.Split(name, "-")
+	if len(parts) < 3 {
+		return "", 0, 0, ErrBadFile
+	}
+	start, err = strconv.ParseInt(parts[len(parts)-1], 10, 64)
+	if err != nil {
+		return "", 0, 0, ErrBadFile
+	}
+	lname := parts[len(parts)-2]
+	found := false
+	for i, spec := range levels {
+		if spec.name == lname {
+			level = Level(i)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return "", 0, 0, ErrBadFile
+	}
+	agg = strings.Join(parts[:len(parts)-2], "-")
+	return agg, level, start, nil
+}
+
+// WriteTo writes the snapshot in TSV form: a header row with column
+// names, one row per object, and a trailing statistics row.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(line string) error {
+		m, err := bw.WriteString(line)
+		n += int64(m)
+		return err
+	}
+	kinds := make([]string, len(s.Kinds))
+	for i, k := range s.Kinds {
+		switch k {
+		case Counter:
+			kinds[i] = "c"
+		case Mode:
+			kinds[i] = "m"
+		default:
+			kinds[i] = "g"
+		}
+	}
+	if err := write("#key\t" + strings.Join(s.Columns, "\t") + "\n"); err != nil {
+		return n, err
+	}
+	if err := write("#kind\t" + strings.Join(kinds, "\t") + "\n"); err != nil {
+		return n, err
+	}
+	for _, r := range s.Rows {
+		var sb strings.Builder
+		sb.WriteString(r.Key)
+		for _, v := range r.Values {
+			sb.WriteByte('\t')
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+		if err := write(sb.String()); err != nil {
+			return n, err
+		}
+	}
+	stats := fmt.Sprintf("#stats\ttotal_before=%d\ttotal_after=%d\twindows=%d\n",
+		s.TotalBefore, s.TotalAfter, s.Windows)
+	if err := write(stats); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a snapshot written by WriteTo. Aggregation, Level and
+// Start are not stored in the file body (they live in the name) and are
+// left zero; callers set them from ParseFileName.
+func Read(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	s := &Snapshot{Windows: 1}
+	lineNo := 0
+	for sc.Scan() {
+		line := sc.Text()
+		lineNo++
+		fields := strings.Split(line, "\t")
+		switch {
+		case strings.HasPrefix(line, "#key\t"):
+			s.Columns = fields[1:]
+		case strings.HasPrefix(line, "#kind\t"):
+			for _, k := range fields[1:] {
+				switch k {
+				case "c":
+					s.Kinds = append(s.Kinds, Counter)
+				case "m":
+					s.Kinds = append(s.Kinds, Mode)
+				default:
+					s.Kinds = append(s.Kinds, Gauge)
+				}
+			}
+		case strings.HasPrefix(line, "#stats\t"):
+			for _, f := range fields[1:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					continue
+				}
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil, ErrBadFile
+				}
+				switch k {
+				case "total_before":
+					s.TotalBefore = n
+				case "total_after":
+					s.TotalAfter = n
+				case "windows":
+					s.Windows = int(n)
+				}
+			}
+		case line == "" || strings.HasPrefix(line, "#"):
+			// Skip blanks and unknown comments.
+		default:
+			if s.Columns == nil {
+				return nil, ErrBadFile
+			}
+			if len(fields) != len(s.Columns)+1 {
+				return nil, ErrBadFile
+			}
+			row := Row{Key: fields[0], Values: make([]float64, len(fields)-1)}
+			for i, f := range fields[1:] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, ErrBadFile
+				}
+				row.Values[i] = v
+			}
+			s.Rows = append(s.Rows, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s.Columns == nil {
+		return nil, ErrBadFile
+	}
+	return s, nil
+}
+
+// Aggregate combines consecutive snapshots of one level into a snapshot
+// of the next level, per §2.4: counter features average over all input
+// windows with missing objects contributing zero; gauge features average
+// only over the windows where the object appears.
+func Aggregate(snaps []*Snapshot) (*Snapshot, error) {
+	if len(snaps) == 0 {
+		return nil, ErrNothingToAgg
+	}
+	first := snaps[0]
+	if first.Level >= MaxLevel {
+		return nil, ErrMixedLevels
+	}
+	type acc struct {
+		sum     []float64
+		present []int // windows in which the value appeared (gauges)
+		modes   []map[float64]int
+	}
+	hasModes := false
+	for _, k := range first.Kinds {
+		if k == Mode {
+			hasModes = true
+			break
+		}
+	}
+	accs := map[string]*acc{}
+	totalWindows := 0
+	var totalBefore, totalAfter uint64
+	minStart := first.Start
+	for _, s := range snaps {
+		if s.Level != first.Level {
+			return nil, ErrMixedLevels
+		}
+		if len(s.Columns) != len(first.Columns) {
+			return nil, ErrSchemaChange
+		}
+		for i := range s.Columns {
+			if s.Columns[i] != first.Columns[i] || s.Kinds[i] != first.Kinds[i] {
+				return nil, ErrSchemaChange
+			}
+		}
+		if s.Start < minStart {
+			minStart = s.Start
+		}
+		totalWindows += s.Windows
+		totalBefore += s.TotalBefore
+		totalAfter += s.TotalAfter
+		for _, r := range s.Rows {
+			a, ok := accs[r.Key]
+			if !ok {
+				a = &acc{sum: make([]float64, len(first.Columns)), present: make([]int, len(first.Columns))}
+				if hasModes {
+					a.modes = make([]map[float64]int, len(first.Columns))
+				}
+				accs[r.Key] = a
+			}
+			for i, v := range r.Values {
+				a.sum[i] += v * float64(s.Windows)
+				a.present[i] += s.Windows
+				if first.Kinds[i] == Mode && v != 0 {
+					// Zero means "nothing observed this window" for the
+					// TTL-mode columns, not a zero TTL; skip it like
+					// gauges skip missing data points.
+					if a.modes[i] == nil {
+						a.modes[i] = map[float64]int{}
+					}
+					a.modes[i][v] += s.Windows
+				}
+			}
+		}
+	}
+	out := &Snapshot{
+		Aggregation: first.Aggregation,
+		Level:       first.Level + 1,
+		Start:       minStart,
+		Columns:     first.Columns,
+		Kinds:       first.Kinds,
+		TotalBefore: totalBefore,
+		TotalAfter:  totalAfter,
+		Windows:     totalWindows,
+	}
+	keys := make([]string, 0, len(accs))
+	for k := range accs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a := accs[k]
+		vals := make([]float64, len(first.Columns))
+		for i := range vals {
+			switch first.Kinds[i] {
+			case Counter:
+				// Average rate per base window over the whole period;
+				// absent windows count as zero.
+				vals[i] = a.sum[i] / float64(totalWindows)
+			case Mode:
+				// Window-weighted majority value; ties break low.
+				var best float64
+				bestW := -1
+				for v, w := range a.modes[i] {
+					if w > bestW || (w == bestW && v < best) {
+						best, bestW = v, w
+					}
+				}
+				vals[i] = best
+			default:
+				// Mean over the windows where the object was present.
+				if a.present[i] > 0 {
+					vals[i] = a.sum[i] / float64(a.present[i])
+				}
+			}
+		}
+		out.Rows = append(out.Rows, Row{Key: k, Values: vals})
+	}
+	return out, nil
+}
+
+// Find returns the row for key, or nil.
+func (s *Snapshot) Find(key string) *Row {
+	for i := range s.Rows {
+		if s.Rows[i].Key == key {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Value returns row's value in the named column; ok is false when the
+// column does not exist.
+func (s *Snapshot) Value(r *Row, column string) (float64, bool) {
+	for i, c := range s.Columns {
+		if c == column {
+			return r.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// SortByColumn orders rows by the named column, descending.
+func (s *Snapshot) SortByColumn(column string) {
+	idx := -1
+	for i, c := range s.Columns {
+		if c == column {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	sort.SliceStable(s.Rows, func(i, j int) bool {
+		if s.Rows[i].Values[idx] != s.Rows[j].Values[idx] {
+			return s.Rows[i].Values[idx] > s.Rows[j].Values[idx]
+		}
+		return s.Rows[i].Key < s.Rows[j].Key
+	})
+}

@@ -1,0 +1,211 @@
+// Package webui exposes the Observatory's live state over HTTP — the
+// paper's planned "web interface" for sharing collected data. It serves
+// the latest snapshot of each aggregation as JSON, the stored TSV files
+// verbatim, and a health endpoint.
+//
+//	GET /healthz                         liveness + ingest counters
+//	GET /api/aggregations                aggregation names
+//	GET /api/top/{agg}?n=50&col=hits     latest top objects as JSON
+//	GET /api/files/{agg}                 stored snapshot files
+//	GET /files/{agg}/{level}/{start}     one TSV file, as written
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dnsobservatory/internal/tsv"
+)
+
+// Server is the HTTP facade. The zero value is not usable; create with
+// NewServer. Server is safe for concurrent use.
+type Server struct {
+	mu     sync.RWMutex
+	latest map[string]*tsv.Snapshot
+	store  *tsv.Store // optional
+
+	ingested atomic.Uint64
+	windows  atomic.Uint64
+}
+
+// NewServer returns a server; store may be nil when only live snapshots
+// are exposed.
+func NewServer(store *tsv.Store) *Server {
+	return &Server{latest: map[string]*tsv.Snapshot{}, store: store}
+}
+
+// OnSnapshot records a freshly dumped snapshot; hook it into the
+// pipeline's snapshot callback.
+func (s *Server) OnSnapshot(snap *tsv.Snapshot) {
+	s.mu.Lock()
+	s.latest[snap.Aggregation] = snap
+	s.mu.Unlock()
+	s.windows.Add(1)
+}
+
+// CountIngest bumps the transaction counter reported by /healthz.
+func (s *Server) CountIngest() { s.ingested.Add(1) }
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/aggregations", s.handleAggregations)
+	mux.HandleFunc("GET /api/top/{agg}", s.handleTop)
+	mux.HandleFunc("GET /api/files/{agg}", s.handleFiles)
+	mux.HandleFunc("GET /files/{agg}/{level}/{start}", s.handleFile)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"ok":           true,
+		"transactions": s.ingested.Load(),
+		"windows":      s.windows.Load(),
+	})
+}
+
+func (s *Server) handleAggregations(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.latest))
+	for name := range s.latest {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, names)
+}
+
+// topRow is the JSON shape of one object.
+type topRow struct {
+	Rank   int                `json:"rank"`
+	Key    string             `json:"key"`
+	Values map[string]float64 `json:"values"`
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	agg := r.PathValue("agg")
+	s.mu.RLock()
+	snap := s.latest[agg]
+	s.mu.RUnlock()
+	if snap == nil {
+		http.Error(w, "unknown aggregation", http.StatusNotFound)
+		return
+	}
+	n := 50
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 100000 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	col := r.URL.Query().Get("col")
+	if col == "" {
+		col = "hits"
+	}
+	valid := false
+	for _, c := range snap.Columns {
+		if c == col {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		http.Error(w, "unknown column", http.StatusBadRequest)
+		return
+	}
+	snap.SortByColumn(col)
+	out := struct {
+		Aggregation string   `json:"aggregation"`
+		WindowStart int64    `json:"window_start"`
+		Rows        []topRow `json:"rows"`
+	}{Aggregation: agg, WindowStart: snap.Start}
+	for i := range snap.Rows {
+		if i >= n {
+			break
+		}
+		row := topRow{Rank: i + 1, Key: snap.Rows[i].Key, Values: map[string]float64{}}
+		for c, name := range snap.Columns {
+			row.Values[name] = snap.Rows[i].Values[c]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no store attached", http.StatusNotFound)
+		return
+	}
+	agg := r.PathValue("agg")
+	type fileInfo struct {
+		Level string `json:"level"`
+		Start int64  `json:"start"`
+		Name  string `json:"name"`
+	}
+	var files []fileInfo
+	for level := tsv.Minutely; level <= tsv.MaxLevel; level++ {
+		starts, err := s.store.List(agg, level)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, start := range starts {
+			snap := tsv.Snapshot{Aggregation: agg, Level: level, Start: start}
+			files = append(files, fileInfo{Level: level.Name(), Start: start, Name: snap.FileName()})
+		}
+	}
+	writeJSON(w, files)
+}
+
+func (s *Server) handleFile(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no store attached", http.StatusNotFound)
+		return
+	}
+	agg := r.PathValue("agg")
+	levelName := r.PathValue("level")
+	start, err := strconv.ParseInt(r.PathValue("start"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad start", http.StatusBadRequest)
+		return
+	}
+	var level tsv.Level
+	found := false
+	for l := tsv.Minutely; l <= tsv.MaxLevel; l++ {
+		if l.Name() == levelName {
+			level = l
+			found = true
+			break
+		}
+	}
+	if !found || strings.ContainsAny(agg, "/\\") {
+		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+	snap, err := s.store.Get(agg, level, start)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	if _, err := snap.WriteTo(w); err != nil {
+		// Too late for a status change; the connection is gone.
+		return
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		fmt.Println("webui: encode:", err)
+	}
+}

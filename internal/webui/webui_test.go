@@ -1,0 +1,189 @@
+package webui
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dnsobservatory/internal/tsv"
+)
+
+func snapshotFixture(agg string, start int64) *tsv.Snapshot {
+	return &tsv.Snapshot{
+		Aggregation: agg,
+		Level:       tsv.Minutely,
+		Start:       start,
+		Columns:     []string{"hits", "nxd"},
+		Kinds:       []tsv.Kind{tsv.Counter, tsv.Counter},
+		Rows: []tsv.Row{
+			{Key: "198.51.100.1", Values: []float64{100, 10}},
+			{Key: "198.51.100.2", Values: []float64{300, 200}},
+			{Key: "198.51.100.3", Values: []float64{50, 1}},
+		},
+		Windows: 1,
+	}
+}
+
+func newTestServer(t *testing.T, withStore bool) (*Server, *httptest.Server) {
+	t.Helper()
+	var store *tsv.Store
+	if withStore {
+		var err error
+		store, err = tsv.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewServer(store)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	s.CountIngest()
+	s.CountIngest()
+	s.OnSnapshot(snapshotFixture("srvip", 0))
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	var h struct {
+		OK           bool   `json:"ok"`
+		Transactions uint64 `json:"transactions"`
+		Windows      uint64 `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Transactions != 2 || h.Windows != 1 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	s.OnSnapshot(snapshotFixture("srvip", 0))
+	s.OnSnapshot(snapshotFixture("qname", 0))
+	code, body := get(t, ts.URL+"/api/aggregations")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	var names []string
+	if err := json.Unmarshal([]byte(body), &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestTop(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	s.OnSnapshot(snapshotFixture("srvip", 60))
+	code, body := get(t, ts.URL+"/api/top/srvip?n=2")
+	if code != 200 {
+		t.Fatalf("code %d: %s", code, body)
+	}
+	var out struct {
+		Aggregation string `json:"aggregation"`
+		WindowStart int64  `json:"window_start"`
+		Rows        []struct {
+			Rank   int                `json:"rank"`
+			Key    string             `json:"key"`
+			Values map[string]float64 `json:"values"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WindowStart != 60 || len(out.Rows) != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Rows[0].Key != "198.51.100.2" || out.Rows[0].Values["hits"] != 300 {
+		t.Errorf("top row = %+v", out.Rows[0])
+	}
+
+	// Sort by another column.
+	code, body = get(t, ts.URL+"/api/top/srvip?n=1&col=nxd")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0].Values["nxd"] != 200 {
+		t.Errorf("nxd-sorted top = %+v", out.Rows[0])
+	}
+}
+
+func TestTopErrors(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	s.OnSnapshot(snapshotFixture("srvip", 0))
+	for path, want := range map[string]int{
+		"/api/top/unknown":       404,
+		"/api/top/srvip?n=0":     400,
+		"/api/top/srvip?n=x":     400,
+		"/api/top/srvip?col=zzz": 400,
+	} {
+		if code, _ := get(t, ts.URL+path); code != want {
+			t.Errorf("%s: code %d, want %d", path, code, want)
+		}
+	}
+}
+
+func TestFilesAndDownload(t *testing.T) {
+	s, ts := newTestServer(t, true)
+	snap := snapshotFixture("srvip", 120)
+	if err := s.store.Put(snap); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/api/files/srvip")
+	if code != 200 {
+		t.Fatalf("files code %d", code)
+	}
+	if !strings.Contains(body, "srvip-min-120.tsv") {
+		t.Errorf("files body: %s", body)
+	}
+	code, body = get(t, ts.URL+"/files/srvip/min/120")
+	if code != 200 {
+		t.Fatalf("download code %d", code)
+	}
+	if !strings.HasPrefix(body, "#key\thits\tnxd\n") {
+		t.Errorf("tsv body:\n%s", body)
+	}
+	if code, _ := get(t, ts.URL+"/files/srvip/min/999"); code != 404 {
+		t.Errorf("missing file code %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/files/srvip/century/120"); code != 400 {
+		t.Errorf("bad level code %d", code)
+	}
+}
+
+func TestStorelessFileEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, false)
+	if code, _ := get(t, ts.URL+"/api/files/srvip"); code != 404 {
+		t.Errorf("files without store: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/files/srvip/min/0"); code != 404 {
+		t.Errorf("file without store: %d", code)
+	}
+}
