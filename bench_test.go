@@ -97,6 +97,80 @@ func BenchmarkPipelineIngest(b *testing.B) {
 	}
 }
 
+// parallelBenchSummaries prebuilds a deep-copied summary corpus shared
+// by the parallel-ingest benchmark variants.
+func parallelBenchSummaries() []sie.Summary {
+	cfg := simnet.DefaultConfig()
+	cfg.Duration = 30
+	cfg.QPS = 2000
+	sim := simnet.New(cfg)
+	var sums []sie.Summary
+	var s sie.Summarizer
+	sim.Run(func(tx *sie.Transaction) {
+		var sum sie.Summary
+		if err := s.Summarize(tx, &sum); err == nil {
+			sum.V4Addrs = append([]netip.Addr(nil), sum.V4Addrs...)
+			sum.V6Addrs = append([]netip.Addr(nil), sum.V6Addrs...)
+			sum.AnswerTTLs = append([]uint32(nil), sum.AnswerTTLs...)
+			sum.NSTTLs = append([]uint32(nil), sum.NSTTLs...)
+			sum.NSNames = append([]string(nil), sum.NSNames...)
+			sums = append(sums, sum)
+		}
+	})
+	return sums
+}
+
+// BenchmarkParallelIngest compares the three ingest engines on the same
+// 8-aggregation load: the serial Pipeline, the per-aggregation Parallel
+// fan-out, and the key-hash-sharded engine. Run with -cpu 1,4 to see the
+// scaling behaviour; BENCH_1.json records the harness baseline.
+func BenchmarkParallelIngest(b *testing.B) {
+	sums := parallelBenchSummaries()
+	cfg := observatory.DefaultConfig()
+	b.Run("serial", func(b *testing.B) {
+		pipe := observatory.New(cfg, observatory.StandardAggregations(0.01), nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe.Ingest(&sums[i%len(sums)], float64(i)/2000)
+		}
+	})
+	b.Run("peragg", func(b *testing.B) {
+		pipe := observatory.NewParallel(cfg, observatory.StandardAggregations(0.01), nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe.Ingest(&sums[i%len(sums)], float64(i)/2000)
+		}
+		b.StopTimer()
+		pipe.Close()
+	})
+	b.Run("sharded", func(b *testing.B) {
+		eng := observatory.NewSharded(observatory.ShardedConfig{Config: cfg},
+			observatory.StandardAggregations(0.01), nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Ingest(&sums[i%len(sums)], float64(i)/2000)
+		}
+		b.StopTimer()
+		eng.Close()
+	})
+	b.Run("sharded-zerocopy", func(b *testing.B) {
+		eng := observatory.NewSharded(observatory.ShardedConfig{Config: cfg},
+			observatory.StandardAggregations(0.01), nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf := eng.Borrow()
+			buf.CopyFrom(&sums[i%len(sums)])
+			eng.IngestShared(buf, float64(i)/2000)
+		}
+		b.StopTimer()
+		eng.Close()
+	})
+}
+
 // BenchmarkSummarize measures raw-packet parsing into a Summary.
 func BenchmarkSummarize(b *testing.B) {
 	cfg := simnet.DefaultConfig()

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"dnsobservatory/internal/observatory"
@@ -26,7 +27,10 @@ func main() {
 		factor   = flag.Float64("k", 0.1, "top-k capacity factor (1.0 = paper scale)")
 		retain   = flag.Int("retain-min", 0, "minutely files to retain (0 = all)")
 		httpAddr = flag.String("http", "", "serve the live web UI on this address (e.g. :8053)")
-		parallel = flag.Bool("parallel", false, "run each aggregation on its own goroutine")
+		parallel = flag.Bool("parallel", false, "run each aggregation on its own goroutine (legacy fan-out)")
+		sharded  = flag.Bool("sharded", false, "use the key-hash-sharded engine (implied by -shards/-workers)")
+		shards   = flag.Int("shards", 0, "sharded engine: key-hash shards per aggregation (0 = one per worker)")
+		workers  = flag.Int("workers", 0, "sharded engine: worker goroutines (0 = GOMAXPROCS, capped at 16)")
 	)
 	flag.Parse()
 
@@ -64,10 +68,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dnsobs: web UI on http://%s\n", *httpAddr)
 	}
 
+	// The parallel and sharded engines call onSnapshot from their own
+	// goroutines, so store state is mutex-guarded.
+	var mu sync.Mutex
 	var snapErr error
 	var lastStart int64 = -1
 	onSnapshot := func(s *tsv.Snapshot) {
 		ui.OnSnapshot(s)
+		mu.Lock()
+		defer mu.Unlock()
 		if snapErr != nil {
 			return
 		}
@@ -77,22 +86,56 @@ func main() {
 		}
 		lastStart = s.Start
 	}
-	// ingest/flush abstract over the serial and parallel pipelines.
-	var ingest func(*sie.Summary, float64)
-	var flush func()
-	if *parallel {
+	failed := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return snapErr
+	}
+
+	// borrow/ingest/discard/flush abstract over the three engines.
+	// borrow returns the summary to fill; ingest commits it at a stream
+	// time, discard drops it after a summarize failure.
+	var (
+		borrow  func() *sie.Summary
+		ingest  func(now float64)
+		discard func()
+		flush   func()
+	)
+	switch {
+	case *sharded || *shards > 0 || *workers > 0:
+		eng := observatory.NewSharded(observatory.ShardedConfig{
+			Config:  observatory.DefaultConfig(),
+			Shards:  *shards,
+			Workers: *workers,
+		}, aggs, onSnapshot)
+		// Zero-copy path: summarize straight into pooled buffers.
+		var cur *sie.Shared
+		borrow = func() *sie.Summary { cur = eng.Borrow(); return &cur.Summary }
+		ingest = func(now float64) { eng.IngestShared(cur, now) }
+		discard = func() { eng.Discard(cur) }
+		flush = eng.Close
+		fmt.Fprintf(os.Stderr, "dnsobs: sharded engine: %d shards, %d workers\n",
+			eng.Shards(), eng.Workers())
+	case *parallel:
 		pipe := observatory.NewParallel(observatory.DefaultConfig(), aggs, onSnapshot)
-		ingest, flush = pipe.Ingest, pipe.Close
-	} else {
+		var sum sie.Summary
+		borrow = func() *sie.Summary { return &sum }
+		ingest = func(now float64) { pipe.Ingest(&sum, now) }
+		discard = func() {}
+		flush = pipe.Close
+	default:
 		pipe := observatory.New(observatory.DefaultConfig(), aggs, onSnapshot)
-		ingest, flush = pipe.Ingest, pipe.Flush
+		var sum sie.Summary
+		borrow = func() *sie.Summary { return &sum }
+		ingest = func(now float64) { pipe.Ingest(&sum, now) }
+		discard = func() {}
+		flush = pipe.Flush
 	}
 
 	reader := sie.NewReader(bufio.NewReaderSize(r, 1<<20))
 	var summarizer sie.Summarizer
 	summarizer.KeepUnparsableResponses = true
 	var tx sie.Transaction
-	var sum sie.Summary
 	var errs uint64
 	var base time.Time
 	wall := time.Now()
@@ -104,22 +147,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := summarizer.Summarize(&tx, &sum); err != nil {
+		sum := borrow()
+		if err := summarizer.Summarize(&tx, sum); err != nil {
 			errs++
+			discard()
 			continue
 		}
 		if base.IsZero() {
 			base = tx.QueryTime.Truncate(time.Minute)
 		}
 		ui.CountIngest()
-		ingest(&sum, tx.QueryTime.Sub(base).Seconds())
-		if snapErr != nil {
-			fatal(snapErr)
+		ingest(tx.QueryTime.Sub(base).Seconds())
+		if err := failed(); err != nil {
+			fatal(err)
 		}
 	}
 	flush()
-	if snapErr != nil {
-		fatal(snapErr)
+	if err := failed(); err != nil {
+		fatal(err)
 	}
 	for _, name := range aggNames {
 		if err := store.Cascade(name, lastStart+60); err != nil {

@@ -158,11 +158,17 @@ func LastLabels(name string, n int) string {
 	if name == "." || n <= 0 {
 		return "."
 	}
-	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
-	if n >= len(labels) {
-		return name
+	// The result is a suffix of the canonical name: walk back over n
+	// label boundaries instead of splitting, so no allocation.
+	i := len(name) - 1 // the trailing dot
+	for ; n > 0; n-- {
+		j := strings.LastIndexByte(name[:i], '.')
+		if j < 0 {
+			return name
+		}
+		i = j
 	}
-	return strings.Join(labels[len(labels)-n:], ".") + "."
+	return name[i+1:]
 }
 
 // TLD returns the last label of name in canonical form ("com."), or "."

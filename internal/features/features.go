@@ -138,8 +138,8 @@ func NewSet(cfg Config) *Set {
 // Observe folds one transaction summary into the set.
 func (s *Set) Observe(sum *sie.Summary) {
 	s.Hits++
-	s.SrvIPs.Add(sum.Nameserver.String())
-	s.SrcIPs.Add(sum.Resolver.String())
+	s.SrvIPs.Add(sum.NameserverText())
+	s.SrcIPs.Add(sum.ResolverText())
 	s.Sources.AddUint64(uint64(sum.SensorID))
 	s.QNamesA.Add(sum.QName)
 	s.QTypes.AddUint64(uint64(sum.QType))
@@ -202,11 +202,11 @@ func (s *Set) Observe(sum *sie.Summary) {
 	s.QNames.Add(sum.QName)
 	s.TLDs.Add(dnswire.TLD(sum.QName))
 	s.ESLDs.Add(s.cfg.Suffixes.ESLD(sum.QName))
-	for _, a := range sum.V4Addrs {
-		s.IP4s.Add(a.String())
+	for i := range sum.V4Addrs {
+		s.IP4s.Add(sum.V4Text(i))
 	}
-	for _, a := range sum.V6Addrs {
-		s.IP6s.Add(a.String())
+	for i := range sum.V6Addrs {
+		s.IP6s.Add(sum.V6Text(i))
 	}
 	for _, ttl := range sum.AnswerTTLs {
 		s.TTL.Observe(ttl)

@@ -10,18 +10,18 @@ import (
 
 // SrvIPKey keys on the authoritative nameserver address (srvip dataset).
 func SrvIPKey(sum *sie.Summary) (string, bool) {
-	return sum.Nameserver.String(), true
+	return sum.NameserverText(), true
 }
 
 // SrcIPKey keys on the recursive resolver address.
 func SrcIPKey(sum *sie.Summary) (string, bool) {
-	return sum.Resolver.String(), true
+	return sum.ResolverText(), true
 }
 
 // SrcSrvKey keys on the resolver–nameserver pair (srcsrv dataset), the
 // basis of the QNAME-minimization analysis (§3.6).
 func SrcSrvKey(sum *sie.Summary) (string, bool) {
-	return sum.Resolver.String() + ">" + sum.Nameserver.String(), true
+	return sum.ResolverText() + ">" + sum.NameserverText(), true
 }
 
 // QNameKey keys on the full QNAME (qname dataset).

@@ -4,11 +4,20 @@
 // filters, accumulates per-object traffic features, and every 60 seconds
 // dumps a TSV snapshot per aggregation — resetting the statistics but
 // keeping the top-k lists.
+//
+// Three ingest engines share the same aggregation state machinery:
+//
+//   - Pipeline: the serial reference implementation.
+//   - Parallel: one goroutine per aggregation (the legacy fan-out; kept
+//     as a comparison baseline).
+//   - Sharded: key-hash-sharded workers with pooled summary buffers and
+//     mergeable per-shard snapshots — the production shape.
 package observatory
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dnsobservatory/internal/bloom"
 	"dnsobservatory/internal/features"
@@ -60,31 +69,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// aggState is one aggregation's runtime state.
-type aggState struct {
-	agg        Aggregation
-	cache      *spacesaving.Cache
-	admitter   *bloom.Filter
-	seenBefore uint64 // window transactions before filtering
-	seenAfter  uint64 // window transactions aggregated into some object
-}
-
-// Pipeline is the Observatory core. It is not safe for concurrent use;
-// shard streams by flow hash across pipelines to parallelize.
-type Pipeline struct {
-	cfg  Config
-	aggs []*aggState
-	// OnSnapshot receives each window's snapshot per aggregation.
-	onSnapshot func(*tsv.Snapshot)
-
-	windowStart float64
-	started     bool
-	total       uint64
-}
-
-// New builds a pipeline over the given aggregations. onSnapshot may be
-// nil when snapshots are collected via Flush's return value only.
-func New(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Pipeline {
+// withDefaults fills zero fields in place.
+func (cfg *Config) withDefaults() {
 	if cfg.WindowSec <= 0 {
 		cfg.WindowSec = 60
 	}
@@ -97,18 +83,149 @@ func New(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Pipeli
 	if cfg.AdmitterFP <= 0 {
 		cfg.AdmitterFP = 0.01
 	}
-	p := &Pipeline{cfg: cfg, onSnapshot: onSnapshot}
+}
+
+// snapshotSchema returns the shared TSV schema (columns and kinds) of
+// feature snapshots. The slices are built once and shared read-only by
+// every snapshot.
+var snapshotSchema = sync.OnceValues(func() ([]string, []tsv.Kind) {
+	cols := make([]string, len(features.Columns))
+	kinds := make([]tsv.Kind, len(features.Columns))
+	for i, c := range features.Columns {
+		cols[i] = c.Name
+		kinds[i] = tsv.Kind(c.Kind)
+	}
+	return cols, kinds
+})
+
+// aggState is one aggregation's (or one shard of one aggregation's)
+// runtime state: the Space-Saving cache, its admission filter, window
+// statistics, and a free list of recycled feature sets — allocating a
+// fresh ~10 kB feature set per eviction is what used to dominate the
+// ingest profile on churny streams.
+type aggState struct {
+	agg        Aggregation
+	cache      *spacesaving.Cache
+	admitter   *bloom.Filter
+	seenBefore uint64 // window transactions before filtering
+	seenAfter  uint64 // window transactions aggregated into some object
+	free       []*features.Set
+}
+
+// newAggState builds one aggregation state with a cache of the given
+// capacity (shards pass ⌈K/S⌉+slack; the serial pipeline passes K).
+func newAggState(a Aggregation, cfg *Config, capacity int) *aggState {
+	st := &aggState{agg: a}
+	if !a.NoAdmitter {
+		st.admitter = bloom.New(cfg.AdmitterN, cfg.AdmitterFP)
+	}
+	var adm spacesaving.Admitter
+	if st.admitter != nil {
+		adm = st.admitter
+	}
+	st.cache = spacesaving.New(capacity, cfg.HalfLifeSec, adm)
+	st.cache.OnEvictState = func(state any) {
+		if set, ok := state.(*features.Set); ok {
+			st.free = append(st.free, set)
+		}
+	}
+	return st
+}
+
+// featureSet returns a recycled (reset) feature set, or a fresh one.
+func (st *aggState) featureSet(cfg *Config) *features.Set {
+	if n := len(st.free); n > 0 {
+		set := st.free[n-1]
+		st.free = st.free[:n-1]
+		set.Reset()
+		return set
+	}
+	return features.NewSet(cfg.Features)
+}
+
+// observe folds one summary (already keyed) into the aggregation state.
+func (st *aggState) observe(key string, sum *sie.Summary, now float64, cfg *Config) {
+	e := st.cache.Observe(key, now)
+	if e == nil {
+		return
+	}
+	set, ok := e.State.(*features.Set)
+	if !ok {
+		set = st.featureSet(cfg)
+		e.State = set
+	}
+	set.Observe(sum)
+	st.seenAfter++
+}
+
+// windowRows appends one TSV row per reportable entry of the current
+// window (skipping fresh objects per §2.4 and idle entries).
+func (st *aggState) windowRows(rows []tsv.Row, cfg *Config, windowStart, windowEnd float64) []tsv.Row {
+	st.cache.Entries(func(e *spacesaving.Entry) {
+		if cfg.SkipFreshObjects && e.InsertedAt > windowStart {
+			return // has not survived a full window yet (§2.4)
+		}
+		set, ok := e.State.(*features.Set)
+		if !ok || set.Hits == 0 {
+			return
+		}
+		// Rates are read decayed to the window end, so idle objects do
+		// not report their last burst forever.
+		rate := st.cache.RateAt(e, windowEnd)
+		rows = append(rows, tsv.Row{Key: e.Key, Values: set.Values(rate)})
+	})
+	return rows
+}
+
+// resetWindow clears per-window statistics, keeping the top-k list.
+func (st *aggState) resetWindow() {
+	st.cache.Entries(func(e *spacesaving.Entry) {
+		if set, ok := e.State.(*features.Set); ok {
+			set.Reset()
+		}
+	})
+	if st.admitter != nil {
+		st.admitter.Reset()
+	}
+	st.seenBefore, st.seenAfter = 0, 0
+}
+
+// sortRows orders snapshot rows by descending hits (column 0), ties
+// broken by key — the canonical snapshot order.
+func sortRows(rows []tsv.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		hi, hj := rows[i].Values[0], rows[j].Values[0]
+		if hi != hj {
+			return hi > hj
+		}
+		return rows[i].Key < rows[j].Key
+	})
+}
+
+// Pipeline is the Observatory core. It is not safe for concurrent use;
+// use the Sharded engine (or shard streams across pipelines) to
+// parallelize.
+type Pipeline struct {
+	cfg    Config
+	aggs   []*aggState
+	byName map[string]*aggState
+	// OnSnapshot receives each window's snapshot per aggregation.
+	onSnapshot func(*tsv.Snapshot)
+
+	windowStart float64
+	started     bool
+	total       uint64
+}
+
+// New builds a pipeline over the given aggregations. onSnapshot may be
+// nil when snapshots are collected via Flush's return value only.
+func New(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Pipeline {
+	cfg.withDefaults()
+	p := &Pipeline{cfg: cfg, onSnapshot: onSnapshot, byName: make(map[string]*aggState, len(aggs))}
 	for _, a := range aggs {
-		st := &aggState{agg: a}
-		if !a.NoAdmitter {
-			st.admitter = bloom.New(cfg.AdmitterN, cfg.AdmitterFP)
-		}
-		var adm spacesaving.Admitter
-		if st.admitter != nil {
-			adm = st.admitter
-		}
-		st.cache = spacesaving.New(a.K, cfg.HalfLifeSec, adm)
+		st := newAggState(a, &p.cfg, a.K)
 		p.aggs = append(p.aggs, st)
+		p.byName[a.Name] = st
 	}
 	return p
 }
@@ -131,17 +248,7 @@ func (p *Pipeline) Ingest(sum *sie.Summary, now float64) {
 		if !ok {
 			continue
 		}
-		e := st.cache.Observe(key, now)
-		if e == nil {
-			continue
-		}
-		set, ok := e.State.(*features.Set)
-		if !ok {
-			set = features.NewSet(p.cfg.Features)
-			e.State = set
-		}
-		set.Observe(sum)
-		st.seenAfter++
+		st.observe(key, sum, now, &p.cfg)
 	}
 }
 
@@ -168,26 +275,13 @@ func (p *Pipeline) dump() {
 		if p.onSnapshot != nil {
 			p.onSnapshot(snap)
 		}
-		st.cache.Entries(func(e *spacesaving.Entry) {
-			if set, ok := e.State.(*features.Set); ok {
-				set.Reset()
-			}
-		})
-		if st.admitter != nil {
-			st.admitter.Reset()
-		}
-		st.seenBefore, st.seenAfter = 0, 0
+		st.resetWindow()
 	}
 }
 
 // snapshot builds the TSV snapshot for one aggregation's current window.
 func (p *Pipeline) snapshot(st *aggState) *tsv.Snapshot {
-	cols := make([]string, len(features.Columns))
-	kinds := make([]tsv.Kind, len(features.Columns))
-	for i, c := range features.Columns {
-		cols[i] = c.Name
-		kinds[i] = tsv.Kind(c.Kind)
-	}
+	cols, kinds := snapshotSchema()
 	snap := &tsv.Snapshot{
 		Aggregation: st.agg.Name,
 		Level:       tsv.Minutely,
@@ -198,37 +292,16 @@ func (p *Pipeline) snapshot(st *aggState) *tsv.Snapshot {
 		TotalAfter:  st.seenAfter,
 		Windows:     1,
 	}
-	windowEnd := p.windowStart + p.cfg.WindowSec
-	st.cache.Entries(func(e *spacesaving.Entry) {
-		if p.cfg.SkipFreshObjects && e.InsertedAt > p.windowStart {
-			return // has not survived a full window yet (§2.4)
-		}
-		set, ok := e.State.(*features.Set)
-		if !ok || set.Hits == 0 {
-			return
-		}
-		// Rates are read decayed to the window end, so idle objects do
-		// not report their last burst forever.
-		rate := st.cache.RateAt(e, windowEnd)
-		snap.Rows = append(snap.Rows, tsv.Row{Key: e.Key, Values: set.Values(rate)})
-	})
-	sort.Slice(snap.Rows, func(i, j int) bool {
-		hi, hj := snap.Rows[i].Values[0], snap.Rows[j].Values[0] // hits
-		if hi != hj {
-			return hi > hj
-		}
-		return snap.Rows[i].Key < snap.Rows[j].Key
-	})
+	snap.Rows = st.windowRows(snap.Rows, &p.cfg, p.windowStart, p.windowStart+p.cfg.WindowSec)
+	sortRows(snap.Rows)
 	return snap
 }
 
 // Cache exposes an aggregation's Space-Saving cache (for analyses that
 // read live state); nil if the aggregation does not exist.
 func (p *Pipeline) Cache(name string) *spacesaving.Cache {
-	for _, st := range p.aggs {
-		if st.agg.Name == name {
-			return st.cache
-		}
+	if st, ok := p.byName[name]; ok {
+		return st.cache
 	}
 	return nil
 }

@@ -8,11 +8,13 @@ import (
 	"dnsobservatory/internal/tsv"
 )
 
-// Parallel runs each aggregation's pipeline on its own goroutine — the
-// production deployment shape for a 200 k tx/s feed, where the eight
-// §3.1 datasets dominate the per-transaction cost. Summaries are
-// deep-copied once per Ingest and fanned out in batches; snapshot
-// callbacks are serialized.
+// Parallel runs each aggregation's pipeline on its own goroutine, with
+// summaries deep-copied once per Ingest and fanned out in batches;
+// snapshot callbacks are serialized. It is the legacy fan-out, kept as a
+// comparison baseline: throughput is capped by the heaviest aggregation
+// and every Ingest pays a deep copy. Prefer Sharded, which partitions
+// each aggregation's key space across workers and fans out pooled
+// buffers instead.
 //
 // Create with NewParallel, feed with Ingest, and always Close (which
 // flushes the final window).

@@ -1,0 +1,469 @@
+package observatory
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/spacesaving"
+	"dnsobservatory/internal/tsv"
+)
+
+// Sharded is the key-hash-sharded ingest engine — the production shape
+// for a 200 k tx/s feed (paper §2, §3.1). Instead of fanning the whole
+// stream to one goroutine per aggregation (see Parallel) it:
+//
+//   - extracts every aggregation's key exactly once per summary and
+//     hashes it to one of S shards, so each worker runs an independent
+//     spacesaving.Cache (capacity ⌈K/S⌉ + slack) plus Bloom admitter per
+//     shard per aggregation and carries 1/S of every aggregation's load
+//     — throughput is no longer capped by the heaviest aggregation;
+//   - fans summaries out through sync.Pool-backed, reference-counted
+//     sie.Shared buffers released when the last worker finishes its
+//     batch, eliminating the per-Ingest deep copy of the legacy path;
+//   - merges per-shard state into one Top-k snapshot per aggregation at
+//     each window boundary (the standard parallel Space-Saving merge:
+//     key partitions are disjoint, so the union is exact and the
+//     overestimation bound of each row is its own shard's min count).
+//
+// Every worker sees every batch and crosses window boundaries at the
+// same item, so the merged snapshots are deterministic for a fixed input
+// order. Ingest is safe for concurrent producers; snapshot callbacks are
+// serialized on the merger goroutine. Always Close (it flushes the final
+// window).
+type Sharded struct {
+	cfg        Config
+	aggs       []Aggregation
+	aggIdx     map[string]int
+	shards     int
+	workers    []*shardWorker
+	pool       *sie.SummaryPool
+	batchPool  sync.Pool
+	merges     chan *shardDump
+	mergeDone  chan struct{}
+	onSnapshot func(*tsv.Snapshot)
+
+	mu     sync.Mutex
+	cur    *shardBatch
+	closed bool
+	total  uint64
+}
+
+// ShardedConfig tunes the sharded engine on top of the pipeline Config.
+type ShardedConfig struct {
+	Config
+	// Shards is the number of key-hash shards per aggregation. 0 means
+	// one per worker. Capped at 1024.
+	Shards int
+	// Workers is the number of shard worker goroutines. 0 means
+	// GOMAXPROCS capped at 16. Workers above Shards would idle and are
+	// clamped down.
+	Workers int
+	// BatchSize is the fan-out batch length (default 256). Windows are
+	// 60 s, so a few hundred transactions of delay is invisible.
+	BatchSize int
+}
+
+// shardBatch carries up to BatchSize summaries with their pre-extracted
+// keys: for item i and aggregation a, keys[i*len(aggs)+a] is the object
+// key and meta[i*len(aggs)+a] is 0 when the key function filtered the
+// item out, else the shard index + 1. Batches are pooled and recycled by
+// whichever worker finishes last.
+type shardBatch struct {
+	refs atomic.Int32
+	sums []*sie.Shared
+	nows []float64
+	keys []string
+	meta []uint16
+}
+
+// shardDump is one worker's contribution to one window's snapshots.
+type shardDump struct {
+	windowStart float64
+	parts       []shardPart // indexed like aggs
+}
+
+type shardPart struct {
+	rows       []tsv.Row
+	seenBefore uint64
+	seenAfter  uint64
+}
+
+type shardWorker struct {
+	id   int
+	eng  *Sharded
+	in   chan *shardBatch
+	done chan struct{}
+	// states[a][l] is the state of shard l*workers+id of aggregation a.
+	states      [][]*aggState
+	windowStart float64
+	started     bool
+}
+
+// shardCapacity sizes one shard's Space-Saving cache: an even split of K
+// plus slack for the statistical imbalance of hash partitioning.
+func shardCapacity(k, shards int) int {
+	base := (k + shards - 1) / shards
+	return base + base/8 + 16
+}
+
+// hashKey is FNV-1a; allocation-free and stable, so a key always lands
+// on the same shard.
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewSharded builds the sharded engine. onSnapshot may be nil; when set
+// it receives every window's merged snapshot per aggregation, serialized
+// on one goroutine. It must not call back into the engine.
+func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Sharded {
+	cfg.Config.withDefaults()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 16 {
+			workers = 16
+		}
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	if shards > 1024 {
+		shards = 1024
+	}
+	if workers > shards {
+		workers = shards
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	s := &Sharded{
+		cfg:        cfg.Config,
+		aggs:       aggs,
+		aggIdx:     make(map[string]int, len(aggs)),
+		shards:     shards,
+		pool:       sie.NewSummaryPool(),
+		merges:     make(chan *shardDump, workers),
+		mergeDone:  make(chan struct{}),
+		onSnapshot: onSnapshot,
+	}
+	for i, a := range aggs {
+		s.aggIdx[a.Name] = i
+	}
+	nAggs := len(aggs)
+	s.batchPool.New = func() any {
+		return &shardBatch{
+			sums: make([]*sie.Shared, 0, batch),
+			nows: make([]float64, 0, batch),
+			keys: make([]string, 0, batch*nAggs),
+			meta: make([]uint16, 0, batch*nAggs),
+		}
+	}
+	s.cur = s.batchPool.Get().(*shardBatch)
+	for id := 0; id < workers; id++ {
+		w := &shardWorker{
+			id:     id,
+			eng:    s,
+			in:     make(chan *shardBatch, 4),
+			done:   make(chan struct{}),
+			states: make([][]*aggState, nAggs),
+		}
+		for a, agg := range aggs {
+			capPer := shardCapacity(agg.K, shards)
+			for sh := id; sh < shards; sh += workers {
+				w.states[a] = append(w.states[a], newAggState(agg, &s.cfg, capPer))
+			}
+		}
+		s.workers = append(s.workers, w)
+		go w.run()
+	}
+	go s.mergeLoop()
+	return s
+}
+
+// Workers returns the number of shard worker goroutines.
+func (s *Sharded) Workers() int { return len(s.workers) }
+
+// Shards returns the number of key-hash shards per aggregation.
+func (s *Sharded) Shards() int { return s.shards }
+
+// Total returns the number of summaries ingested so far.
+func (s *Sharded) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Ingest enqueues one summary. The summary is copied into a pooled
+// buffer; the caller may reuse it (and its slices) immediately. Safe for
+// concurrent producers.
+func (s *Sharded) Ingest(sum *sie.Summary, now float64) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	ps := s.pool.Get(int32(len(s.workers)))
+	ps.CopyFrom(sum)
+	s.add(ps, now)
+	s.mu.Unlock()
+}
+
+// Borrow returns a pooled summary buffer for the zero-copy ingest path:
+// fill &buf.Summary directly (e.g. with Summarizer.Summarize, whose
+// slice-reuse contract keeps warm buffers allocation-free) and hand it
+// to IngestShared. Each Borrow must be matched by exactly one
+// IngestShared or Discard call.
+func (s *Sharded) Borrow() *sie.Shared {
+	return s.pool.Get(int32(len(s.workers)))
+}
+
+// IngestShared enqueues a borrowed buffer without copying it. The caller
+// must not touch the buffer afterwards. Safe for concurrent producers.
+func (s *Sharded) IngestShared(ps *sie.Shared, now float64) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.Discard(ps)
+		return
+	}
+	s.add(ps, now)
+	s.mu.Unlock()
+}
+
+// Discard releases a borrowed buffer that will not be ingested.
+func (s *Sharded) Discard(ps *sie.Shared) {
+	for i := 0; i < len(s.workers); i++ {
+		ps.Release()
+	}
+}
+
+// add appends one pooled summary to the pending batch, extracting and
+// hashing every aggregation's key exactly once. Caller holds s.mu.
+func (s *Sharded) add(ps *sie.Shared, now float64) {
+	b := s.cur
+	b.sums = append(b.sums, ps)
+	b.nows = append(b.nows, now)
+	sum := &ps.Summary
+	for i := range s.aggs {
+		key, ok := s.aggs[i].Key(sum)
+		if !ok {
+			b.keys = append(b.keys, "")
+			b.meta = append(b.meta, 0)
+			continue
+		}
+		b.keys = append(b.keys, key)
+		b.meta = append(b.meta, uint16(hashKey(key)%uint64(s.shards))+1)
+	}
+	s.total++
+	if len(b.sums) >= cap(b.sums) {
+		s.dispatchLocked()
+	}
+}
+
+// dispatchLocked hands the pending batch to every worker. Caller holds
+// s.mu.
+func (s *Sharded) dispatchLocked() {
+	b := s.cur
+	if len(b.sums) == 0 {
+		return
+	}
+	s.cur = s.batchPool.Get().(*shardBatch)
+	b.refs.Store(int32(len(s.workers)))
+	for _, w := range s.workers {
+		w.in <- b
+	}
+}
+
+// recycleBatch clears a fully-processed batch (dropping its references
+// to summaries and key strings) and returns it to the pool.
+func (s *Sharded) recycleBatch(b *shardBatch) {
+	clear(b.sums)
+	clear(b.keys)
+	b.sums = b.sums[:0]
+	b.nows = b.nows[:0]
+	b.keys = b.keys[:0]
+	b.meta = b.meta[:0]
+	s.batchPool.Put(b)
+}
+
+// Close flushes pending batches and the final partial window, waits for
+// all workers and the snapshot merger, and releases every pooled buffer.
+// Safe to call once; later Ingests are no-ops.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.dispatchLocked()
+	s.mu.Unlock()
+	for _, w := range s.workers {
+		close(w.in)
+	}
+	for _, w := range s.workers {
+		<-w.done
+	}
+	close(s.merges)
+	<-s.mergeDone
+}
+
+// Caches returns the live per-shard Space-Saving caches of an
+// aggregation (shard order), or nil if it does not exist. Like
+// Pipeline.Cache this reads live state: only use it when no ingest is in
+// flight (typically after Close).
+func (s *Sharded) Caches(name string) []*spacesaving.Cache {
+	a, ok := s.aggIdx[name]
+	if !ok {
+		return nil
+	}
+	caches := make([]*spacesaving.Cache, s.shards)
+	for _, w := range s.workers {
+		for l, st := range w.states[a] {
+			caches[l*len(s.workers)+w.id] = st.cache
+		}
+	}
+	return caches
+}
+
+// MergedTop merges the per-shard caches of an aggregation into a single
+// top-n list (spacesaving.Merge; exact because shards partition the key
+// space). Same liveness caveat as Caches.
+func (s *Sharded) MergedTop(name string, n int) []*spacesaving.Entry {
+	caches := s.Caches(name)
+	if caches == nil {
+		return nil
+	}
+	return spacesaving.Merge(n, caches...)
+}
+
+// run is the worker loop: process every batch, then flush the final
+// window when the engine closes.
+func (w *shardWorker) run() {
+	defer close(w.done)
+	for b := range w.in {
+		w.process(b)
+		if b.refs.Add(-1) == 0 {
+			w.eng.recycleBatch(b)
+		}
+	}
+	if w.started {
+		w.dumpWindow()
+	}
+}
+
+// process folds one batch into this worker's shards. Every worker scans
+// the whole batch (the scan is a cheap modulo filter per item×agg;
+// feature accumulation, the expensive part, runs only on the owner), so
+// all workers observe identical window boundaries.
+func (w *shardWorker) process(b *shardBatch) {
+	nAggs := len(w.eng.aggs)
+	nWorkers := len(w.eng.workers)
+	win := w.eng.cfg.WindowSec
+	for i, now := range b.nows {
+		if !w.started {
+			w.windowStart = now - mod(now, win)
+			w.started = true
+		}
+		for now >= w.windowStart+win {
+			w.dumpWindow()
+			w.windowStart += win
+		}
+		if w.id == 0 {
+			// Worker 0 keeps the before-filtering count for every
+			// aggregation (it sees every item; counting it once keeps the
+			// merged TotalBefore identical to the serial pipeline's).
+			for a := 0; a < nAggs; a++ {
+				w.states[a][0].seenBefore++
+			}
+		}
+		sum := &b.sums[i].Summary
+		base := i * nAggs
+		for a := 0; a < nAggs; a++ {
+			m := b.meta[base+a]
+			if m == 0 {
+				continue
+			}
+			shard := int(m - 1)
+			if shard%nWorkers != w.id {
+				continue
+			}
+			w.states[a][shard/nWorkers].observe(b.keys[base+a], sum, now, &w.eng.cfg)
+		}
+		b.sums[i].Release()
+	}
+}
+
+// dumpWindow ships this worker's share of the closing window to the
+// merger and resets its window state.
+func (w *shardWorker) dumpWindow() {
+	d := &shardDump{windowStart: w.windowStart, parts: make([]shardPart, len(w.eng.aggs))}
+	windowEnd := w.windowStart + w.eng.cfg.WindowSec
+	for a := range w.eng.aggs {
+		part := &d.parts[a]
+		for _, st := range w.states[a] {
+			part.rows = st.windowRows(part.rows, &w.eng.cfg, w.windowStart, windowEnd)
+			part.seenBefore += st.seenBefore
+			part.seenAfter += st.seenAfter
+			st.resetWindow()
+		}
+	}
+	w.eng.merges <- d
+}
+
+// mergeLoop collects the workers' dumps; once a window has one dump per
+// worker it merges them into final snapshots. Workers emit windows in
+// order and the channel is FIFO, so windows complete in order too.
+func (s *Sharded) mergeLoop() {
+	defer close(s.mergeDone)
+	pending := make(map[float64][]*shardDump)
+	for d := range s.merges {
+		dumps := append(pending[d.windowStart], d)
+		if len(dumps) < len(s.workers) {
+			pending[d.windowStart] = dumps
+			continue
+		}
+		delete(pending, d.windowStart)
+		s.emitWindow(d.windowStart, dumps)
+	}
+}
+
+// emitWindow merges one window's per-shard parts into one snapshot per
+// aggregation and delivers them to the callback.
+func (s *Sharded) emitWindow(windowStart float64, dumps []*shardDump) {
+	cols, kinds := snapshotSchema()
+	parts := make([]*tsv.Snapshot, len(dumps))
+	for a, agg := range s.aggs {
+		for i, d := range dumps {
+			parts[i] = &tsv.Snapshot{
+				Aggregation: agg.Name,
+				Level:       tsv.Minutely,
+				Start:       int64(windowStart),
+				Columns:     cols,
+				Kinds:       kinds,
+				TotalBefore: d.parts[a].seenBefore,
+				TotalAfter:  d.parts[a].seenAfter,
+				Windows:     1,
+				Rows:        d.parts[a].rows,
+			}
+		}
+		snap, err := tsv.MergeParts(agg.K, parts...)
+		if err != nil {
+			// Cannot happen: parts share one schema and window by
+			// construction.
+			continue
+		}
+		if s.onSnapshot != nil {
+			s.onSnapshot(snap)
+		}
+	}
+}

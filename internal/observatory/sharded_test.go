@@ -1,0 +1,287 @@
+package observatory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/tsv"
+)
+
+func shardedTestAggs() []Aggregation {
+	// NoAdmitter everywhere: Bloom seeds are random per filter, so only
+	// admitter-free aggregations are bit-for-bit reproducible. Capacities
+	// exceed the distinct-key counts of the test stream so no Space-Saving
+	// eviction occurs and sharded output must match serial exactly.
+	return []Aggregation{
+		{Name: "srvip", K: 200, Key: SrvIPKey, NoAdmitter: true},
+		{Name: "qname", K: 800, Key: QNameKey, NoAdmitter: true},
+		{Name: "qtype", K: 16, Key: QTypeKey, NoAdmitter: true},
+		{Name: "aafqdn", K: 800, Key: AAFQDNKey, NoAdmitter: true},
+	}
+}
+
+type shardedEvent struct {
+	resolver, ns, qname string
+	qtype               dnswire.Type
+	now                 float64
+}
+
+func shardedTestEvents(n int) []shardedEvent {
+	events := make([]shardedEvent, 0, n)
+	for i := 0; i < n; i++ {
+		events = append(events, shardedEvent{
+			resolver: fmt.Sprintf("192.0.2.%d", i%20+1),
+			ns:       fmt.Sprintf("198.51.100.%d", i%50+1),
+			qname:    fmt.Sprintf("h%d.example%d.com.", i%7, i%90),
+			qtype:    dnswire.TypeA,
+			now:      float64(i) * 0.05,
+		})
+	}
+	return events
+}
+
+func snapKey(s *tsv.Snapshot) string { return fmt.Sprintf("%s@%d", s.Aggregation, s.Start) }
+
+func sortSnaps(ss []*tsv.Snapshot) {
+	sort.Slice(ss, func(i, j int) bool { return snapKey(ss[i]) < snapKey(ss[j]) })
+}
+
+func requireSnapsEqual(t *testing.T, want, got []*tsv.Snapshot) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("snapshot counts: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if snapKey(a) != snapKey(b) {
+			t.Fatalf("snapshot %d: %s vs %s", i, snapKey(a), snapKey(b))
+		}
+		if a.TotalBefore != b.TotalBefore || a.TotalAfter != b.TotalAfter {
+			t.Fatalf("%s stats: %d/%d vs %d/%d", snapKey(a),
+				a.TotalBefore, a.TotalAfter, b.TotalBefore, b.TotalAfter)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: rows %d vs %d", snapKey(a), len(a.Rows), len(b.Rows))
+		}
+		for j := range a.Rows {
+			if a.Rows[j].Key != b.Rows[j].Key {
+				t.Fatalf("%s row %d: %s vs %s", snapKey(a), j, a.Rows[j].Key, b.Rows[j].Key)
+			}
+			for c := range a.Rows[j].Values {
+				if va, vb := a.Rows[j].Values[c], b.Rows[j].Values[c]; va != vb {
+					t.Fatalf("%s row %s col %s: %v vs %v",
+						snapKey(a), a.Rows[j].Key, a.Columns[c], va, vb)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSerial is the determinism contract: a fixed stream
+// fed through the sharded engine must yield the same snapshots as the
+// serial pipeline — keys partition across shards, every worker crosses
+// window boundaries at the same item, and MergeParts reunites the rows.
+func TestShardedMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipFreshObjects = false
+	events := shardedTestEvents(5000)
+
+	var serial []*tsv.Snapshot
+	sp := New(cfg, shardedTestAggs(), func(s *tsv.Snapshot) { serial = append(serial, s) })
+	for _, e := range events {
+		sp.Ingest(sum(e.resolver, e.ns, e.qname, e.qtype), e.now)
+	}
+	sp.Flush()
+	sortSnaps(serial)
+
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 1}, {4, 2}, {4, 4}, {7, 3},
+	} {
+		t.Run(fmt.Sprintf("s%dw%d", tc.shards, tc.workers), func(t *testing.T) {
+			var sharded []*tsv.Snapshot
+			eng := NewSharded(
+				ShardedConfig{Config: cfg, Shards: tc.shards, Workers: tc.workers, BatchSize: 64},
+				shardedTestAggs(),
+				func(s *tsv.Snapshot) { sharded = append(sharded, s) })
+			for _, e := range events {
+				eng.Ingest(sum(e.resolver, e.ns, e.qname, e.qtype), e.now)
+			}
+			eng.Close()
+			sortSnaps(sharded)
+			requireSnapsEqual(t, serial, sharded)
+		})
+	}
+}
+
+// TestShardedZeroCopyPath drives IngestShared with borrowed buffers and
+// checks the output still matches the serial pipeline.
+func TestShardedZeroCopyPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipFreshObjects = false
+	events := shardedTestEvents(3000)
+
+	var serial []*tsv.Snapshot
+	sp := New(cfg, shardedTestAggs(), func(s *tsv.Snapshot) { serial = append(serial, s) })
+	for _, e := range events {
+		sp.Ingest(sum(e.resolver, e.ns, e.qname, e.qtype), e.now)
+	}
+	sp.Flush()
+	sortSnaps(serial)
+
+	var sharded []*tsv.Snapshot
+	eng := NewSharded(ShardedConfig{Config: cfg, Shards: 4, Workers: 2, BatchSize: 32},
+		shardedTestAggs(), func(s *tsv.Snapshot) { sharded = append(sharded, s) })
+	for _, e := range events {
+		buf := eng.Borrow()
+		buf.Summary = *sum(e.resolver, e.ns, e.qname, e.qtype)
+		eng.IngestShared(buf, e.now)
+	}
+	eng.Close()
+	sortSnaps(sharded)
+	requireSnapsEqual(t, serial, sharded)
+}
+
+// TestShardedConcurrentProducers hammers Ingest from several goroutines;
+// run under -race. Snapshot contents depend on interleaving, so only
+// aggregate invariants are checked.
+func TestShardedConcurrentProducers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipFreshObjects = false
+	var mu sync.Mutex
+	var snaps []*tsv.Snapshot
+	eng := NewSharded(ShardedConfig{Config: cfg, Shards: 4, Workers: 2, BatchSize: 16},
+		shardedTestAggs(), func(s *tsv.Snapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		})
+
+	const producers = 4
+	const perProducer = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s := sum("192.0.2.1", "198.51.100.1", "x.example.com.", dnswire.TypeA)
+			for i := 0; i < perProducer; i++ {
+				s.QName = fmt.Sprintf("h%d.example%d.com.", p, i%30)
+				eng.Ingest(s, float64(i)*0.01)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := eng.Total(); got != producers*perProducer {
+		t.Fatalf("Total() = %d, want %d", got, producers*perProducer)
+	}
+	eng.Close()
+	var qnameRows int
+	for _, s := range snaps {
+		if s.Aggregation == "qname" {
+			qnameRows += len(s.Rows)
+			var hits float64
+			for _, r := range s.Rows {
+				hits += r.Values[0]
+			}
+			if uint64(hits) != s.TotalAfter {
+				t.Fatalf("qname@%d: row hits %v != TotalAfter %d", s.Start, hits, s.TotalAfter)
+			}
+		}
+	}
+	if qnameRows == 0 {
+		t.Fatal("no qname rows despite 8000 ingests")
+	}
+}
+
+// TestShardedCallerMayReuseSummary checks Ingest deep-copies into the
+// pool: mutating the summary after the call must not corrupt output.
+func TestShardedCallerMayReuseSummary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipFreshObjects = false
+	var snaps []*tsv.Snapshot
+	eng := NewSharded(ShardedConfig{Config: cfg, Shards: 2, Workers: 2, BatchSize: 8},
+		[]Aggregation{{Name: "qname", K: 50, Key: QNameKey, NoAdmitter: true}},
+		func(s *tsv.Snapshot) { snaps = append(snaps, s) })
+	s := sum("192.0.2.1", "198.51.100.1", "reused.example.com.", dnswire.TypeA)
+	for i := 0; i < 1000; i++ {
+		eng.Ingest(s, float64(i)*0.1)
+		s.QName = "reused.example.com."
+		s.AnswerTTLs = append(s.AnswerTTLs[:0], uint32(i))
+	}
+	eng.Close()
+	var rows int
+	for _, snap := range snaps {
+		rows += len(snap.Rows)
+		for _, r := range snap.Rows {
+			if r.Key != "reused.example.com." {
+				t.Fatalf("corrupted key %q", r.Key)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Fatal("no rows despite 1000 ingests")
+	}
+}
+
+func TestShardedCloseIdempotent(t *testing.T) {
+	eng := NewSharded(ShardedConfig{Config: DefaultConfig()},
+		[]Aggregation{{Name: "srvip", K: 10, Key: SrvIPKey}}, nil)
+	eng.Ingest(sum("192.0.2.1", "198.51.100.1", "a.example.com.", dnswire.TypeA), 1)
+	eng.Close()
+	eng.Close() // must not panic or deadlock
+	// Ingest after close is a no-op; a borrowed buffer is released too.
+	eng.Ingest(sum("192.0.2.1", "198.51.100.1", "b.example.com.", dnswire.TypeA), 2)
+	eng.IngestShared(eng.Borrow(), 3)
+}
+
+// TestShardedMergedTop checks the live-state accessors after Close: the
+// merged per-shard caches must report every key with its exact count.
+func TestShardedMergedTop(t *testing.T) {
+	cfg := DefaultConfig()
+	eng := NewSharded(ShardedConfig{Config: cfg, Shards: 4, Workers: 2},
+		[]Aggregation{{Name: "qname", K: 100, Key: QNameKey, NoAdmitter: true}}, nil)
+	counts := map[string]uint64{"a.com.": 30, "b.com.": 20, "c.com.": 10}
+	i := 0
+	for name, n := range counts {
+		for j := uint64(0); j < n; j++ {
+			eng.Ingest(sum("192.0.2.1", "198.51.100.1", name, dnswire.TypeA), float64(i))
+			i++
+		}
+	}
+	eng.Close()
+	if eng.Caches("nope") != nil || eng.MergedTop("nope", 3) != nil {
+		t.Fatal("unknown aggregation should return nil")
+	}
+	if got := len(eng.Caches("qname")); got != 4 {
+		t.Fatalf("Caches: %d shards, want 4", got)
+	}
+	top := eng.MergedTop("qname", 3)
+	if len(top) != 3 {
+		t.Fatalf("MergedTop: %d entries, want 3", len(top))
+	}
+	for _, e := range top {
+		if e.Count != counts[e.Key] {
+			t.Errorf("%s: count %d, want %d", e.Key, e.Count, counts[e.Key])
+		}
+	}
+	if top[0].Key != "a.com." || top[1].Key != "b.com." || top[2].Key != "c.com." {
+		t.Errorf("order: %v %v %v", top[0].Key, top[1].Key, top[2].Key)
+	}
+}
+
+// TestShardedShardCapacity pins the sizing rule: even K split plus slack.
+func TestShardedShardCapacity(t *testing.T) {
+	for _, tc := range []struct{ k, shards, want int }{
+		{100, 1, 128},     // 100 + 12 + 16
+		{100, 4, 44},      // 25 + 3 + 16
+		{7, 4, 18},        // 2 + 0 + 16
+		{100_000, 8, 14078}, // 12500 + 1562 + 16 — headroom over K/S
+	} {
+		if got := shardCapacity(tc.k, tc.shards); got != tc.want {
+			t.Errorf("shardCapacity(%d, %d) = %d, want %d", tc.k, tc.shards, got, tc.want)
+		}
+	}
+}

@@ -12,7 +12,9 @@ import (
 )
 
 // List is a compiled suffix list. Create one with NewList or use the
-// package-level Default.
+// package-level Default. Rules are stored in canonical form (trailing
+// dot) so lookups can slice suffixes straight out of a canonical name
+// without allocating.
 type List struct {
 	rules      map[string]bool // suffix -> true
 	wildcards  map[string]bool // parent of "*.parent" rules
@@ -35,14 +37,46 @@ func NewList(rules []string) *List {
 		}
 		switch {
 		case strings.HasPrefix(r, "!"):
-			l.exceptions[r[1:]] = true
+			l.exceptions[r[1:]+"."] = true
 		case strings.HasPrefix(r, "*."):
-			l.wildcards[r[2:]] = true
+			l.wildcards[r[2:]+"."] = true
 		default:
-			l.rules[r] = true
+			l.rules[r+"."] = true
 		}
 	}
 	return l
+}
+
+// etldStart returns the byte offset where name's eTLD begins. name must
+// be canonical and not ".". Every candidate suffix is a slice of name,
+// so the scan is allocation-free — this runs twice per transaction on
+// the etld/esld ingest path.
+func (l *List) etldStart(name string) int {
+	off := 0
+	for {
+		cand := name[off:]
+		// Start of the next shorter suffix; len(name) when cand is the
+		// bare TLD (its only dot is the trailing one).
+		next := off + strings.IndexByte(cand, '.') + 1
+		last := next == len(name)
+		if l.exceptions[cand] {
+			if last {
+				return len(name) - 1 // degenerate "!tld" rule: eTLD is the root
+			}
+			return next // exception: the suffix is everything after this label
+		}
+		if l.rules[cand] {
+			return off
+		}
+		// "*.parent": any single label directly under parent is a suffix.
+		if !last && l.wildcards[name[next:]] {
+			return off
+		}
+		if last {
+			return off // implicit rule: the bare TLD
+		}
+		off = next
+	}
 }
 
 // ETLD returns the effective TLD of name in canonical form ("co.uk."),
@@ -54,24 +88,7 @@ func (l *List) ETLD(name string) string {
 	if name == "." {
 		return "."
 	}
-	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
-	// Find the longest matching suffix, scanning from the full name down.
-	for i := 0; i < len(labels); i++ {
-		cand := strings.Join(labels[i:], ".")
-		if l.exceptions[cand] {
-			// Exception: the suffix is everything after this label.
-			return strings.Join(labels[i+1:], ".") + "."
-		}
-		if l.rules[cand] {
-			return cand + "."
-		}
-		// "*.parent": any single label directly under parent is a suffix.
-		if i+1 < len(labels) && l.wildcards[strings.Join(labels[i+1:], ".")] {
-			return cand + "."
-		}
-	}
-	// Implicit rule: the bare TLD.
-	return labels[len(labels)-1] + "."
+	return name[l.etldStart(name):]
 }
 
 // ESLD returns the effective SLD (eTLD plus one label, e.g.
@@ -79,16 +96,19 @@ func (l *List) ETLD(name string) string {
 // public suffix.
 func (l *List) ESLD(name string) string {
 	name = dnswire.Canonical(name)
-	etld := l.ETLD(name)
-	if name == etld || name == "." {
-		return etld
+	if name == "." {
+		return "."
 	}
-	rest := strings.TrimSuffix(name, "."+etld)
-	if rest == name { // name == etld handled above; defensive
-		return etld
+	off := l.etldStart(name)
+	if off == 0 {
+		return name // the name is itself a public suffix
 	}
-	labels := strings.Split(rest, ".")
-	return labels[len(labels)-1] + "." + etld
+	// Extend one label to the left; still a slice of name.
+	p := off - 1 // the dot ending the previous label
+	for p > 0 && name[p-1] != '.' {
+		p--
+	}
+	return name[p:]
 }
 
 // IsSuffix reports whether name is exactly a public suffix.
@@ -103,8 +123,9 @@ func (l *List) IsSuffix(name string) bool {
 func (l *List) MultiLabelSuffixes() []string {
 	var out []string
 	for r := range l.rules {
-		if strings.Contains(r, ".") {
-			out = append(out, r+".")
+		// Rules carry a trailing dot; multi-label means a dot before it.
+		if strings.Contains(r[:len(r)-1], ".") {
+			out = append(out, r)
 		}
 	}
 	return out

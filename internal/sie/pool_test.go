@@ -1,0 +1,134 @@
+package sie
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+func TestSharedCopyFromDeepCopiesSlices(t *testing.T) {
+	sp := NewSummaryPool()
+	src := &Summary{
+		QName:      "a.example.com.",
+		V4Addrs:    []netip.Addr{netip.MustParseAddr("192.0.2.1")},
+		V4Strs:     []string{"192.0.2.1"},
+		AnswerTTLs: []uint32{300},
+		NSNames:    []string{"ns1.example.com."},
+	}
+	s := sp.Get(1)
+	s.CopyFrom(src)
+	// Mutating the source must not affect the pooled copy.
+	src.V4Addrs[0] = netip.MustParseAddr("203.0.113.9")
+	src.AnswerTTLs[0] = 1
+	src.NSNames[0] = "evil."
+	if s.V4Addrs[0] != netip.MustParseAddr("192.0.2.1") {
+		t.Error("V4Addrs aliased")
+	}
+	if s.AnswerTTLs[0] != 300 {
+		t.Error("AnswerTTLs aliased")
+	}
+	if s.NSNames[0] != "ns1.example.com." {
+		t.Error("NSNames aliased")
+	}
+	s.Release()
+}
+
+func TestSharedRefCounting(t *testing.T) {
+	sp := NewSummaryPool()
+	s := sp.Get(2)
+	s.QName = "x."
+	s.Release()
+	// Still one reference: the buffer must not have been recycled, so a
+	// fresh Get must return a different buffer (pool is empty).
+	other := sp.Get(1)
+	if other == s {
+		t.Fatal("buffer recycled while references remain")
+	}
+	other.Release()
+	s.Release() // last reference: back to the pool
+	got := sp.Get(1)
+	if got != s && got != other {
+		t.Error("released buffer not recycled")
+	}
+	got.Release()
+}
+
+func TestSharedRetain(t *testing.T) {
+	sp := NewSummaryPool()
+	s := sp.Get(1)
+	s.Retain(2)
+	s.Release()
+	s.Release()
+	fresh := sp.Get(1)
+	if fresh == s {
+		t.Fatal("buffer recycled while a retained reference remains")
+	}
+	s.Release()
+	fresh.Release()
+}
+
+func TestSharedCopyReusesCapacity(t *testing.T) {
+	sp := NewSummaryPool()
+	src := &Summary{
+		AnswerTTLs: []uint32{1, 2, 3, 4},
+		NSTTLs:     []uint32{5},
+		NSNames:    []string{"a.", "b."},
+	}
+	s := sp.Get(1)
+	s.CopyFrom(src)
+	first := &s.AnswerTTLs[0]
+	s.Release()
+	again := sp.Get(1)
+	if again != s {
+		t.Skip("pool returned a different buffer; capacity reuse untestable")
+	}
+	again.CopyFrom(src)
+	if &again.AnswerTTLs[0] != first {
+		t.Error("warm CopyFrom reallocated AnswerTTLs")
+	}
+	again.Release()
+}
+
+func TestSharedConcurrentReadersRace(t *testing.T) {
+	sp := NewSummaryPool()
+	src := &Summary{QName: "q.", AnswerTTLs: []uint32{60, 120}}
+	for iter := 0; iter < 100; iter++ {
+		const readers = 4
+		s := sp.Get(readers)
+		s.CopyFrom(src)
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if s.QName != "q." || len(s.AnswerTTLs) != 2 {
+					t.Error("corrupted shared summary")
+				}
+				s.Release()
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestSummaryTextMemoFallback(t *testing.T) {
+	sum := &Summary{
+		Resolver:   netip.MustParseAddr("192.0.2.7"),
+		Nameserver: netip.MustParseAddr("2001:db8::1"),
+		V4Addrs:    []netip.Addr{netip.MustParseAddr("198.51.100.3")},
+		V6Addrs:    []netip.Addr{netip.MustParseAddr("2001:db8::2")},
+	}
+	// No memo: accessors format on demand.
+	if sum.ResolverText() != "192.0.2.7" || sum.NameserverText() != "2001:db8::1" {
+		t.Errorf("fallback text: %q %q", sum.ResolverText(), sum.NameserverText())
+	}
+	if sum.V4Text(0) != "198.51.100.3" || sum.V6Text(0) != "2001:db8::2" {
+		t.Errorf("fallback addr text: %q %q", sum.V4Text(0), sum.V6Text(0))
+	}
+	// Memoized forms win.
+	sum.ResolverStr = "memo-resolver"
+	sum.V4Strs = []string{"memo-v4"}
+	if sum.ResolverText() != "memo-resolver" || sum.V4Text(0) != "memo-v4" {
+		t.Errorf("memo ignored: %q %q", sum.ResolverText(), sum.V4Text(0))
+	}
+}

@@ -47,6 +47,51 @@ type Summary struct {
 
 	SOAMinimum uint32 // negative-caching TTL from an AUTHORITY SOA
 	HasSOA     bool
+
+	// Memoized textual forms. Formatting an address costs an allocation,
+	// and every aggregation and feature set downstream wants the same
+	// string — so the Summarizer formats each address exactly once and
+	// the accessors below fall back to formatting on demand for
+	// summaries built by hand. Empty string / short slice means "not
+	// memoized".
+	ResolverStr   string
+	NameserverStr string
+	V4Strs        []string
+	V6Strs        []string
+}
+
+// ResolverText returns the resolver address as text, using the memoized
+// form when present.
+func (sum *Summary) ResolverText() string {
+	if sum.ResolverStr != "" {
+		return sum.ResolverStr
+	}
+	return sum.Resolver.String()
+}
+
+// NameserverText returns the nameserver address as text, using the
+// memoized form when present.
+func (sum *Summary) NameserverText() string {
+	if sum.NameserverStr != "" {
+		return sum.NameserverStr
+	}
+	return sum.Nameserver.String()
+}
+
+// V4Text returns V4Addrs[i] as text, memoized when available.
+func (sum *Summary) V4Text(i int) string {
+	if i < len(sum.V4Strs) {
+		return sum.V4Strs[i]
+	}
+	return sum.V4Addrs[i].String()
+}
+
+// V6Text returns V6Addrs[i] as text, memoized when available.
+func (sum *Summary) V6Text(i int) string {
+	if i < len(sum.V6Strs) {
+		return sum.V6Strs[i]
+	}
+	return sum.V6Addrs[i].String()
 }
 
 // Errors returned by the summarizer.
@@ -81,19 +126,23 @@ func (s *Summarizer) Summarize(tx *Transaction, out *Summary) error {
 	q := s.qmsg.Question()
 
 	*out = Summary{
-		Resolver:   qpkt.Src,
-		Nameserver: qpkt.Dst,
-		SensorID:   tx.SensorID,
-		QName:      q.Name,
-		QType:      q.Type,
-		QDots:      dnswire.CountLabels(q.Name),
-		DNSSECOK:   s.qmsg.EDNSDo(),
-		TCP:        qTCP,
-		V4Addrs:    out.V4Addrs[:0],
-		V6Addrs:    out.V6Addrs[:0],
-		AnswerTTLs: out.AnswerTTLs[:0],
-		NSTTLs:     out.NSTTLs[:0],
-		NSNames:    out.NSNames[:0],
+		Resolver:      qpkt.Src,
+		Nameserver:    qpkt.Dst,
+		ResolverStr:   qpkt.Src.String(),
+		NameserverStr: qpkt.Dst.String(),
+		SensorID:      tx.SensorID,
+		QName:         q.Name,
+		QType:         q.Type,
+		QDots:         dnswire.CountLabels(q.Name),
+		DNSSECOK:      s.qmsg.EDNSDo(),
+		TCP:           qTCP,
+		V4Addrs:       out.V4Addrs[:0],
+		V6Addrs:       out.V6Addrs[:0],
+		V4Strs:        out.V4Strs[:0],
+		V6Strs:        out.V6Strs[:0],
+		AnswerTTLs:    out.AnswerTTLs[:0],
+		NSTTLs:        out.NSTTLs[:0],
+		NSNames:       out.NSNames[:0],
 	}
 
 	if !tx.Answered() {
@@ -132,8 +181,10 @@ func (s *Summarizer) Summarize(tx *Transaction, out *Summary) error {
 		switch d := rr.Data.(type) {
 		case dnswire.ARData:
 			out.V4Addrs = append(out.V4Addrs, d.Addr)
+			out.V4Strs = append(out.V4Strs, d.Addr.String())
 		case dnswire.AAAARData:
 			out.V6Addrs = append(out.V6Addrs, d.Addr)
+			out.V6Strs = append(out.V6Strs, d.Addr.String())
 		case dnswire.RRSIGRData:
 			out.HasRRSIG = true
 		}

@@ -1,0 +1,204 @@
+package spacesaving
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fnv1a mirrors the sharded engine's key router for partition tests.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TestMergePartitionedEqualsSerial is the core sharded-ingest guarantee:
+// hash-partitioning a stream across S caches and merging reproduces the
+// serial cache exactly when no cache is under eviction pressure.
+func TestMergePartitionedEqualsSerial(t *testing.T) {
+	const shards = 4
+	serial := New(10_000, 60, nil)
+	parts := make([]*Cache, shards)
+	for i := range parts {
+		parts[i] = New(10_000/shards+1000, 60, nil)
+	}
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.3, 1, 999)
+	for i := 0; i < 50_000; i++ {
+		k := fmt.Sprintf("key%03d", zipf.Uint64())
+		now := float64(i) / 1000
+		serial.Observe(k, now)
+		parts[fnv1a(k)%shards].Observe(k, now)
+	}
+	want := serial.Top(0)
+	got := Merge(0, parts...)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, serial has %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Key != w.Key || g.Count != w.Count || g.Error != w.Error {
+			t.Fatalf("entry %d: merged %s/%d/%d, serial %s/%d/%d",
+				i, g.Key, g.Count, g.Error, w.Key, w.Count, w.Error)
+		}
+		if g.Rate != w.Rate {
+			t.Errorf("%s: merged rate %f, serial %f", g.Key, g.Rate, w.Rate)
+		}
+	}
+}
+
+// TestMergeUnderEvictionWithinBound checks the overestimation contract
+// survives merging when the shard caches do evict: every merged count
+// stays within [truth, truth+error] and heavy keys all surface.
+func TestMergeUnderEvictionWithinBound(t *testing.T) {
+	const shards = 4
+	parts := make([]*Cache, shards)
+	for i := range parts {
+		parts[i] = New(50, 60, nil)
+	}
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100_000; i++ {
+		var k string
+		if rng.Float64() < 0.5 {
+			k = fmt.Sprintf("heavy%02d", rng.Intn(10))
+		} else {
+			k = fmt.Sprintf("rare%05d", rng.Intn(20000))
+		}
+		truth[k]++
+		parts[fnv1a(k)%shards].Observe(k, float64(i)/1000)
+	}
+	merged := Merge(20, parts...)
+	heavies := 0
+	for _, e := range merged {
+		if e.Count < truth[e.Key] {
+			t.Errorf("%s: merged count %d below truth %d", e.Key, e.Count, truth[e.Key])
+		}
+		if e.Count-e.Error > truth[e.Key] {
+			t.Errorf("%s: count-error %d above truth %d", e.Key, e.Count-e.Error, truth[e.Key])
+		}
+		if len(e.Key) > 5 && e.Key[:5] == "heavy" {
+			heavies++
+		}
+	}
+	if heavies < 10 {
+		t.Errorf("only %d/10 heavy hitters in merged top-20", heavies)
+	}
+}
+
+func TestMergeSumsDuplicates(t *testing.T) {
+	a, b := New(10, 60, nil), New(10, 60, nil)
+	a.Observe("x", 0)
+	a.Observe("x", 1)
+	b.Observe("x", 2)
+	b.Observe("y", 3)
+	got := Merge(0, a, b)
+	if len(got) != 2 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	if got[0].Key != "x" || got[0].Count != 3 {
+		t.Errorf("x merged to %+v", got[0])
+	}
+	if got[1].Key != "y" || got[1].Count != 1 {
+		t.Errorf("y merged to %+v", got[1])
+	}
+	// Merged entries are copies: mutating them must not touch the caches.
+	got[0].Count = 999
+	if a.Get("x").Count != 2 {
+		t.Error("merge aliased a live entry")
+	}
+}
+
+func TestMergeTruncatesToN(t *testing.T) {
+	a := New(10, 60, nil)
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			a.Observe(fmt.Sprintf("k%d", i), 0)
+		}
+	}
+	got := Merge(3, a)
+	if len(got) != 3 || got[0].Key != "k7" || got[2].Key != "k5" {
+		t.Errorf("top-3 = %v", got)
+	}
+}
+
+func TestOnEvictStateRecycles(t *testing.T) {
+	c := New(1, 60, nil)
+	var recycled []any
+	c.OnEvictState = func(s any) { recycled = append(recycled, s) }
+	e := c.Observe("first", 0)
+	e.State = "payload"
+	e2 := c.Observe("second", 1)
+	if e2.State != nil {
+		t.Errorf("state leaked across eviction: %v", e2.State)
+	}
+	if len(recycled) != 1 || recycled[0] != "payload" {
+		t.Errorf("recycled = %v", recycled)
+	}
+	// Entries evicted with nil State do not invoke the hook.
+	c.Observe("third", 2)
+	if len(recycled) != 1 {
+		t.Errorf("hook fired for nil state: %v", recycled)
+	}
+}
+
+// TestHeapInvariant hammers the flat heap with a churny stream and
+// verifies the min-heap property and index bookkeeping after every phase.
+func TestHeapInvariant(t *testing.T) {
+	c := New(64, 60, nil)
+	rng := rand.New(rand.NewSource(13))
+	check := func() {
+		t.Helper()
+		for i := range c.min {
+			if c.min[i].index != i {
+				t.Fatalf("entry %q stores index %d at slot %d", c.min[i].Key, c.min[i].index, i)
+			}
+			if l := 2*i + 1; l < len(c.min) && c.min[i].Count > c.min[l].Count {
+				t.Fatalf("heap violated at %d/%d: %d > %d", i, l, c.min[i].Count, c.min[l].Count)
+			}
+			if r := 2*i + 2; r < len(c.min) && c.min[i].Count > c.min[r].Count {
+				t.Fatalf("heap violated at %d/%d: %d > %d", i, r, c.min[i].Count, c.min[r].Count)
+			}
+		}
+	}
+	for i := 0; i < 20_000; i++ {
+		c.Observe(fmt.Sprintf("k%d", rng.Intn(300)), float64(i)/100)
+		if i%997 == 0 {
+			check()
+		}
+	}
+	check()
+	if len(c.min) != c.Len() {
+		t.Fatalf("heap len %d != map len %d", len(c.min), c.Len())
+	}
+}
+
+// TestTopPartialSelectionMatchesFullSort cross-checks the heap-based
+// partial selection against a full sort for many n.
+func TestTopPartialSelectionMatchesFullSort(t *testing.T) {
+	c := New(500, 60, nil)
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 30_000; i++ {
+		c.Observe(fmt.Sprintf("k%03d", rng.Intn(400)), float64(i)/100)
+	}
+	full := c.Top(0)
+	for _, n := range []int{1, 2, 3, 10, 50, 399, 400, 1000} {
+		got := c.Top(n)
+		want := full
+		if n < len(full) {
+			want = full[:n]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Top(%d) len = %d, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				t.Fatalf("Top(%d)[%d] = %s, want %s", n, i, got[i].Key, want[i].Key)
+			}
+		}
+	}
+}

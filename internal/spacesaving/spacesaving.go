@@ -15,10 +15,13 @@
 //
 // Evicted entries bequeath their count to the newcomer (the classic
 // overestimation bound: error <= min count).
+//
+// Caches over key-disjoint partitions of one stream compose: Merge sums
+// counts and errors per key and keeps the strongest entries, which is the
+// standard parallel Space-Saving merge used by the sharded ingest engine.
 package spacesaving
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 )
@@ -39,7 +42,8 @@ type Entry struct {
 
 	// State is arbitrary per-object state attached by the caller — the
 	// Observatory hangs its feature accumulators here. It survives
-	// rate/count updates but is discarded on eviction.
+	// rate/count updates but is discarded on eviction (see
+	// Cache.OnEvictState for recycling it instead).
 	State any
 
 	// InsertedAt is the stream time the key last entered the cache; the
@@ -61,6 +65,13 @@ type Cache struct {
 	admitter Admitter
 	hits     uint64
 	dropped  uint64
+
+	// OnEvictState, when non-nil, receives the State of every evicted
+	// entry (if non-nil) just before the entry is reassigned to the
+	// newcomer. The Observatory uses it to recycle per-object feature
+	// sets, which dominate allocation on eviction-heavy streams. Set it
+	// once, right after New.
+	OnEvictState func(state any)
 }
 
 // New returns a cache monitoring up to capacity keys. halfLife is the
@@ -90,14 +101,18 @@ func (c *Cache) Observe(key string, now float64) *Entry {
 	if e, ok := c.entries[key]; ok {
 		e.Count++
 		c.bumpRate(e, now)
-		heap.Fix(&c.min, e.index)
+		// Count grew by exactly one, so the heap property can only break
+		// towards the children: a single bounded sift-down restores it.
+		c.min.down(e.index)
 		return e
 	}
 	if len(c.entries) < c.capacity {
 		e := &Entry{Key: key, Count: 1, InsertedAt: now, rateAt: now}
 		e.Rate = c.instantRate()
 		c.entries[key] = e
-		heap.Push(&c.min, e)
+		e.index = len(c.min)
+		c.min = append(c.min, e)
+		c.min.up(e.index)
 		return e
 	}
 	// Full: the newcomer must displace the minimum entry. With an
@@ -110,6 +125,9 @@ func (c *Cache) Observe(key string, now float64) *Entry {
 	}
 	e := c.min[0]
 	delete(c.entries, e.Key)
+	if e.State != nil && c.OnEvictState != nil {
+		c.OnEvictState(e.State)
+	}
 	// Keep (and update) the evicted entry's frequency estimate, per the
 	// paper: the newcomer inherits count and rate, but not State.
 	e.Key = key
@@ -119,7 +137,7 @@ func (c *Cache) Observe(key string, now float64) *Entry {
 	e.InsertedAt = now
 	c.bumpRate(e, now)
 	c.entries[key] = e
-	heap.Fix(&c.min, 0)
+	c.min.down(0)
 	return e
 }
 
@@ -165,6 +183,9 @@ func (c *Cache) Get(key string) *Entry {
 // Len returns the number of monitored keys.
 func (c *Cache) Len() int { return len(c.entries) }
 
+// Capacity returns the maximum number of monitored keys.
+func (c *Cache) Capacity() int { return c.capacity }
+
 // Hits returns the total observations, Dropped those rejected by the
 // admission filter.
 func (c *Cache) Hits() uint64    { return c.hits }
@@ -179,23 +200,73 @@ func (c *Cache) MinCount() uint64 {
 	return c.min[0].Count
 }
 
+// less is the canonical report order: descending count, ties broken by
+// ascending key.
+func less(a, b *Entry) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Key < b.Key
+}
+
+func sortEntries(es []*Entry) {
+	sort.Slice(es, func(i, j int) bool { return less(es[i], es[j]) })
+}
+
 // Top returns up to n entries ordered by descending count (ties broken
 // by key). The returned slice is freshly allocated; entries are shared.
+// For n much smaller than the cache it runs a partial selection over a
+// size-n heap instead of sorting the full entry set.
 func (c *Cache) Top(n int) []*Entry {
-	all := make([]*Entry, 0, len(c.entries))
-	for _, e := range c.entries {
-		all = append(all, e)
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Count != all[j].Count {
-			return all[i].Count > all[j].Count
+	if n <= 0 || n >= len(c.entries) {
+		all := make([]*Entry, 0, len(c.entries))
+		for _, e := range c.entries {
+			all = append(all, e)
 		}
-		return all[i].Key < all[j].Key
-	})
-	if n > 0 && n < len(all) {
-		all = all[:n]
+		sortEntries(all)
+		return all
 	}
-	return all
+	// Partial selection: a min-heap of the n strongest entries seen so
+	// far, keyed by report order so its root is the weakest survivor.
+	// Entry.index is NOT touched — the entries stay live in c.min.
+	sel := make([]*Entry, 0, n)
+	for _, e := range c.entries {
+		if len(sel) < n {
+			sel = append(sel, e)
+			i := len(sel) - 1
+			for i > 0 {
+				p := (i - 1) / 2
+				if !less(sel[p], sel[i]) {
+					break
+				}
+				sel[i], sel[p] = sel[p], sel[i]
+				i = p
+			}
+			continue
+		}
+		if !less(e, sel[0]) {
+			continue // weaker than the weakest survivor
+		}
+		sel[0] = e
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && less(sel[l], sel[r]) {
+				m = r
+			}
+			if !less(sel[i], sel[m]) {
+				break
+			}
+			sel[i], sel[m] = sel[m], sel[i]
+			i = m
+		}
+	}
+	sortEntries(sel)
+	return sel
 }
 
 // Entries calls fn for every monitored entry in unspecified order.
@@ -205,29 +276,102 @@ func (c *Cache) Entries(fn func(*Entry)) {
 	}
 }
 
+// Merge combines the live entries of several caches into one top-n list —
+// the standard parallel Space-Saving merge: counts, errors and rates of
+// duplicate keys are summed, then the strongest n entries (by count,
+// ties by key) survive. n <= 0 keeps every merged entry.
+//
+// The merge is exact when the caches track key-disjoint partitions of one
+// stream (the sharded ingest shape: every key hashes to exactly one
+// shard), because a key absent from a shard truly has count zero there.
+// For caches over overlapping streams the summed counts remain upper
+// bounds but may undercount keys evicted from some of the caches.
+//
+// Returned entries are copies: mutating them does not disturb the source
+// caches, and State is preserved only for keys contributed by a single
+// cache (a merged State would be ambiguous).
+func Merge(n int, caches ...*Cache) []*Entry {
+	total := 0
+	for _, c := range caches {
+		total += len(c.entries)
+	}
+	merged := make(map[string]*Entry, total)
+	for _, c := range caches {
+		for _, e := range c.entries {
+			m, ok := merged[e.Key]
+			if !ok {
+				cp := *e
+				cp.index = -1
+				merged[e.Key] = &cp
+				continue
+			}
+			m.Count += e.Count
+			m.Error += e.Error
+			m.Rate += e.Rate
+			if e.InsertedAt > m.InsertedAt {
+				m.InsertedAt = e.InsertedAt
+			}
+			if e.rateAt > m.rateAt {
+				m.rateAt = e.rateAt
+			}
+			m.State = nil
+		}
+	}
+	out := make([]*Entry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
 // minHeap orders entries by ascending count so the eviction victim is at
-// the root.
+// the root. It is a flat index-based binary heap: Observe only ever
+// increments a count by one or replaces the root, so the two bounded
+// sifts below are all it needs — no container/heap interface calls, no
+// interface boxing on the hot path.
 type minHeap []*Entry
 
-func (h minHeap) Len() int           { return len(h) }
-func (h minHeap) Less(i, j int) bool { return h[i].Count < h[j].Count }
-
-func (h minHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// up sifts the entry at i towards the root (hole-based: the entry is
+// written once at its final slot).
+func (h minHeap) up(i int) {
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].Count <= e.Count {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = e
+	e.index = i
 }
 
-func (h *minHeap) Push(x any) {
-	e := x.(*Entry)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *minHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// down sifts the entry at i towards the leaves.
+func (h minHeap) down(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].Count < h[l].Count {
+			m = r
+		}
+		if e.Count <= h[m].Count {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = i
+		i = m
+	}
+	h[i] = e
+	e.index = i
 }

@@ -1,0 +1,102 @@
+package tsv
+
+import "testing"
+
+func partSnap(rows []Row) *Snapshot {
+	return &Snapshot{
+		Aggregation: "srvip",
+		Level:       Minutely,
+		Start:       60,
+		Columns:     []string{"hits", "qdots", "ttl1"},
+		Kinds:       []Kind{Counter, Gauge, Mode},
+		Windows:     1,
+		Rows:        rows,
+	}
+}
+
+func TestMergePartsDisjoint(t *testing.T) {
+	a := partSnap([]Row{{Key: "x", Values: []float64{5, 1, 300}}, {Key: "y", Values: []float64{2, 2, 60}}})
+	a.TotalBefore, a.TotalAfter = 7, 7
+	b := partSnap([]Row{{Key: "z", Values: []float64{9, 3, 30}}})
+	b.TotalBefore, b.TotalAfter = 9, 9
+	got, err := MergeParts(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalBefore != 16 || got.TotalAfter != 16 {
+		t.Errorf("stats: %d/%d", got.TotalBefore, got.TotalAfter)
+	}
+	if len(got.Rows) != 3 || got.Rows[0].Key != "z" || got.Rows[1].Key != "x" || got.Rows[2].Key != "y" {
+		t.Fatalf("rows: %+v", got.Rows)
+	}
+	if got.Aggregation != "srvip" || got.Start != 60 || got.Windows != 1 {
+		t.Errorf("header: %+v", got)
+	}
+}
+
+func TestMergePartsTopK(t *testing.T) {
+	a := partSnap([]Row{{Key: "x", Values: []float64{5, 0, 0}}, {Key: "y", Values: []float64{2, 0, 0}}})
+	b := partSnap([]Row{{Key: "z", Values: []float64{9, 0, 0}}})
+	got, err := MergeParts(2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Rows[0].Key != "z" || got.Rows[1].Key != "x" {
+		t.Fatalf("top-2: %+v", got.Rows)
+	}
+}
+
+func TestMergePartsDuplicateKeys(t *testing.T) {
+	a := partSnap([]Row{{Key: "x", Values: []float64{5, 1, 300}}})
+	b := partSnap([]Row{{Key: "x", Values: []float64{8, 3, 60}}})
+	got, err := MergeParts(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 {
+		t.Fatalf("rows: %+v", got.Rows)
+	}
+	r := got.Rows[0]
+	// Counter summed; gauge and mode taken from the heavier part.
+	if r.Values[0] != 13 || r.Values[1] != 3 || r.Values[2] != 60 {
+		t.Errorf("merged values: %v", r.Values)
+	}
+	// Inputs untouched.
+	if a.Rows[0].Values[0] != 5 || b.Rows[0].Values[0] != 8 {
+		t.Error("inputs mutated")
+	}
+}
+
+func TestMergePartsTieBreaksByKey(t *testing.T) {
+	a := partSnap([]Row{{Key: "b", Values: []float64{5, 0, 0}}})
+	b := partSnap([]Row{{Key: "a", Values: []float64{5, 0, 0}}})
+	got, err := MergeParts(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0].Key != "a" || got.Rows[1].Key != "b" {
+		t.Errorf("tie order: %+v", got.Rows)
+	}
+}
+
+func TestMergePartsRejectsMismatch(t *testing.T) {
+	a := partSnap(nil)
+	b := partSnap(nil)
+	b.Start = 120
+	if _, err := MergeParts(0, a, b); err != ErrMixedParts {
+		t.Errorf("window mismatch: err = %v", err)
+	}
+	c := partSnap(nil)
+	c.Columns = []string{"hits", "qdots", "other"}
+	if _, err := MergeParts(0, a, c); err != ErrSchemaChange {
+		t.Errorf("schema mismatch: err = %v", err)
+	}
+	if _, err := MergeParts(0); err != ErrNothingToAgg {
+		t.Errorf("empty: err = %v", err)
+	}
+	d := partSnap(nil)
+	d.Aggregation = "qname"
+	if _, err := MergeParts(0, a, d); err != ErrMixedParts {
+		t.Errorf("aggregation mismatch: err = %v", err)
+	}
+}
