@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"dnsobservatory/internal/chaos"
 	"dnsobservatory/internal/scenario"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/simnet"
@@ -25,6 +26,8 @@ func main() {
 		slds      = flag.Int("slds", 4000, "registered domains")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		scenPath  = flag.String("scenario", "", "JSON scenario file (overrides the flags above)")
+		chaosRate = flag.Float64("chaos", 0, "inject every stream fault class at this rate (0..1)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault injector seed (replay a failing run)")
 	)
 	flag.Parse()
 
@@ -71,11 +74,20 @@ func main() {
 	writer := sie.NewWriter(bw)
 	start := time.Now()
 	var writeErr error
-	stats := sim.Run(func(tx *sie.Transaction) {
+	emit := func(tx *sie.Transaction) {
 		if writeErr == nil {
 			writeErr = writer.Write(tx)
 		}
-	})
+	}
+	var inj *chaos.Injector
+	if *chaosRate > 0 {
+		inj = chaos.New(chaos.Uniform(*chaosRate, *chaosSeed))
+		emit = inj.Transactions(emit)
+	}
+	stats := sim.Run(emit)
+	if inj != nil {
+		inj.Flush() // release reorder-held transactions
+	}
 	if writeErr != nil {
 		fatal(writeErr)
 	}
@@ -84,6 +96,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dnsgen: %d transactions (%d client queries, %d cache hits) in %v\n",
 		stats.Transactions, stats.ClientQueries, stats.CacheHits, time.Since(start).Round(time.Millisecond))
+	if inj != nil {
+		cs := inj.Stats()
+		fmt.Fprintf(os.Stderr, "dnsgen: chaos: %d faults (corrupt %d, truncate %d, dup %d, reorder %d, zerotime %d, backtime %d, oversize %d)\n",
+			cs.Total(), cs.Corrupted, cs.Truncated, cs.Duplicated, cs.Reordered, cs.ZeroTime, cs.BackTime, cs.Oversized)
+	}
 }
 
 func fatal(err error) {

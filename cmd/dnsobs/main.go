@@ -6,12 +6,16 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dnsobservatory/internal/observatory"
@@ -34,15 +38,31 @@ func main() {
 	)
 	flag.Parse()
 
-	var r io.Reader = os.Stdin
+	inFile := os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		r = f
+		inFile = f
 	}
+	var r io.Reader = inFile
+
+	// On SIGINT/SIGTERM, drain what has been read, flush the final
+	// partial window and exit 0. Closing the input file unblocks a read
+	// in progress; a second signal aborts immediately.
+	var stopping atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "dnsobs: %v: draining (signal again to abort)\n", sig)
+		stopping.Store(true)
+		inFile.Close()
+		<-sigc
+		os.Exit(1)
+	}()
 
 	store, err := tsv.NewStore(*dir)
 	if err != nil {
@@ -92,14 +112,17 @@ func main() {
 		return snapErr
 	}
 
-	// borrow/ingest/discard/flush abstract over the three engines.
-	// borrow returns the summary to fill; ingest commits it at a stream
-	// time, discard drops it after a summarize failure.
+	// borrow/ingest/discard/flush/reject/stats abstract over the three
+	// engines. borrow returns the summary to fill; ingest commits it at a
+	// stream time, discard drops it after a summarize failure, reject
+	// additionally accounts it in the engine's ingest statistics.
 	var (
 		borrow  func() *sie.Summary
 		ingest  func(now float64)
 		discard func()
 		flush   func()
+		reject  func()
+		stats   func() observatory.EngineStats
 	)
 	switch {
 	case *sharded || *shards > 0 || *workers > 0:
@@ -114,6 +137,8 @@ func main() {
 		ingest = func(now float64) { eng.IngestShared(cur, now) }
 		discard = func() { eng.Discard(cur) }
 		flush = eng.Close
+		reject = eng.RecordRejected
+		stats = eng.Stats
 		fmt.Fprintf(os.Stderr, "dnsobs: sharded engine: %d shards, %d workers\n",
 			eng.Shards(), eng.Workers())
 	case *parallel:
@@ -123,6 +148,8 @@ func main() {
 		ingest = func(now float64) { pipe.Ingest(&sum, now) }
 		discard = func() {}
 		flush = pipe.Close
+		reject = pipe.RecordRejected
+		stats = pipe.Stats
 	default:
 		pipe := observatory.New(observatory.DefaultConfig(), aggs, onSnapshot)
 		var sum sie.Summary
@@ -130,6 +157,8 @@ func main() {
 		ingest = func(now float64) { pipe.Ingest(&sum, now) }
 		discard = func() {}
 		flush = pipe.Flush
+		reject = pipe.RecordRejected
+		stats = pipe.Stats
 	}
 
 	reader := sie.NewReader(bufio.NewReaderSize(r, 1<<20))
@@ -145,12 +174,37 @@ func main() {
 			break
 		}
 		if err != nil {
+			var de *sie.DecodeError
+			if errors.As(err, &de) {
+				// The frame was sound but its body was not a transaction;
+				// the stream is still in sync.
+				errs++
+				reject()
+				continue
+			}
+			if stopping.Load() {
+				break // interrupted mid-read by the signal handler
+			}
 			fatal(err)
+		}
+		if tx.QueryTime.IsZero() {
+			// An unset timestamp cannot be placed in any window.
+			errs++
+			reject()
+			continue
+		}
+		if !base.IsZero() && tx.QueryTime.Before(base) {
+			// Backdated beyond the very first window; no window exists
+			// to clamp it into.
+			errs++
+			reject()
+			continue
 		}
 		sum := borrow()
 		if err := summarizer.Summarize(&tx, sum); err != nil {
 			errs++
 			discard()
+			reject()
 			continue
 		}
 		if base.IsZero() {
@@ -160,6 +214,9 @@ func main() {
 		ingest(tx.QueryTime.Sub(base).Seconds())
 		if err := failed(); err != nil {
 			fatal(err)
+		}
+		if stopping.Load() {
+			break
 		}
 	}
 	flush()
@@ -174,8 +231,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	es := stats()
 	fmt.Fprintf(os.Stderr, "dnsobs: %d transactions (%d unparsable) -> %s in %v\n",
 		reader.Count(), errs, *dir, time.Since(wall).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "dnsobs: engine: ingested %d accepted %d rejected %d shed %d panics %d quarantined %d; store: %d corrupt snapshots skipped\n",
+		es.Ingested, es.Accepted, es.Rejected, es.Shed, es.Panics, es.Quarantined, store.CorruptSkipped())
 }
 
 func fatal(err error) {

@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/sie"
+)
+
+// sampleTx builds a well-formed answered transaction.
+func sampleTx(t *testing.T, i int) *sie.Transaction {
+	t.Helper()
+	var q dnswire.Message
+	q.ID = uint16(i)
+	q.Flags.RecursionDesired = true
+	q.Questions = append(q.Questions, dnswire.Question{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET})
+	qw, err := q.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q
+	r.Flags.Response = true
+	r.Answers = append(r.Answers, dnswire.RR{
+		Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+		Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+	})
+	rw, err := r.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("198.51.100.7")
+	dst := netip.MustParseAddr("192.0.2.53")
+	base := time.Unix(1600000000, 0)
+	return &sie.Transaction{
+		QueryPacket:    ipwire.AppendIPv4UDP(nil, src, dst, 4242, ipwire.DNSPort, 64, qw),
+		ResponsePacket: ipwire.AppendIPv4UDP(nil, dst, src, ipwire.DNSPort, 4242, 64, rw),
+		QueryTime:      base.Add(time.Duration(i) * time.Millisecond),
+		ResponseTime:   base.Add(time.Duration(i)*time.Millisecond + 5*time.Millisecond),
+		SensorID:       1,
+	}
+}
+
+// run feeds n transactions through an injector and returns the emitted
+// stream plus the stats.
+func run(t *testing.T, cfg Config, n int) ([]*sie.Transaction, Stats) {
+	t.Helper()
+	inj := New(cfg)
+	var got []*sie.Transaction
+	emit := inj.Transactions(func(tx *sie.Transaction) {
+		cp := *tx
+		cp.QueryPacket = append([]byte(nil), tx.QueryPacket...)
+		cp.ResponsePacket = append([]byte(nil), tx.ResponsePacket...)
+		got = append(got, &cp)
+	})
+	for i := 0; i < n; i++ {
+		emit(sampleTx(t, i))
+	}
+	inj.Flush()
+	return got, inj.Stats()
+}
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	got, stats := run(t, Config{Seed: 1}, 50)
+	if len(got) != 50 {
+		t.Fatalf("emitted %d of 50", len(got))
+	}
+	if stats.Total() != 0 {
+		t.Fatalf("zero config injected faults: %+v", stats)
+	}
+	for i, tx := range got {
+		want := sampleTx(t, i)
+		if !bytes.Equal(tx.QueryPacket, want.QueryPacket) || !bytes.Equal(tx.ResponsePacket, want.ResponsePacket) {
+			t.Fatalf("tx %d mutated without faults", i)
+		}
+	}
+}
+
+func TestInjectionIsDeterministicAndLossless(t *testing.T) {
+	cfg := Uniform(0.2, 42)
+	a, sa := run(t, cfg, 400)
+	b, sb := run(t, cfg, 400)
+	if sa != sb {
+		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].QueryPacket, b[i].QueryPacket) {
+			t.Fatalf("tx %d differs across identical runs", i)
+		}
+	}
+	// Reordering and duplication never lose transactions: emitted count
+	// is input plus duplicates.
+	if want := 400 + int(sa.Duplicated); len(a) != want {
+		t.Fatalf("emitted %d, want %d (400 + %d dups)", len(a), want, sa.Duplicated)
+	}
+	if sa.Total() == 0 {
+		t.Fatal("uniform(0.2) injected nothing over 400 transactions")
+	}
+	for _, n := range []uint64{sa.Corrupted, sa.Truncated, sa.Duplicated, sa.Reordered, sa.ZeroTime, sa.BackTime, sa.Oversized} {
+		if n == 0 {
+			t.Fatalf("some stream fault never fired: %+v", sa)
+		}
+	}
+}
+
+func TestOversizedNamesAreRejectedByCodec(t *testing.T) {
+	got, stats := run(t, Config{Seed: 7, OversizeRate: 1}, 20)
+	if stats.Oversized != 20 {
+		t.Fatalf("oversized = %d, want 20", stats.Oversized)
+	}
+	var s sie.Summarizer
+	var sum sie.Summary
+	for i, tx := range got {
+		err := s.Summarize(tx, &sum)
+		if err == nil {
+			t.Fatalf("tx %d: oversized name accepted", i)
+		}
+		if !errors.Is(err, dnswire.ErrNameTooLong) {
+			t.Fatalf("tx %d: err = %v, want ErrNameTooLong", i, err)
+		}
+	}
+}
+
+func TestBackwardsAndZeroTimestamps(t *testing.T) {
+	got, stats := run(t, Config{Seed: 3, BackTimeRate: 1}, 10)
+	if stats.BackTime != 10 {
+		t.Fatalf("backtime = %d, want 10", stats.BackTime)
+	}
+	for i, tx := range got {
+		if tx.Delay() != 0 {
+			t.Fatalf("tx %d: negative delay not clamped: %v", i, tx.Delay())
+		}
+	}
+	got, stats = run(t, Config{Seed: 3, ZeroTimeRate: 1}, 10)
+	if stats.ZeroTime != 10 {
+		t.Fatalf("zerotime = %d, want 10", stats.ZeroTime)
+	}
+	for i, tx := range got {
+		if !tx.QueryTime.IsZero() {
+			t.Fatalf("tx %d: query time not zeroed", i)
+		}
+	}
+}
+
+func TestPanicHook(t *testing.T) {
+	inj := New(Config{Seed: 5, PanicRate: 1})
+	defer func() {
+		if r := recover(); r != ErrInjectedPanic {
+			t.Fatalf("recovered %v, want ErrInjectedPanic", r)
+		}
+		if s := inj.Stats(); s.Panics != 1 {
+			t.Fatalf("panics = %d, want 1", s.Panics)
+		}
+	}()
+	inj.PanicHook(nil)
+	t.Fatal("hook did not panic at rate 1")
+}
+
+func TestWrapWriterFaults(t *testing.T) {
+	inj := New(Config{Seed: 9, WriteErrRate: 1})
+	var buf bytes.Buffer
+	if _, err := inj.WrapWriter(&buf).Write([]byte("hello")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("err = %v, want ErrInjectedWrite", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed write left %d bytes", buf.Len())
+	}
+
+	inj = New(Config{Seed: 9, ShortWriteRate: 1})
+	buf.Reset()
+	w := inj.WrapWriter(&buf)
+	n, err := w.Write([]byte("hello world"))
+	if err != nil || n >= 11 || n < 1 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("underlying got %d bytes, reported %d", buf.Len(), n)
+	}
+	// bufio on top must surface the short write as an error.
+	inj = New(Config{Seed: 9, ShortWriteRate: 1})
+	buf.Reset()
+	var sink io.Writer = inj.WrapWriter(&buf)
+	bw := bufio.NewWriter(sink)
+	if _, err := bw.Write(bytes.Repeat([]byte("x"), 4096)); err == nil {
+		if err = bw.Flush(); err == nil {
+			t.Fatal("bufio over short writer reported success")
+		}
+	}
+}

@@ -12,6 +12,26 @@ var (
 	ErrTooManyRecords   = errors.New("dnswire: record count exceeds message size")
 )
 
+// ParseError reports where in a message Unpack gave up: which section
+// ("header", "question", "answer", "authority", "additional") and which
+// entry within it. It unwraps to the codec sentinel (ErrMessageTruncated,
+// ErrBadPointer, …), so errors.Is checks written against the sentinels
+// keep working; the location exists for operators triaging rejected
+// traffic, not for control flow.
+type ParseError struct {
+	Section string
+	Index   int
+	Err     error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dnswire: %s[%d]: %v", e.Section, e.Index, e.Err)
+}
+
+// Unwrap returns the underlying codec error.
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // Question is a single entry of the question section.
 type Question struct {
 	Name  string
@@ -164,7 +184,7 @@ func appendRR(dst []byte, rr RR, cmap map[string]int) ([]byte, error) {
 func (m *Message) Unpack(msg []byte) error {
 	h, err := UnpackHeader(msg)
 	if err != nil {
-		return err
+		return &ParseError{Section: "header", Err: err}
 	}
 	m.Reset()
 	m.ID = h.ID
@@ -172,40 +192,39 @@ func (m *Message) Unpack(msg []byte) error {
 	// A record needs at least 11 octets (root name + fixed fields), a
 	// question at least 5; reject counts the message cannot possibly hold.
 	if int(h.QD)*5+(int(h.AN)+int(h.NS)+int(h.AR))*11 > len(msg)-HeaderLen {
-		return ErrTooManyRecords
+		return &ParseError{Section: "header", Err: ErrTooManyRecords}
 	}
 	off := HeaderLen
 	for i := 0; i < int(h.QD); i++ {
 		var q Question
 		q.Name, off, err = ReadName(msg, off)
 		if err != nil {
-			return err
+			return &ParseError{Section: "question", Index: i, Err: err}
 		}
 		if off+4 > len(msg) {
-			return ErrMessageTruncated
+			return &ParseError{Section: "question", Index: i, Err: ErrMessageTruncated}
 		}
 		q.Type = Type(uint16(msg[off])<<8 | uint16(msg[off+1]))
 		q.Class = Class(uint16(msg[off+2])<<8 | uint16(msg[off+3]))
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	for _, sec := range [...]*[]RR{&m.Answers, &m.Authority, &m.Additional} {
-		var count int
-		switch sec {
-		case &m.Answers:
-			count = int(h.AN)
-		case &m.Authority:
-			count = int(h.NS)
-		default:
-			count = int(h.AR)
-		}
-		for i := 0; i < count; i++ {
+	for _, sec := range [...]struct {
+		name string
+		rrs  *[]RR
+		n    int
+	}{
+		{"answer", &m.Answers, int(h.AN)},
+		{"authority", &m.Authority, int(h.NS)},
+		{"additional", &m.Additional, int(h.AR)},
+	} {
+		for i := 0; i < sec.n; i++ {
 			var rr RR
 			rr, off, err = unpackRR(msg, off)
 			if err != nil {
-				return err
+				return &ParseError{Section: sec.name, Index: i, Err: err}
 			}
-			*sec = append(*sec, rr)
+			*sec.rrs = append(*sec.rrs, rr)
 		}
 	}
 	return nil

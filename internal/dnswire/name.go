@@ -128,8 +128,12 @@ func ReadName(msg []byte, off int) (string, int, error) {
 
 // Canonical lower-cases name and guarantees a single trailing dot; the
 // root name canonicalizes to ".".
+//
+// Lower-casing is byte-wise ASCII, matching ReadName: DNS names are
+// byte strings, and strings.ToLower would replace non-UTF-8 bytes
+// (legal in wire names) with U+FFFD.
 func Canonical(name string) string {
-	name = strings.ToLower(name)
+	name = asciiLower(name)
 	if name == "" || name == "." {
 		return "."
 	}
@@ -137,6 +141,26 @@ func Canonical(name string) string {
 		name += "."
 	}
 	return name
+}
+
+// asciiLower lower-cases A–Z only, allocating just when needed.
+func asciiLower(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if c := b[i]; c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 // CountLabels returns the number of labels in a canonical or

@@ -1,0 +1,224 @@
+package observatory
+
+import (
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/chaos"
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/tsv"
+)
+
+// soakTx builds one well-formed answered transaction with a varied
+// query name, timestamped i*50ms after base.
+func soakTx(t *testing.T, i int, base time.Time) *sie.Transaction {
+	t.Helper()
+	var q dnswire.Message
+	q.ID = uint16(i)
+	q.Flags.RecursionDesired = true
+	qname := fmt.Sprintf("h%d.example%d.com.", i%7, i%90)
+	q.Questions = append(q.Questions, dnswire.Question{
+		Name: qname, Type: dnswire.TypeA, Class: dnswire.ClassINET})
+	qw, err := q.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q
+	r.Flags.Response = true
+	r.Flags.Authoritative = true
+	r.Answers = append(r.Answers, dnswire.RR{
+		Name: qname, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+		Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.1")},
+	})
+	rw, err := r.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netip.AddrFrom4([4]byte{198, 51, 100, byte(i%50 + 1)})
+	dst := netip.AddrFrom4([4]byte{192, 0, 2, byte(i%20 + 1)})
+	at := base.Add(time.Duration(i) * 50 * time.Millisecond)
+	return &sie.Transaction{
+		QueryPacket:    ipwire.AppendIPv4UDP(nil, src, dst, 4242, ipwire.DNSPort, 64, qw),
+		ResponsePacket: ipwire.AppendIPv4UDP(nil, dst, src, ipwire.DNSPort, 4242, 64, rw),
+		QueryTime:      at,
+		ResponseTime:   at.Add(5 * time.Millisecond),
+		SensorID:       1,
+	}
+}
+
+// soakFeed replays n chaos-mangled transactions through the full ingest
+// path (summarize → reject or ingest), mirroring dnsobs: zero and
+// pre-base timestamps are rejected, everything else is clamped by the
+// engine. Returns the highest stream time fed.
+func soakFeed(t *testing.T, eng *Sharded, inj *chaos.Injector, n int) float64 {
+	t.Helper()
+	base := time.Unix(1600000000, 0)
+	var summarizer sie.Summarizer
+	summarizer.KeepUnparsableResponses = true
+	var maxNow float64
+	emit := inj.Transactions(func(tx *sie.Transaction) {
+		if tx.QueryTime.IsZero() || tx.QueryTime.Before(base) {
+			eng.RecordRejected()
+			return
+		}
+		buf := eng.Borrow()
+		if err := summarizer.Summarize(tx, &buf.Summary); err != nil {
+			eng.Discard(buf)
+			eng.RecordRejected()
+			return
+		}
+		now := tx.QueryTime.Sub(base).Seconds()
+		if now > maxNow {
+			maxNow = now
+		}
+		eng.IngestShared(buf, now)
+	})
+	for i := 0; i < n; i++ {
+		emit(soakTx(t, i, base))
+	}
+	inj.Flush()
+	return maxNow
+}
+
+// requireFullWindowCoverage asserts that every aggregation produced
+// exactly one snapshot for every window from 0 through the last window
+// any aggregation emitted — chaos may shrink window contents but must
+// never silently drop a window.
+func requireFullWindowCoverage(t *testing.T, snaps map[string]map[int64]int) {
+	t.Helper()
+	var last int64 = -1
+	for _, starts := range snaps {
+		for s := range starts {
+			if s > last {
+				last = s
+			}
+		}
+	}
+	if last < 60 {
+		t.Fatalf("soak produced too few windows (last start %d)", last)
+	}
+	for agg, starts := range snaps {
+		for s := int64(0); s <= last; s += 60 {
+			switch n := starts[s]; n {
+			case 1:
+			case 0:
+				t.Errorf("%s: window %d silently dropped", agg, s)
+			default:
+				t.Errorf("%s: window %d emitted %d times", agg, s, n)
+			}
+		}
+	}
+}
+
+// TestChaosSoakBlockPolicy soaks the sharded engine (default Block
+// overload policy) against every stream fault class plus injected
+// worker panics, and asserts the ingest accounting invariant and that
+// no window is ever silently dropped. Run under -race.
+func TestChaosSoakBlockPolicy(t *testing.T) {
+	cfg := chaos.Uniform(0.02, 42)
+	cfg.PanicRate = 0.002
+	inj := chaos.New(cfg)
+
+	econf := DefaultConfig()
+	econf.SkipFreshObjects = false
+	econf.ChaosHook = inj.PanicHook
+
+	snaps := map[string]map[int64]int{}
+	eng := NewSharded(ShardedConfig{Config: econf, Shards: 4, Workers: 2, BatchSize: 32},
+		shardedTestAggs(),
+		func(s *tsv.Snapshot) {
+			if snaps[s.Aggregation] == nil {
+				snaps[s.Aggregation] = map[int64]int{}
+			}
+			snaps[s.Aggregation][s.Start]++
+		})
+
+	soakFeed(t, eng, inj, 12000) // 600 simulated seconds
+	eng.Close()
+
+	es := eng.Stats()
+	if es.Ingested != es.Accepted+es.Rejected+es.Shed {
+		t.Errorf("accounting broken: ingested %d != accepted %d + rejected %d + shed %d",
+			es.Ingested, es.Accepted, es.Rejected, es.Shed)
+	}
+	if es.Shed != 0 {
+		t.Errorf("block policy shed %d batches", es.Shed)
+	}
+	if es.Rejected == 0 {
+		t.Error("chaos stream produced no rejections (faults not reaching the summarizer?)")
+	}
+	if es.Panics == 0 {
+		t.Error("no injected panics recovered (PanicHook not wired?)")
+	}
+	if es.Panics != es.Quarantined {
+		t.Errorf("panics %d != quarantined %d", es.Panics, es.Quarantined)
+	}
+	cs := inj.Stats()
+	if cs.Total() == 0 {
+		t.Fatal("injector fired no faults")
+	}
+	requireFullWindowCoverage(t, snaps)
+}
+
+// TestChaosSoakShedPolicy forces overload (1-slot queues, 1-item
+// batches, a slow hook) under the Shed policy and asserts shedding is
+// accounted — the invariant must hold with Shed > 0 — and that all
+// aggregations emit the same set of windows. Run under -race.
+func TestChaosSoakShedPolicy(t *testing.T) {
+	inj := chaos.New(chaos.Config{Seed: 7}) // no faults; overload is the fault
+
+	econf := DefaultConfig()
+	econf.SkipFreshObjects = false
+	var hooked atomic.Uint64
+	econf.ChaosHook = func(*sie.Summary) {
+		if hooked.Add(1)%8 == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	snaps := map[string]map[int64]int{}
+	eng := NewSharded(ShardedConfig{
+		Config: econf, Shards: 2, Workers: 2,
+		BatchSize: 1, QueueLen: 1, Overload: Shed,
+	}, shardedTestAggs(), func(s *tsv.Snapshot) {
+		if snaps[s.Aggregation] == nil {
+			snaps[s.Aggregation] = map[int64]int{}
+		}
+		snaps[s.Aggregation][s.Start]++
+	})
+
+	soakFeed(t, eng, inj, 6000)
+	eng.Close()
+
+	es := eng.Stats()
+	if es.Ingested != es.Accepted+es.Rejected+es.Shed {
+		t.Errorf("accounting broken: ingested %d != accepted %d + rejected %d + shed %d",
+			es.Ingested, es.Accepted, es.Rejected, es.Shed)
+	}
+	if es.Shed == 0 {
+		t.Skip("overload never triggered on this machine; nothing to assert")
+	}
+	// Shedding drops batches, never windows: whatever windows survived
+	// must be identical across aggregations and emitted exactly once.
+	var ref map[int64]int
+	var refAgg string
+	for agg, starts := range snaps {
+		if ref == nil {
+			ref, refAgg = starts, agg
+			continue
+		}
+		if len(starts) != len(ref) {
+			t.Fatalf("window sets differ: %s has %d, %s has %d", refAgg, len(ref), agg, len(starts))
+		}
+		for s, n := range starts {
+			if n != 1 || ref[s] != 1 {
+				t.Fatalf("window %d: emitted %d times for %s, %d for %s", s, n, agg, ref[s], refAgg)
+			}
+		}
+	}
+}

@@ -55,6 +55,38 @@ type Config struct {
 	// from its snapshot — they have not yet survived a full window
 	// (§2.4). Disable for ablation.
 	SkipFreshObjects bool
+	// ChaosHook, when set, runs for every summary a supervised engine
+	// worker processes, inside that worker's panic-recovery scope. It is
+	// the chaos-injection point for worker panics (chaos.Injector's
+	// PanicHook); leave nil in production.
+	ChaosHook func(*sie.Summary)
+}
+
+// EngineStats is the ingest accounting every engine exposes via Stats().
+// The invariant, once the stream is closed, is
+//
+//	Ingested = Accepted + Rejected + Shed
+//
+// Panics and Quarantined are diagnostics on top: Panics counts recovered
+// worker panics (including those recovered while dumping a window), and
+// Quarantined counts per-worker summary folds that were abandoned to a
+// panic — the summary stays accepted, only the panicking worker's
+// contribution is lost, so quarantining never kills a window.
+type EngineStats struct {
+	// Ingested counts every transaction offered to the platform,
+	// including ones rejected before reaching the engine.
+	Ingested uint64
+	// Accepted counts summaries dispatched into aggregation state.
+	Accepted uint64
+	// Rejected counts malformed transactions refused before feature
+	// extraction (recorded by the caller via RecordRejected).
+	Rejected uint64
+	// Shed counts summaries dropped by the overload policy.
+	Shed uint64
+	// Panics counts recovered worker panics.
+	Panics uint64
+	// Quarantined counts (worker, summary) folds abandoned to a panic.
+	Quarantined uint64
 }
 
 // DefaultConfig mirrors the paper's operating point.
@@ -215,6 +247,7 @@ type Pipeline struct {
 	windowStart float64
 	started     bool
 	total       uint64
+	rejected    uint64
 }
 
 // New builds a pipeline over the given aggregations. onSnapshot may be
@@ -231,11 +264,17 @@ func New(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Pipeli
 }
 
 // Ingest processes one summary observed at stream time now (seconds).
-// Crossing a window boundary dumps snapshots first.
+// Crossing a window boundary dumps snapshots first. A now earlier than
+// the current window (a reordered or backdated transaction) is clamped
+// to the window start: late data folds into the open window instead of
+// corrupting decay state.
 func (p *Pipeline) Ingest(sum *sie.Summary, now float64) {
 	if !p.started {
 		p.windowStart = now - mod(now, p.cfg.WindowSec)
 		p.started = true
+	}
+	if now < p.windowStart {
+		now = p.windowStart
 	}
 	for now >= p.windowStart+p.cfg.WindowSec {
 		p.dump()
@@ -308,6 +347,20 @@ func (p *Pipeline) Cache(name string) *spacesaving.Cache {
 
 // Total returns the number of summaries ingested.
 func (p *Pipeline) Total() uint64 { return p.total }
+
+// RecordRejected accounts one transaction rejected before reaching the
+// pipeline (malformed wire input the summarizer refused).
+func (p *Pipeline) RecordRejected() { p.rejected++ }
+
+// Stats returns the pipeline's ingest accounting. The serial pipeline
+// never sheds or panics, so Accepted always equals Ingested − Rejected.
+func (p *Pipeline) Stats() EngineStats {
+	return EngineStats{
+		Ingested: p.total + p.rejected,
+		Accepted: p.total,
+		Rejected: p.rejected,
+	}
+}
 
 // WindowStart returns the start of the current window.
 func (p *Pipeline) WindowStart() float64 { return p.windowStart }

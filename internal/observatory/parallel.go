@@ -3,6 +3,7 @@ package observatory
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/tsv"
@@ -24,6 +25,11 @@ type Parallel struct {
 	mu     sync.Mutex // serializes onSnapshot
 	batch  []ingestItem
 	closed bool
+
+	ingested    uint64 // producer-side; Ingest is single-producer
+	rejected    uint64
+	panics      atomic.Uint64 // worker-side
+	quarantined atomic.Uint64
 }
 
 type ingestItem struct {
@@ -32,6 +38,8 @@ type ingestItem struct {
 }
 
 type aggWorker struct {
+	eng  *Parallel
+	cfg  *Config
 	pipe *Pipeline
 	in   chan []ingestItem
 	done chan struct{}
@@ -54,10 +62,12 @@ func NewParallel(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot))
 	}
 	for _, a := range aggs {
 		w := &aggWorker{
+			eng:  p,
 			pipe: New(cfg, []Aggregation{a}, emit),
 			in:   make(chan []ingestItem, 4),
 			done: make(chan struct{}),
 		}
+		w.cfg = &w.pipe.cfg
 		p.workers = append(p.workers, w)
 		go w.run()
 	}
@@ -68,10 +78,27 @@ func (w *aggWorker) run() {
 	defer close(w.done)
 	for batch := range w.in {
 		for i := range batch {
-			w.pipe.Ingest(&batch[i].sum, batch[i].now)
+			w.ingestItem(&batch[i])
 		}
 	}
 	w.pipe.Flush()
+}
+
+// ingestItem folds one summary into this worker's pipeline, recovering
+// a panic by quarantining the summary for this aggregation: the item is
+// skipped, counted, and the worker keeps consuming — the window stays
+// alive.
+func (w *aggWorker) ingestItem(it *ingestItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.eng.panics.Add(1)
+			w.eng.quarantined.Add(1)
+		}
+	}()
+	if hook := w.cfg.ChaosHook; hook != nil {
+		hook(&it.sum)
+	}
+	w.pipe.Ingest(&it.sum, it.now)
 }
 
 // Ingest enqueues one summary. The summary is deep-copied; the caller
@@ -80,9 +107,30 @@ func (p *Parallel) Ingest(sum *sie.Summary, now float64) {
 	if p.closed {
 		return
 	}
+	p.ingested++
 	p.batch = append(p.batch, ingestItem{sum: copySummary(sum), now: now})
 	if len(p.batch) >= batchSize {
 		p.dispatch()
+	}
+}
+
+// RecordRejected accounts one transaction rejected before reaching the
+// engine (malformed wire input the summarizer refused). Like Ingest it
+// is producer-side and not safe for concurrent producers.
+func (p *Parallel) RecordRejected() {
+	p.ingested++
+	p.rejected++
+}
+
+// Stats returns the engine's ingest accounting. The parallel engine
+// only blocks (no shed policy), so Accepted = Ingested − Rejected.
+func (p *Parallel) Stats() EngineStats {
+	return EngineStats{
+		Ingested:    p.ingested,
+		Accepted:    p.ingested - p.rejected,
+		Rejected:    p.rejected,
+		Panics:      p.panics.Load(),
+		Quarantined: p.quarantined.Load(),
 	}
 }
 

@@ -2,6 +2,7 @@ package observatory
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +38,7 @@ type Sharded struct {
 	aggs       []Aggregation
 	aggIdx     map[string]int
 	shards     int
+	overload   OverloadPolicy
 	workers    []*shardWorker
 	pool       *sie.SummaryPool
 	batchPool  sync.Pool
@@ -48,7 +50,32 @@ type Sharded struct {
 	cur    *shardBatch
 	closed bool
 	total  uint64
+
+	// Ingest accounting (see EngineStats). Atomic: workers bump panic
+	// counters concurrently with producers bumping the others.
+	ingested    atomic.Uint64
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	shed        atomic.Uint64
+	panics      atomic.Uint64
+	quarantined atomic.Uint64
 }
+
+// OverloadPolicy selects what dispatch does when a worker queue is full.
+type OverloadPolicy int
+
+const (
+	// Block applies backpressure: Ingest waits for the slowest worker.
+	// The default, and the right choice when the producer can stall
+	// (offline replay, a file, an upstream with its own buffering).
+	Block OverloadPolicy = iota
+	// Shed drops the whole pending batch when any worker queue is full,
+	// counting every dropped summary in Stats().Shed. The right choice
+	// for a live feed that must never stall the capture path. Batches
+	// are shed atomically across workers, so all workers still observe
+	// identical batch sequences and window boundaries.
+	Shed
+)
 
 // ShardedConfig tunes the sharded engine on top of the pipeline Config.
 type ShardedConfig struct {
@@ -63,6 +90,14 @@ type ShardedConfig struct {
 	// BatchSize is the fan-out batch length (default 256). Windows are
 	// 60 s, so a few hundred transactions of delay is invisible.
 	BatchSize int
+	// Overload selects the bounded-queue policy when workers fall
+	// behind: Block (default) applies backpressure, Shed drops batches
+	// with accounting.
+	Overload OverloadPolicy
+	// QueueLen is the per-worker batch queue depth (default 4). With
+	// Overload == Shed it bounds how much work can be in flight before
+	// dispatch starts dropping.
+	QueueLen int
 }
 
 // shardBatch carries up to BatchSize summaries with their pre-extracted
@@ -145,11 +180,16 @@ func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snap
 	if batch <= 0 {
 		batch = 256
 	}
+	queue := cfg.QueueLen
+	if queue <= 0 {
+		queue = 4
+	}
 	s := &Sharded{
 		cfg:        cfg.Config,
 		aggs:       aggs,
 		aggIdx:     make(map[string]int, len(aggs)),
 		shards:     shards,
+		overload:   cfg.Overload,
 		pool:       sie.NewSummaryPool(),
 		merges:     make(chan *shardDump, workers),
 		mergeDone:  make(chan struct{}),
@@ -172,7 +212,7 @@ func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snap
 		w := &shardWorker{
 			id:     id,
 			eng:    s,
-			in:     make(chan *shardBatch, 4),
+			in:     make(chan *shardBatch, queue),
 			done:   make(chan struct{}),
 			states: make([][]*aggState, nAggs),
 		}
@@ -264,22 +304,67 @@ func (s *Sharded) add(ps *sie.Shared, now float64) {
 		b.meta = append(b.meta, uint16(hashKey(key)%uint64(s.shards))+1)
 	}
 	s.total++
+	s.ingested.Add(1)
 	if len(b.sums) >= cap(b.sums) {
 		s.dispatchLocked()
 	}
 }
 
-// dispatchLocked hands the pending batch to every worker. Caller holds
-// s.mu.
+// dispatchLocked hands the pending batch to every worker, or sheds it
+// whole under the Shed overload policy when any worker queue is full.
+// Shedding is all-or-nothing per batch so every worker still sees an
+// identical batch sequence (the invariant window merging relies on).
+// Caller holds s.mu.
 func (s *Sharded) dispatchLocked() {
 	b := s.cur
 	if len(b.sums) == 0 {
 		return
 	}
+	if s.overload == Shed {
+		// Only this dispatcher fills the queues, so a below-capacity
+		// check here guarantees the sends below do not block.
+		for _, w := range s.workers {
+			if len(w.in) == cap(w.in) {
+				s.shed.Add(uint64(len(b.sums)))
+				for _, ps := range b.sums {
+					s.Discard(ps)
+				}
+				clear(b.sums)
+				clear(b.keys)
+				b.sums = b.sums[:0]
+				b.nows = b.nows[:0]
+				b.keys = b.keys[:0]
+				b.meta = b.meta[:0]
+				return
+			}
+		}
+	}
+	s.accepted.Add(uint64(len(b.sums)))
 	s.cur = s.batchPool.Get().(*shardBatch)
 	b.refs.Store(int32(len(s.workers)))
 	for _, w := range s.workers {
 		w.in <- b
+	}
+}
+
+// RecordRejected accounts one transaction rejected before reaching the
+// engine (malformed wire input the summarizer refused).
+func (s *Sharded) RecordRejected() {
+	s.ingested.Add(1)
+	s.rejected.Add(1)
+}
+
+// Stats returns the engine's ingest accounting. Once the stream has
+// been dispatched (after Close, or any moment no partial batch is
+// pending), Ingested = Accepted + Rejected + Shed.
+func (s *Sharded) Stats() EngineStats {
+	return EngineStats{
+		Ingested:    s.ingested.Load(),
+		Accepted:    s.accepted.Load(),
+		Rejected:    s.rejected.Load(),
+		Shed:        s.shed.Load(),
+		Panics:      s.panics.Load(),
+		Quarantined: s.quarantined.Load(),
 	}
 }
 
@@ -364,65 +449,104 @@ func (w *shardWorker) run() {
 // process folds one batch into this worker's shards. Every worker scans
 // the whole batch (the scan is a cheap modulo filter per item×agg;
 // feature accumulation, the expensive part, runs only on the owner), so
-// all workers observe identical window boundaries.
+// all workers observe identical window boundaries. A now earlier than
+// the current window (reordered or backdated input) is clamped to the
+// window start — identically on every worker, since they see the same
+// batch sequence.
 func (w *shardWorker) process(b *shardBatch) {
-	nAggs := len(w.eng.aggs)
-	nWorkers := len(w.eng.workers)
 	win := w.eng.cfg.WindowSec
 	for i, now := range b.nows {
 		if !w.started {
 			w.windowStart = now - mod(now, win)
 			w.started = true
 		}
+		if now < w.windowStart {
+			now = w.windowStart
+		}
 		for now >= w.windowStart+win {
 			w.dumpWindow()
 			w.windowStart += win
 		}
-		if w.id == 0 {
-			// Worker 0 keeps the before-filtering count for every
-			// aggregation (it sees every item; counting it once keeps the
-			// merged TotalBefore identical to the serial pipeline's).
-			for a := 0; a < nAggs; a++ {
-				w.states[a][0].seenBefore++
-			}
-		}
-		sum := &b.sums[i].Summary
-		base := i * nAggs
-		for a := 0; a < nAggs; a++ {
-			m := b.meta[base+a]
-			if m == 0 {
-				continue
-			}
-			shard := int(m - 1)
-			if shard%nWorkers != w.id {
-				continue
-			}
-			w.states[a][shard/nWorkers].observe(b.keys[base+a], sum, now, &w.eng.cfg)
-		}
+		w.processItem(b, i, now)
 		b.sums[i].Release()
 	}
 }
 
+// processItem folds one summary into this worker's shards, recovering a
+// panic (from corrupt data or an injected fault) by quarantining the
+// summary: this worker's contribution is abandoned and counted, every
+// other worker and every later summary proceeds, and the window stays
+// alive.
+func (w *shardWorker) processItem(b *shardBatch, i int, now float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.eng.panics.Add(1)
+			w.eng.quarantined.Add(1)
+		}
+	}()
+	nAggs := len(w.eng.aggs)
+	nWorkers := len(w.eng.workers)
+	if w.id == 0 {
+		// Worker 0 keeps the before-filtering count for every
+		// aggregation (it sees every item; counting it once keeps the
+		// merged TotalBefore identical to the serial pipeline's).
+		for a := 0; a < nAggs; a++ {
+			w.states[a][0].seenBefore++
+		}
+	}
+	sum := &b.sums[i].Summary
+	if hook := w.eng.cfg.ChaosHook; hook != nil {
+		hook(sum)
+	}
+	base := i * nAggs
+	for a := 0; a < nAggs; a++ {
+		m := b.meta[base+a]
+		if m == 0 {
+			continue
+		}
+		shard := int(m - 1)
+		if shard%nWorkers != w.id {
+			continue
+		}
+		w.states[a][shard/nWorkers].observe(b.keys[base+a], sum, now, &w.eng.cfg)
+	}
+}
+
 // dumpWindow ships this worker's share of the closing window to the
-// merger and resets its window state.
+// merger and resets its window state. A panic while collecting rows
+// (corrupt feature state) is recovered and counted; the dump — possibly
+// missing the aggregations after the panic point — is still sent, so
+// the merger always receives one dump per worker per window and no
+// window is ever silently dropped.
 func (w *shardWorker) dumpWindow() {
 	d := &shardDump{windowStart: w.windowStart, parts: make([]shardPart, len(w.eng.aggs))}
 	windowEnd := w.windowStart + w.eng.cfg.WindowSec
-	for a := range w.eng.aggs {
-		part := &d.parts[a]
-		for _, st := range w.states[a] {
-			part.rows = st.windowRows(part.rows, &w.eng.cfg, w.windowStart, windowEnd)
-			part.seenBefore += st.seenBefore
-			part.seenAfter += st.seenAfter
-			st.resetWindow()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				w.eng.panics.Add(1)
+			}
+		}()
+		for a := range w.eng.aggs {
+			part := &d.parts[a]
+			for _, st := range w.states[a] {
+				part.rows = st.windowRows(part.rows, &w.eng.cfg, w.windowStart, windowEnd)
+				part.seenBefore += st.seenBefore
+				part.seenAfter += st.seenAfter
+				st.resetWindow()
+			}
 		}
-	}
+	}()
 	w.eng.merges <- d
 }
 
 // mergeLoop collects the workers' dumps; once a window has one dump per
 // worker it merges them into final snapshots. Workers emit windows in
-// order and the channel is FIFO, so windows complete in order too.
+// order and the channel is FIFO, so windows complete in order too. Any
+// window still partial when the engine closes (a worker died before
+// contributing — impossible under normal supervision, which always
+// sends a dump, but defended against anyway) is flushed from whatever
+// dumps arrived rather than dropped.
 func (s *Sharded) mergeLoop() {
 	defer close(s.mergeDone)
 	pending := make(map[float64][]*shardDump)
@@ -434,6 +558,14 @@ func (s *Sharded) mergeLoop() {
 		}
 		delete(pending, d.windowStart)
 		s.emitWindow(d.windowStart, dumps)
+	}
+	starts := make([]float64, 0, len(pending))
+	for ws := range pending {
+		starts = append(starts, ws)
+	}
+	sort.Float64s(starts)
+	for _, ws := range starts {
+		s.emitWindow(ws, pending[ws])
 	}
 }
 
@@ -463,7 +595,18 @@ func (s *Sharded) emitWindow(windowStart float64, dumps []*shardDump) {
 			continue
 		}
 		if s.onSnapshot != nil {
-			s.onSnapshot(snap)
+			s.deliver(snap)
 		}
 	}
+}
+
+// deliver runs the snapshot callback, recovering a panic so a faulty
+// consumer cannot kill the merger (which would wedge Close).
+func (s *Sharded) deliver(snap *tsv.Snapshot) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+		}
+	}()
+	s.onSnapshot(snap)
 }

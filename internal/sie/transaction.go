@@ -131,6 +131,21 @@ func (tw *Writer) Write(tx *Transaction) error {
 // Count returns the number of transactions written.
 func (tw *Writer) Count() uint64 { return tw.n }
 
+// DecodeError reports a frame whose body failed to decode as a
+// transaction. The frame boundary itself was sound, so the stream is
+// still in sync: callers may count the bad record and keep reading.
+// Frame-level errors (truncated prefix, oversized frame, I/O failures)
+// are returned bare — after those the stream position is unreliable.
+type DecodeError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string { return "sie: undecodable transaction: " + e.Err.Error() }
+
+// Unwrap returns the underlying codec error.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
 // Reader deserializes framed transactions from an io.Reader.
 type Reader struct {
 	fr *FrameReader
@@ -141,14 +156,16 @@ type Reader struct {
 func NewReader(r io.Reader) *Reader { return &Reader{fr: NewFrameReader(r)} }
 
 // Read decodes the next transaction into tx. Packet slices are valid
-// until the next Read. It returns io.EOF at a clean end of stream.
+// until the next Read. It returns io.EOF at a clean end of stream and
+// a *DecodeError for a well-framed but undecodable record (the next
+// Read continues with the following frame).
 func (tr *Reader) Read(tx *Transaction) error {
 	frame, err := tr.fr.Next()
 	if err != nil {
 		return err
 	}
 	if err := tx.Unmarshal(frame); err != nil {
-		return err
+		return &DecodeError{Err: err}
 	}
 	tr.n++
 	return nil

@@ -1,26 +1,86 @@
 package tsv
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync/atomic"
 )
+
+// ErrCorruptSnapshot matches (via errors.Is) any snapshot file the store
+// could open but not parse — truncated, bit-rotted, or half-written.
+// Callers that walk many files (Cascade) skip and count such files
+// instead of aborting, since one bad file must not take down an entire
+// aggregation level.
+var ErrCorruptSnapshot = errors.New("tsv: corrupt snapshot file")
+
+// CorruptError reports an unparsable snapshot file. It matches
+// ErrCorruptSnapshot under errors.Is and unwraps to the codec error.
+type CorruptError struct {
+	Path string
+	Err  error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("tsv: corrupt snapshot %s: %v", e.Path, e.Err)
+}
+
+// Unwrap returns the underlying codec error.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is matches ErrCorruptSnapshot.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorruptSnapshot }
 
 // Store manages snapshot files in a directory, running the aggregation
 // cascade (minutely → 10-minutely → hourly → …) and the retention
 // policy that deletes old fine-grained files once coarser aggregates
 // exist (paper §2.4).
+//
+// Writes are crash-safe: snapshots land under temporary names and are
+// renamed into place only once fully written, NewStore reaps temp files
+// orphaned by an earlier crash, and corrupt files are detected (typed
+// ErrCorruptSnapshot) and skipped with accounting rather than trusted.
 type Store struct {
 	dir string
 	// Retain caps how many files of each level are kept; zero means
 	// unlimited. Older files beyond the cap are deleted by Retention.
 	Retain map[Level]int
+	// FsyncOnPut syncs the snapshot file (and the directory, so the
+	// rename itself is durable) before Put returns. Off by default:
+	// minutely snapshots are reproducible from upstream, so most
+	// deployments prefer throughput; turn it on when the store is the
+	// only copy of the data.
+	FsyncOnPut bool
+	// WrapWriter, when set, wraps the snapshot file writer on every Put
+	// — the chaos-injection point for failing and short writes. Nil in
+	// production.
+	WrapWriter func(io.Writer) io.Writer
+
+	corruptSkipped atomic.Uint64
 }
 
-// NewStore returns a store rooted at dir, creating it if needed.
+// NewStore returns a store rooted at dir, creating it if needed and
+// deleting any .tmp-* files a crashed predecessor left behind (they
+// were never renamed into place, so they hold no committed data).
 func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") && !e.IsDir() {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return &Store{dir: dir, Retain: map[Level]int{}}, nil
 }
@@ -28,35 +88,73 @@ func NewStore(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (st *Store) Dir() string { return st.dir }
 
-// Put writes snap as a file.
+// CorruptSkipped returns how many corrupt snapshot files Cascade has
+// skipped over the store's lifetime.
+func (st *Store) CorruptSkipped() uint64 { return st.corruptSkipped.Load() }
+
+// Put writes snap as a file: into a temp name first, renamed into place
+// only after a fully successful write (and fsync, when configured), so
+// a crash or write error never leaves a half-written snapshot under a
+// committed name.
 func (st *Store) Put(snap *Snapshot) error {
 	f, err := os.CreateTemp(st.dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := snap.WriteTo(f); err != nil {
+	var w io.Writer = f
+	if st.WrapWriter != nil {
+		w = st.WrapWriter(w)
+	}
+	if _, err := snap.WriteTo(w); err != nil {
 		f.Close()
 		os.Remove(f.Name())
 		return err
+	}
+	if st.FsyncOnPut {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(f.Name())
 		return err
 	}
-	return os.Rename(f.Name(), filepath.Join(st.dir, snap.FileName()))
+	if err := os.Rename(f.Name(), filepath.Join(st.dir, snap.FileName())); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if st.FsyncOnPut {
+		return syncDir(st.dir)
+	}
+	return nil
 }
 
-// Get loads the snapshot for (agg, level, start), or an error.
+// syncDir fsyncs a directory so a rename within it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Get loads the snapshot for (agg, level, start). A file that exists
+// but cannot be parsed yields a *CorruptError (matching
+// ErrCorruptSnapshot); a missing file yields the usual fs.ErrNotExist.
 func (st *Store) Get(agg string, level Level, start int64) (*Snapshot, error) {
 	name := (&Snapshot{Aggregation: agg, Level: level, Start: start}).FileName()
-	f, err := os.Open(filepath.Join(st.dir, name))
+	path := filepath.Join(st.dir, name)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	s, err := Read(f)
 	if err != nil {
-		return nil, err
+		return nil, &CorruptError{Path: path, Err: err}
 	}
 	s.Aggregation, s.Level, s.Start = agg, level, start
 	return s, nil
@@ -86,6 +184,11 @@ func (st *Store) List(agg string, level Level) ([]int64, error) {
 // the lower level fall within one upper-level window and that window has
 // closed (its end is at or before now). Newly produced files trigger
 // further cascading.
+//
+// A corrupt input file is skipped and counted (CorruptSkipped) rather
+// than failing the level: the upper aggregate is built from whatever
+// parses, matching the codec's contract that every committed file was
+// written whole — anything else is damage to route around.
 func (st *Store) Cascade(agg string, now int64) error {
 	for level := Minutely; level < MaxLevel; level++ {
 		upper := level + 1
@@ -109,14 +212,24 @@ func (st *Store) Cascade(agg string, now int64) error {
 			}
 			if _, err := st.Get(agg, upper, w); err == nil {
 				continue // already aggregated
+			} else if errors.Is(err, ErrCorruptSnapshot) {
+				// A corrupt upper file: rebuild it from the lower level.
+				st.corruptSkipped.Add(1)
 			}
 			var snaps []*Snapshot
 			for _, s := range groups[w] {
 				snap, err := st.Get(agg, level, s)
 				if err != nil {
+					if errors.Is(err, ErrCorruptSnapshot) {
+						st.corruptSkipped.Add(1)
+						continue
+					}
 					return err
 				}
 				snaps = append(snaps, snap)
+			}
+			if len(snaps) == 0 {
+				continue // every input corrupt; nothing to aggregate
 			}
 			out, err := Aggregate(snaps)
 			if err != nil {

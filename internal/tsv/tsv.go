@@ -189,10 +189,16 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 // Read parses a snapshot written by WriteTo. Aggregation, Level and
 // Start are not stored in the file body (they live in the name) and are
 // left zero; callers set them from ParseFileName.
+//
+// The trailing #stats row doubles as an end-of-file marker: WriteTo
+// always emits it last, so its absence means the file was truncated —
+// possibly at a clean line boundary, which no per-line check could
+// catch — and Read reports ErrBadFile.
 func Read(r io.Reader) (*Snapshot, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	s := &Snapshot{Windows: 1}
+	sawStats := false
 	lineNo := 0
 	for sc.Scan() {
 		line := sc.Text()
@@ -213,6 +219,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 				}
 			}
 		case strings.HasPrefix(line, "#stats\t"):
+			// All three keys must parse: a file cut mid-way through this
+			// line would otherwise still pass the end-of-file check.
+			statKeys := 0
 			for _, f := range fields[1:] {
 				k, v, ok := strings.Cut(f, "=")
 				if !ok {
@@ -225,12 +234,19 @@ func Read(r io.Reader) (*Snapshot, error) {
 				switch k {
 				case "total_before":
 					s.TotalBefore = n
+					statKeys++
 				case "total_after":
 					s.TotalAfter = n
+					statKeys++
 				case "windows":
 					s.Windows = int(n)
+					statKeys++
 				}
 			}
+			if statKeys != 3 {
+				return nil, ErrBadFile
+			}
+			sawStats = true
 		case line == "" || strings.HasPrefix(line, "#"):
 			// Skip blanks and unknown comments.
 		default:
@@ -254,7 +270,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if s.Columns == nil {
+	if s.Columns == nil || !sawStats {
 		return nil, ErrBadFile
 	}
 	return s, nil
