@@ -18,16 +18,19 @@ import (
 	"io"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"testing"
 
 	"dnsobservatory/internal/bloom"
 	"dnsobservatory/internal/dnswire"
 	"dnsobservatory/internal/experiments"
+	"dnsobservatory/internal/features"
 	"dnsobservatory/internal/hll"
 	"dnsobservatory/internal/observatory"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/simnet"
 	"dnsobservatory/internal/spacesaving"
+	"dnsobservatory/internal/tsv"
 )
 
 // benchCtx builds a small-scale experiment context per benchmark.
@@ -171,6 +174,112 @@ func BenchmarkParallelIngest(b *testing.B) {
 	})
 }
 
+// snapshotBenchSets builds a corpus of feature sets populated with a
+// heavy-tail mix of traffic: a few hot objects that see thousands of
+// distinct values and a long tail of objects that see a handful — the
+// shape of a real Top-k table.
+func snapshotBenchSets(n int) []*features.Set {
+	sums := parallelBenchSummaries()
+	sets := make([]*features.Set, n)
+	for i := range sets {
+		sets[i] = features.NewSet(features.Config{HLLPrecision: 10})
+		obs := 3 // tail object: a few hits
+		if i%100 == 0 {
+			obs = 2000 // hot object: thousands
+		}
+		for j := 0; j < obs; j++ {
+			sets[i].Observe(&sums[(i*131+j)%len(sums)])
+		}
+	}
+	return sets
+}
+
+// BenchmarkSnapshotRowExtract measures per-row snapshot extraction —
+// features.Set.Values, dominated by the 10 HLL Estimate calls per row.
+// At every window dump this runs once per tracked object per
+// aggregation (×K ×8).
+func BenchmarkSnapshotRowExtract(b *testing.B) {
+	sets := snapshotBenchSets(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets[i%len(sets)].Values(1.0)
+	}
+}
+
+// BenchmarkFeatureSetBytes reports the steady-state heap bytes per
+// tracked object: the live footprint of a feature set that has observed
+// tail-like traffic (the vast majority of Top-k entries). Reported as
+// bytes/object via ReadMemStats around a batch of live sets.
+func BenchmarkFeatureSetBytes(b *testing.B) {
+	sums := parallelBenchSummaries()
+	const objects = 2000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	sets := make([]*features.Set, objects)
+	for i := range sets {
+		sets[i] = features.NewSet(features.Config{HLLPrecision: 10})
+		for j := 0; j < 3; j++ { // tail object: a few hits per window
+			sets[i].Observe(&sums[(i*131+j)%len(sums)])
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	perObj := float64(after.HeapAlloc-before.HeapAlloc) / objects
+	for i := 0; i < b.N; i++ {
+		_ = sets[i%len(sets)].Hits // keep sets live across the measurement
+	}
+	runtime.KeepAlive(sums) // the corpus must stay live between readings
+	b.ReportMetric(perObj, "bytes/object")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkCascade measures the full time-aggregation cascade: 3
+// aggregations × 60 minutely files each, cascaded up to hourly. Setup
+// (writing the minutely inputs) runs with the timer stopped.
+func BenchmarkCascade(b *testing.B) {
+	aggs := []string{"srvip", "esld", "qname"}
+	mkSnap := func(agg string, start int64) *tsv.Snapshot {
+		cols, kinds := []string{"hits", "qdots"}, []tsv.Kind{tsv.Counter, tsv.Gauge}
+		s := &tsv.Snapshot{
+			Aggregation: agg, Level: tsv.Minutely, Start: start,
+			Columns: cols, Kinds: kinds, TotalBefore: 100, TotalAfter: 90, Windows: 1,
+		}
+		for r := 0; r < 200; r++ {
+			s.Rows = append(s.Rows, tsv.Row{
+				Key:    fmt.Sprintf("obj-%03d", r),
+				Values: []float64{float64(200 - r), 2.5},
+			})
+		}
+		return s
+	}
+	run := func(b *testing.B, parallelism int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store, err := tsv.NewStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			store.Parallelism = parallelism
+			for _, agg := range aggs {
+				for m := int64(0); m < 60; m++ {
+					if err := store.Put(mkSnap(agg, m*60)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StartTimer()
+			if err := store.CascadeAll(aggs, 3600); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("pooled", func(b *testing.B) { run(b, 0) })
+}
+
 // BenchmarkSummarize measures raw-packet parsing into a Summary.
 func BenchmarkSummarize(b *testing.B) {
 	cfg := simnet.DefaultConfig()
@@ -246,16 +355,31 @@ func BenchmarkSpaceSavingObserve(b *testing.B) {
 
 // BenchmarkHLLAdd measures one cardinality-estimate insertion.
 func BenchmarkHLLAdd(b *testing.B) {
-	s := hll.MustNew(10)
 	keys := make([]string, 1<<12)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("item-%d", i)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Add(keys[i%len(keys)])
-	}
+	b.Run("string", func(b *testing.B) {
+		s := hll.MustNew(10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Add(keys[i%len(keys)])
+		}
+	})
+	// The path the feature sets actually take now: the hash is computed
+	// once per summary field and shared by every sketch that counts it.
+	b.Run("hash", func(b *testing.B) {
+		hashes := make([]uint64, len(keys))
+		for i, k := range keys {
+			hashes[i] = hll.HashString(k)
+		}
+		s := hll.MustNew(10)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.AddHash(hashes[i%len(hashes)])
+		}
+	})
 }
 
 // ---- ablations (design choices from DESIGN.md) ----

@@ -223,10 +223,10 @@ func main() {
 	if err := failed(); err != nil {
 		fatal(err)
 	}
+	if err := store.CascadeAll(aggNames, lastStart+60); err != nil {
+		fatal(err)
+	}
 	for _, name := range aggNames {
-		if err := store.Cascade(name, lastStart+60); err != nil {
-			fatal(err)
-		}
 		if err := store.Retention(name); err != nil {
 			fatal(err)
 		}

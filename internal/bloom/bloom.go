@@ -54,7 +54,17 @@ func New(n int, fp float64) *Filter {
 // hash2 derives two independent 64-bit hashes of s; the k index
 // functions are Kirsch–Mitzenmacher combinations h1 + i*h2.
 func (f *Filter) hash2(s string) (uint64, uint64) {
-	h := maphash.String(f.seed, s)
+	return f.spread(maphash.String(f.seed, s))
+}
+
+// hash2Bytes is hash2 over a byte slice; maphash guarantees
+// Bytes(seed, b) == String(seed, string(b)), so the two views of one key
+// always agree.
+func (f *Filter) hash2Bytes(b []byte) (uint64, uint64) {
+	return f.spread(maphash.Bytes(f.seed, b))
+}
+
+func (f *Filter) spread(h uint64) (uint64, uint64) {
 	h2 := h>>33 | h<<31
 	h2 = h2*0x9e3779b97f4a7c15 + 1 // odd multiplier keeps h2 odd-ish spread
 	return h, h2 | 1
@@ -63,6 +73,16 @@ func (f *Filter) hash2(s string) (uint64, uint64) {
 // Add inserts s.
 func (f *Filter) Add(s string) {
 	h1, h2 := f.hash2(s)
+	f.set(h1, h2)
+}
+
+// AddBytes inserts b without converting it to a string.
+func (f *Filter) AddBytes(b []byte) {
+	h1, h2 := f.hash2Bytes(b)
+	f.set(h1, h2)
+}
+
+func (f *Filter) set(h1, h2 uint64) {
 	for i := 0; i < f.k; i++ {
 		idx := (h1 + uint64(i)*h2) & f.mask
 		f.bits[idx/64] |= 1 << (idx % 64)
@@ -74,6 +94,16 @@ func (f *Filter) Add(s string) {
 // at roughly the configured rate; false negatives never.
 func (f *Filter) Contains(s string) bool {
 	h1, h2 := f.hash2(s)
+	return f.test(h1, h2)
+}
+
+// ContainsBytes is Contains for a byte-slice view of the key.
+func (f *Filter) ContainsBytes(b []byte) bool {
+	h1, h2 := f.hash2Bytes(b)
+	return f.test(h1, h2)
+}
+
+func (f *Filter) test(h1, h2 uint64) bool {
 	for i := 0; i < f.k; i++ {
 		idx := (h1 + uint64(i)*h2) & f.mask
 		if f.bits[idx/64]&(1<<(idx%64)) == 0 {

@@ -135,13 +135,20 @@ func NewSet(cfg Config) *Set {
 	}
 }
 
-// Observe folds one transaction summary into the set.
+// Observe folds one transaction summary into the set. It consumes the
+// summary's memoized field hashes — hashed once per transaction, shared
+// by every aggregation × sketch — memoizing them itself when the caller
+// has not (which mutates sum: engines that fan one summary out to
+// concurrent Observers must call PrecomputeHashes first).
 func (s *Set) Observe(sum *sie.Summary) {
+	if !sum.HashesReady {
+		sum.PrecomputeHashes(s.cfg.Suffixes)
+	}
 	s.Hits++
-	s.SrvIPs.Add(sum.NameserverText())
-	s.SrcIPs.Add(sum.ResolverText())
+	s.SrvIPs.AddHash(sum.NameserverHash)
+	s.SrcIPs.AddHash(sum.ResolverHash)
 	s.Sources.AddUint64(uint64(sum.SensorID))
-	s.QNamesA.Add(sum.QName)
+	s.QNamesA.AddHash(sum.QNameHash)
 	s.QTypes.AddUint64(uint64(sum.QType))
 	s.qdotsSum += float64(sum.QDots)
 	if sum.TCP {
@@ -199,14 +206,14 @@ func (s *Set) Observe(sum *sie.Summary) {
 		s.OKSec++
 	}
 
-	s.QNames.Add(sum.QName)
-	s.TLDs.Add(dnswire.TLD(sum.QName))
-	s.ESLDs.Add(s.cfg.Suffixes.ESLD(sum.QName))
-	for i := range sum.V4Addrs {
-		s.IP4s.Add(sum.V4Text(i))
+	s.QNames.AddHash(sum.QNameHash)
+	s.TLDs.AddHash(sum.TLDHash)
+	s.ESLDs.AddHash(sum.ESLDHash)
+	for _, h := range sum.V4Hashes {
+		s.IP4s.AddHash(h)
 	}
-	for i := range sum.V6Addrs {
-		s.IP6s.Add(sum.V6Text(i))
+	for _, h := range sum.V6Hashes {
+		s.IP6s.AddHash(h)
 	}
 	for _, ttl := range sum.AnswerTTLs {
 		s.TTL.Observe(ttl)

@@ -1,0 +1,256 @@
+package hll
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// forceDense promotes a sketch immediately so tests can pin the form.
+func forceDense(s *Sketch) *Sketch {
+	s.promote()
+	return s
+}
+
+// TestHashGolden pins the hash functions to fixed values: the seed is
+// part of the on-disk contract (snapshots from different runs and
+// processes are merged and averaged), so any change here is a breaking
+// format change, not a refactor.
+func TestHashGolden(t *testing.T) {
+	strings := map[string]uint64{
+		"":                         0xefd01f60ba992926,
+		"example.com.":             0x846b325e3eb70e8a,
+		"ns1.dns-observatory.net.": 0x99df6b6c2bdbdf22,
+		"198.51.100.7":             0xa423aaea3afd7152,
+	}
+	for s, want := range strings {
+		if got := HashString(s); got != want {
+			t.Errorf("HashString(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+	ints := map[uint64]uint64{
+		0:  0x9ca066f1a4ab2eea,
+		1:  0xe5fdc025e13eeed5,
+		28: 0xefa0ff9d014672d6,
+	}
+	for v, want := range ints {
+		if got := HashUint64(v); got != want {
+			t.Errorf("HashUint64(%d) = %#x, want %#x", v, got, want)
+		}
+	}
+}
+
+// TestSeparatelyConstructedSketchesAgree is the cross-run determinism
+// contract: two sketches built independently (as two processes would)
+// must agree bit-for-bit on the same input.
+func TestSeparatelyConstructedSketchesAgree(t *testing.T) {
+	build := func() *Sketch {
+		s := MustNew(10)
+		for i := 0; i < 5000; i++ {
+			s.Add(fmt.Sprintf("host%d.example.net.", i%1700))
+		}
+		return s
+	}
+	a, b := build(), build()
+	if a.Estimate() != b.Estimate() {
+		t.Errorf("independent sketches disagree: %v vs %v", a.Estimate(), b.Estimate())
+	}
+}
+
+// TestSparseDenseIdenticalEstimates feeds the same values to a sketch
+// left in its natural form and one promoted to dense up front; the
+// estimates must be exactly equal at every cardinality, across the
+// promotion boundary, and after Reset and refill.
+func TestSparseDenseIdenticalEstimates(t *testing.T) {
+	natural, dense := MustNew(10), forceDense(MustNew(10))
+	check := func(n int) {
+		t.Helper()
+		if ne, de := natural.Estimate(), dense.Estimate(); ne != de {
+			t.Fatalf("after %d adds: natural (dense=%v) %v != forced-dense %v",
+				n, natural.Dense(), ne, de)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		v := fmt.Sprintf("val-%d", i%900)
+		natural.Add(v)
+		dense.Add(v)
+		if i%37 == 0 {
+			check(i + 1)
+		}
+	}
+	check(2000)
+	if !natural.Dense() {
+		t.Fatal("natural sketch never promoted; threshold untested")
+	}
+
+	natural.Reset()
+	dense.Reset()
+	if natural.Dense() {
+		t.Error("Reset did not return the sketch to sparse form")
+	}
+	for i := 0; i < 50; i++ {
+		v := fmt.Sprintf("refill-%d", i)
+		natural.Add(v)
+		dense.Add(v)
+	}
+	check(50)
+	fresh := MustNew(10)
+	for i := 0; i < 50; i++ {
+		fresh.Add(fmt.Sprintf("refill-%d", i))
+	}
+	if fresh.Estimate() != natural.Estimate() {
+		t.Errorf("recycled sketch %v != fresh sketch %v", natural.Estimate(), fresh.Estimate())
+	}
+}
+
+// TestMergeFormMatrix checks every sparse/dense merge combination
+// produces the exact estimate of the dense union.
+func TestMergeFormMatrix(t *testing.T) {
+	fill := func(s *Sketch, prefix string, n int) *Sketch {
+		for i := 0; i < n; i++ {
+			s.Add(fmt.Sprintf("%s-%d", prefix, i))
+		}
+		return s
+	}
+	// Reference: a single dense sketch over the union.
+	want := fill(fill(forceDense(MustNew(10)), "a", 120), "b", 150).Estimate()
+
+	cases := []struct {
+		name string
+		a, b *Sketch
+	}{
+		{"sparse+sparse", fill(MustNew(10), "a", 120), fill(MustNew(10), "b", 150)},
+		{"sparse+dense", fill(MustNew(10), "a", 120), fill(forceDense(MustNew(10)), "b", 150)},
+		{"dense+sparse", fill(forceDense(MustNew(10)), "a", 120), fill(MustNew(10), "b", 150)},
+		{"dense+dense", fill(forceDense(MustNew(10)), "a", 120), fill(forceDense(MustNew(10)), "b", 150)},
+	}
+	for _, tc := range cases {
+		if err := tc.a.Merge(tc.b); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := tc.a.Estimate(); got != want {
+			t.Errorf("%s: merged estimate %v, want %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestSparseDensePropertyQuick is the randomized form of the
+// equivalence guarantee: arbitrary interleavings of adds, merges and
+// resets keep a natural sketch and a forced-dense twin in exact
+// agreement.
+func TestSparseDensePropertyQuick(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nat, den := MustNew(8), forceDense(MustNew(8))
+		for op := 0; op < int(ops)%40+5; op++ {
+			switch rng.Intn(10) {
+			case 0: // reset both
+				nat.Reset()
+				den.Reset()
+				den.promote()
+			case 1, 2: // merge in a random batch, alternating forms
+				mNat, mDen := MustNew(8), forceDense(MustNew(8))
+				for i, n := 0, rng.Intn(200); i < n; i++ {
+					v := fmt.Sprintf("m%d", rng.Intn(400))
+					mNat.Add(v)
+					mDen.Add(v)
+				}
+				if err := nat.Merge(mNat); err != nil {
+					return false
+				}
+				if err := den.Merge(mDen); err != nil {
+					return false
+				}
+			default: // a burst of adds
+				for i, n := 0, rng.Intn(120); i < n; i++ {
+					v := fmt.Sprintf("v%d", rng.Intn(600))
+					nat.Add(v)
+					den.Add(v)
+				}
+			}
+			if nat.Estimate() != den.Estimate() {
+				t.Logf("seed %d op %d: natural %v dense %v", seed, op, nat.Estimate(), den.Estimate())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSparseMemoryStaysSmall is the point of the representation: a
+// tail object seeing a handful of distinct values must not pay for
+// dense registers.
+func TestSparseMemoryStaysSmall(t *testing.T) {
+	s := MustNew(10)
+	for i := 0; i < 8; i++ {
+		s.Add(fmt.Sprintf("tail-%d", i))
+	}
+	if s.Dense() {
+		t.Fatal("8 distinct values promoted to dense")
+	}
+	if got := s.SizeBytes(); got > 512 {
+		t.Errorf("sparse sketch with 8 values occupies %d bytes", got)
+	}
+	dense := forceDense(MustNew(10))
+	if got := dense.SizeBytes(); got < 1<<10 {
+		t.Errorf("dense sketch reports %d bytes, expected at least the register array", got)
+	}
+}
+
+// TestAddAllocationFree pins the hot paths at zero allocations once the
+// sketch has reached steady state (dense, or sparse with stable
+// capacity).
+func TestAddAllocationFree(t *testing.T) {
+	dense := forceDense(MustNew(10))
+	if avg := testing.AllocsPerRun(1000, func() { dense.AddUint64(12345) }); avg != 0 {
+		t.Errorf("dense AddUint64 allocates %v per op", avg)
+	}
+	sparse := MustNew(10)
+	for i := 0; i < 8; i++ {
+		sparse.AddUint64(uint64(i))
+	}
+	if avg := testing.AllocsPerRun(1000, func() { sparse.AddUint64(3) }); avg != 0 {
+		t.Errorf("sparse duplicate AddUint64 allocates %v per op", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { dense.Add("steady.example.com.") }); avg != 0 {
+		t.Errorf("dense Add allocates %v per op", avg)
+	}
+}
+
+// TestCompactMergesCorrectly hammers the buffer/compaction machinery
+// against a map-based model.
+func TestCompactMergesCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := MustNew(12) // large m so the sketch stays sparse throughout
+	model := map[uint32]uint8{}
+	for i := 0; i < 5000; i++ {
+		idx := uint32(rng.Intn(900))
+		rank := uint8(rng.Intn(50) + 1)
+		s.addSparse(idx, rank)
+		if rank > model[idx] {
+			model[idx] = rank
+		}
+	}
+	s.compact()
+	if s.Dense() {
+		t.Fatal("sketch promoted; model comparison needs sparse form")
+	}
+	if len(s.sparse) != len(model) {
+		t.Fatalf("sparse holds %d indices, model %d", len(s.sparse), len(model))
+	}
+	prev := int64(-1)
+	for _, e := range s.sparse {
+		idx, rank := e>>rankBits, uint8(e&rankMask)
+		if int64(idx) <= prev {
+			t.Fatalf("sparse list not strictly sorted at idx %d", idx)
+		}
+		prev = int64(idx)
+		if model[idx] != rank {
+			t.Fatalf("idx %d: rank %d, model %d", idx, rank, model[idx])
+		}
+	}
+}

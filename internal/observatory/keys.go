@@ -24,6 +24,16 @@ func SrcSrvKey(sum *sie.Summary) (string, bool) {
 	return sum.ResolverText() + ">" + sum.NameserverText(), true
 }
 
+// SrcSrvKeyBytes is the allocation-free form of SrcSrvKey: it appends
+// the composite key to buf instead of concatenating a fresh string —
+// the last per-transaction allocation of the ingest hot path.
+func SrcSrvKeyBytes(sum *sie.Summary, buf []byte) ([]byte, bool) {
+	buf = append(buf, sum.ResolverText()...)
+	buf = append(buf, '>')
+	buf = append(buf, sum.NameserverText()...)
+	return buf, true
+}
+
 // QNameKey keys on the full QNAME (qname dataset).
 func QNameKey(sum *sie.Summary) (string, bool) {
 	return sum.QName, true
@@ -100,6 +110,6 @@ func StandardAggregations(factor float64) []Aggregation {
 		{Name: "qtype", K: 64, Key: QTypeKey, NoAdmitter: true},
 		{Name: "rcode", K: 24, Key: RCodeKey, NoAdmitter: true},
 		{Name: "aafqdn", K: k(20_000), Key: AAFQDNKey},
-		{Name: "srcsrv", K: k(30_000), Key: SrcSrvKey},
+		{Name: "srcsrv", K: k(30_000), Key: SrcSrvKey, KeyBytes: SrcSrvKeyBytes},
 	}
 }

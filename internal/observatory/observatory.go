@@ -30,11 +30,24 @@ import (
 // drops the transaction from this aggregation (input filtering, §2.2).
 type KeyFunc func(*sie.Summary) (key string, ok bool)
 
+// KeyBytesFunc appends a DNS object key to buf and returns the extended
+// buffer; ok=false drops the transaction from this aggregation. It is
+// the allocation-free form of KeyFunc for composite keys that a KeyFunc
+// could only produce by concatenating into a fresh string (srcsrv):
+// engines pass a reusable buffer and feed the appended bytes straight to
+// spacesaving.ObserveBytes, which materializes a string only when the
+// key actually enters the top-k cache.
+type KeyBytesFunc func(sum *sie.Summary, buf []byte) (key []byte, ok bool)
+
 // Aggregation configures one tracked Top-k object universe.
 type Aggregation struct {
 	Name string  // dataset name (srvip, etld, esld, qname, …)
 	K    int     // Space-Saving capacity
 	Key  KeyFunc // key extractor / filter
+	// KeyBytes, when non-nil, is used by every engine instead of Key on
+	// the ingest hot path. Key must still be set and agree byte-for-byte
+	// with KeyBytes (analyses and tests use it for direct lookups).
+	KeyBytes KeyBytesFunc
 	// NoAdmitter disables the Bloom eviction guard (for ablation and for
 	// aggregations with tiny key universes such as qtype/rcode).
 	NoAdmitter bool
@@ -142,6 +155,7 @@ type aggState struct {
 	seenBefore uint64 // window transactions before filtering
 	seenAfter  uint64 // window transactions aggregated into some object
 	free       []*features.Set
+	keyBuf     []byte // reusable KeyBytes buffer (serial ingest path)
 }
 
 // newAggState builds one aggregation state with a cache of the given
@@ -177,7 +191,16 @@ func (st *aggState) featureSet(cfg *Config) *features.Set {
 
 // observe folds one summary (already keyed) into the aggregation state.
 func (st *aggState) observe(key string, sum *sie.Summary, now float64, cfg *Config) {
-	e := st.cache.Observe(key, now)
+	st.fold(st.cache.Observe(key, now), sum, cfg)
+}
+
+// observeBytes is observe for a byte-slice key (no string materialized
+// unless the key enters the cache).
+func (st *aggState) observeBytes(key []byte, sum *sie.Summary, now float64, cfg *Config) {
+	st.fold(st.cache.ObserveBytes(key, now), sum, cfg)
+}
+
+func (st *aggState) fold(e *spacesaving.Entry, sum *sie.Summary, cfg *Config) {
 	if e == nil {
 		return
 	}
@@ -283,6 +306,14 @@ func (p *Pipeline) Ingest(sum *sie.Summary, now float64) {
 	p.total++
 	for _, st := range p.aggs {
 		st.seenBefore++
+		if st.agg.KeyBytes != nil {
+			kb, ok := st.agg.KeyBytes(sum, st.keyBuf[:0])
+			st.keyBuf = kb[:0]
+			if ok {
+				st.observeBytes(kb, sum, now, &p.cfg)
+			}
+			continue
+		}
 		key, ok := st.agg.Key(sum)
 		if !ok {
 			continue

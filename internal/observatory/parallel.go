@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dnsobservatory/internal/publicsuffix"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/tsv"
 )
@@ -20,7 +21,8 @@ import (
 // Create with NewParallel, feed with Ingest, and always Close (which
 // flushes the final window).
 type Parallel struct {
-	workers []*aggWorker
+	workers  []*aggWorker
+	suffixes *publicsuffix.List
 
 	mu     sync.Mutex // serializes onSnapshot
 	batch  []ingestItem
@@ -51,7 +53,7 @@ const batchSize = 256
 
 // NewParallel builds one single-aggregation pipeline per entry of aggs.
 func NewParallel(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Parallel {
-	p := &Parallel{}
+	p := &Parallel{suffixes: cfg.Features.Suffixes}
 	emit := func(s *tsv.Snapshot) {
 		if onSnapshot == nil {
 			return
@@ -108,6 +110,9 @@ func (p *Parallel) Ingest(sum *sie.Summary, now float64) {
 		return
 	}
 	p.ingested++
+	// Batch items are shared by every worker, so hashes must be memoized
+	// before dispatch — workers only read them.
+	sum.PrecomputeHashes(p.suffixes)
 	p.batch = append(p.batch, ingestItem{sum: copySummary(sum), now: now})
 	if len(p.batch) >= batchSize {
 		p.dispatch()
@@ -167,6 +172,10 @@ func copySummary(sum *sie.Summary) sie.Summary {
 	out := *sum
 	out.V4Addrs = append([]netip.Addr(nil), sum.V4Addrs...)
 	out.V6Addrs = append([]netip.Addr(nil), sum.V6Addrs...)
+	out.V4Strs = append([]string(nil), sum.V4Strs...)
+	out.V6Strs = append([]string(nil), sum.V6Strs...)
+	out.V4Hashes = append([]uint64(nil), sum.V4Hashes...)
+	out.V6Hashes = append([]uint64(nil), sum.V6Hashes...)
 	out.AnswerTTLs = append([]uint32(nil), sum.AnswerTTLs...)
 	out.NSTTLs = append([]uint32(nil), sum.NSTTLs...)
 	out.NSNames = append([]string(nil), sum.NSNames...)

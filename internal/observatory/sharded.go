@@ -101,16 +101,30 @@ type ShardedConfig struct {
 }
 
 // shardBatch carries up to BatchSize summaries with their pre-extracted
-// keys: for item i and aggregation a, keys[i*len(aggs)+a] is the object
-// key and meta[i*len(aggs)+a] is 0 when the key function filtered the
-// item out, else the shard index + 1. Batches are pooled and recycled by
-// whichever worker finishes last.
+// keys. Keys live concatenated in one shared byte buffer: for item i and
+// aggregation a, slot j = i*len(aggs)+a, the key is
+// keyBuf[ends[j-1]:ends[j]] (ends[-1] = 0) and meta[j] is 0 when the key
+// function filtered the item out, else the shard index + 1. One buffer
+// instead of per-slot strings means composite keys (srcsrv) are built
+// without allocating, and recycling a batch never needs to clear string
+// pointers. Batches are pooled and recycled by whichever worker
+// finishes last.
 type shardBatch struct {
-	refs atomic.Int32
-	sums []*sie.Shared
-	nows []float64
-	keys []string
-	meta []uint16
+	refs   atomic.Int32
+	sums   []*sie.Shared
+	nows   []float64
+	keyBuf []byte
+	ends   []uint32
+	meta   []uint16
+}
+
+// key returns slot j's key bytes.
+func (b *shardBatch) key(j int) []byte {
+	start := uint32(0)
+	if j > 0 {
+		start = b.ends[j-1]
+	}
+	return b.keyBuf[start:b.ends[j]]
 }
 
 // shardDump is one worker's contribution to one window's snapshots.
@@ -144,11 +158,23 @@ func shardCapacity(k, shards int) int {
 }
 
 // hashKey is FNV-1a; allocation-free and stable, so a key always lands
-// on the same shard.
+// on the same shard regardless of whether it arrives as a string or as
+// bytes.
 func hashKey(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashKeyBytes is hashKey over a byte slice (identical output for
+// identical bytes).
+func hashKeyBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
 		h *= 1099511628211
 	}
 	return h
@@ -201,10 +227,11 @@ func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snap
 	nAggs := len(aggs)
 	s.batchPool.New = func() any {
 		return &shardBatch{
-			sums: make([]*sie.Shared, 0, batch),
-			nows: make([]float64, 0, batch),
-			keys: make([]string, 0, batch*nAggs),
-			meta: make([]uint16, 0, batch*nAggs),
+			sums:   make([]*sie.Shared, 0, batch),
+			nows:   make([]float64, 0, batch),
+			keyBuf: make([]byte, 0, batch*nAggs*16),
+			ends:   make([]uint32, 0, batch*nAggs),
+			meta:   make([]uint16, 0, batch*nAggs),
 		}
 	}
 	s.cur = s.batchPool.Get().(*shardBatch)
@@ -293,15 +320,28 @@ func (s *Sharded) add(ps *sie.Shared, now float64) {
 	b.sums = append(b.sums, ps)
 	b.nows = append(b.nows, now)
 	sum := &ps.Summary
+	// Memoize feature hashes here, on the single dispatcher, before the
+	// buffer is frozen and fanned out to concurrently-reading workers.
+	sum.PrecomputeHashes(s.cfg.Features.Suffixes)
 	for i := range s.aggs {
-		key, ok := s.aggs[i].Key(sum)
+		start := len(b.keyBuf)
+		var ok bool
+		if kb := s.aggs[i].KeyBytes; kb != nil {
+			b.keyBuf, ok = kb(sum, b.keyBuf)
+		} else {
+			var key string
+			if key, ok = s.aggs[i].Key(sum); ok {
+				b.keyBuf = append(b.keyBuf, key...)
+			}
+		}
 		if !ok {
-			b.keys = append(b.keys, "")
+			b.keyBuf = b.keyBuf[:start]
+			b.ends = append(b.ends, uint32(start))
 			b.meta = append(b.meta, 0)
 			continue
 		}
-		b.keys = append(b.keys, key)
-		b.meta = append(b.meta, uint16(hashKey(key)%uint64(s.shards))+1)
+		b.ends = append(b.ends, uint32(len(b.keyBuf)))
+		b.meta = append(b.meta, uint16(hashKeyBytes(b.keyBuf[start:])%uint64(s.shards))+1)
 	}
 	s.total++
 	s.ingested.Add(1)
@@ -330,10 +370,10 @@ func (s *Sharded) dispatchLocked() {
 					s.Discard(ps)
 				}
 				clear(b.sums)
-				clear(b.keys)
 				b.sums = b.sums[:0]
 				b.nows = b.nows[:0]
-				b.keys = b.keys[:0]
+				b.keyBuf = b.keyBuf[:0]
+				b.ends = b.ends[:0]
 				b.meta = b.meta[:0]
 				return
 			}
@@ -369,13 +409,14 @@ func (s *Sharded) Stats() EngineStats {
 }
 
 // recycleBatch clears a fully-processed batch (dropping its references
-// to summaries and key strings) and returns it to the pool.
+// to summaries) and returns it to the pool. The key buffer holds no
+// pointers, so truncation is enough.
 func (s *Sharded) recycleBatch(b *shardBatch) {
 	clear(b.sums)
-	clear(b.keys)
 	b.sums = b.sums[:0]
 	b.nows = b.nows[:0]
-	b.keys = b.keys[:0]
+	b.keyBuf = b.keyBuf[:0]
+	b.ends = b.ends[:0]
 	b.meta = b.meta[:0]
 	s.batchPool.Put(b)
 }
@@ -508,7 +549,7 @@ func (w *shardWorker) processItem(b *shardBatch, i int, now float64) {
 		if shard%nWorkers != w.id {
 			continue
 		}
-		w.states[a][shard/nWorkers].observe(b.keys[base+a], sum, now, &w.eng.cfg)
+		w.states[a][shard/nWorkers].observeBytes(b.key(base+a), sum, now, &w.eng.cfg)
 	}
 }
 

@@ -20,6 +20,9 @@ func shardedTestAggs() []Aggregation {
 		{Name: "qname", K: 800, Key: QNameKey, NoAdmitter: true},
 		{Name: "qtype", K: 16, Key: QTypeKey, NoAdmitter: true},
 		{Name: "aafqdn", K: 800, Key: AAFQDNKey, NoAdmitter: true},
+		// srcsrv exercises the KeyBytes (buffer-built composite key) path
+		// in both the serial and sharded engines.
+		{Name: "srcsrv", K: 800, Key: SrcSrvKey, KeyBytes: SrcSrvKeyBytes, NoAdmitter: true},
 	}
 }
 
@@ -275,9 +278,9 @@ func TestShardedMergedTop(t *testing.T) {
 // TestShardedShardCapacity pins the sizing rule: even K split plus slack.
 func TestShardedShardCapacity(t *testing.T) {
 	for _, tc := range []struct{ k, shards, want int }{
-		{100, 1, 128},     // 100 + 12 + 16
-		{100, 4, 44},      // 25 + 3 + 16
-		{7, 4, 18},        // 2 + 0 + 16
+		{100, 1, 128},       // 100 + 12 + 16
+		{100, 4, 44},        // 25 + 3 + 16
+		{7, 4, 18},          // 2 + 0 + 16
 		{100_000, 8, 14078}, // 12500 + 1562 + 16 — headroom over K/S
 	} {
 		if got := shardCapacity(tc.k, tc.shards); got != tc.want {

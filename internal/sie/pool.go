@@ -38,6 +38,8 @@ func (s *Shared) CopyFrom(src *Summary) {
 	v6 := s.Summary.V6Addrs[:0]
 	v4s := s.Summary.V4Strs[:0]
 	v6s := s.Summary.V6Strs[:0]
+	v4h := s.Summary.V4Hashes[:0]
+	v6h := s.Summary.V6Hashes[:0]
 	attl := s.Summary.AnswerTTLs[:0]
 	nsttl := s.Summary.NSTTLs[:0]
 	nsn := s.Summary.NSNames[:0]
@@ -46,6 +48,8 @@ func (s *Shared) CopyFrom(src *Summary) {
 	s.Summary.V6Addrs = append(v6, src.V6Addrs...)
 	s.Summary.V4Strs = append(v4s, src.V4Strs...)
 	s.Summary.V6Strs = append(v6s, src.V6Strs...)
+	s.Summary.V4Hashes = append(v4h, src.V4Hashes...)
+	s.Summary.V6Hashes = append(v6h, src.V6Hashes...)
 	s.Summary.AnswerTTLs = append(attl, src.AnswerTTLs...)
 	s.Summary.NSTTLs = append(nsttl, src.NSTTLs...)
 	s.Summary.NSNames = append(nsn, src.NSNames...)

@@ -5,7 +5,9 @@ import (
 	"net/netip"
 
 	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/hll"
 	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/publicsuffix"
 )
 
 // Summary is the "line of text" the preprocessing stage keeps per
@@ -58,6 +60,53 @@ type Summary struct {
 	NameserverStr string
 	V4Strs        []string
 	V6Strs        []string
+
+	// Memoized 64-bit hll hashes of the fields every feature set
+	// downstream counts cardinalities over. Eight aggregations × ten
+	// sketches would otherwise re-hash the same strings dozens of times
+	// per transaction; PrecomputeHashes fills these once and HashesReady
+	// marks them valid. TLDHash/ESLDHash are only computed for NoError
+	// answers (the only case the feature extractor reads them).
+	QNameHash      uint64
+	TLDHash        uint64
+	ESLDHash       uint64
+	ResolverHash   uint64
+	NameserverHash uint64
+	V4Hashes       []uint64
+	V6Hashes       []uint64
+	HashesReady    bool
+}
+
+// PrecomputeHashes memoizes the hll hashes of every field the feature
+// extractor counts, so each string is hashed once per transaction
+// instead of once per aggregation × sketch. suffixes drives eSLD
+// extraction (nil uses the embedded default list) and must match the
+// list the downstream feature sets are configured with. Engines that
+// fan one summary out to concurrent readers must call this before
+// sharing it; after it returns the summary's hash fields are frozen.
+func (sum *Summary) PrecomputeHashes(suffixes *publicsuffix.List) {
+	if sum.HashesReady {
+		return
+	}
+	if suffixes == nil {
+		suffixes = publicsuffix.Default
+	}
+	sum.QNameHash = hll.HashString(sum.QName)
+	sum.ResolverHash = hll.HashString(sum.ResolverText())
+	sum.NameserverHash = hll.HashString(sum.NameserverText())
+	if sum.Answered && sum.RCode == dnswire.RCodeNoError {
+		sum.TLDHash = hll.HashString(dnswire.TLD(sum.QName))
+		sum.ESLDHash = hll.HashString(suffixes.ESLD(sum.QName))
+	}
+	sum.V4Hashes = sum.V4Hashes[:0]
+	for i := range sum.V4Addrs {
+		sum.V4Hashes = append(sum.V4Hashes, hll.HashString(sum.V4Text(i)))
+	}
+	sum.V6Hashes = sum.V6Hashes[:0]
+	for i := range sum.V6Addrs {
+		sum.V6Hashes = append(sum.V6Hashes, hll.HashString(sum.V6Text(i)))
+	}
+	sum.HashesReady = true
 }
 
 // ResolverText returns the resolver address as text, using the memoized
@@ -140,6 +189,8 @@ func (s *Summarizer) Summarize(tx *Transaction, out *Summary) error {
 		V6Addrs:       out.V6Addrs[:0],
 		V4Strs:        out.V4Strs[:0],
 		V6Strs:        out.V6Strs[:0],
+		V4Hashes:      out.V4Hashes[:0],
+		V6Hashes:      out.V6Hashes[:0],
 		AnswerTTLs:    out.AnswerTTLs[:0],
 		NSTTLs:        out.NSTTLs[:0],
 		NSNames:       out.NSNames[:0],

@@ -33,6 +33,15 @@ type Admitter interface {
 	Add(key string)
 }
 
+// BytesAdmitter is the optional byte-slice fast path of an Admitter; an
+// admitter implementing it (bloom.Filter does) lets ObserveBytes consult
+// the filter without materializing a key string. The two views must
+// agree: ContainsBytes(b) == Contains(string(b)).
+type BytesAdmitter interface {
+	ContainsBytes(key []byte) bool
+	AddBytes(key []byte)
+}
+
 // Entry is a monitored object.
 type Entry struct {
 	Key   string
@@ -63,6 +72,9 @@ type Cache struct {
 	entries  map[string]*Entry
 	min      minHeap
 	admitter Admitter
+	// bytesAdm is the admitter's BytesAdmitter view, type-asserted once
+	// at New so ObserveBytes pays no interface assertion per call.
+	bytesAdm BytesAdmitter
 	hits     uint64
 	dropped  uint64
 
@@ -84,13 +96,17 @@ func New(capacity int, halfLife float64, admitter Admitter) *Cache {
 	if halfLife <= 0 {
 		halfLife = 60
 	}
-	return &Cache{
+	c := &Cache{
 		capacity: capacity,
 		halfLife: halfLife,
 		entries:  make(map[string]*Entry, capacity),
 		min:      make(minHeap, 0, capacity),
 		admitter: admitter,
 	}
+	if ba, ok := admitter.(BytesAdmitter); ok {
+		c.bytesAdm = ba
+	}
+	return c
 }
 
 // Observe records one occurrence of key at stream time now (seconds, any
@@ -99,21 +115,10 @@ func New(capacity int, halfLife float64, admitter Admitter) *Cache {
 func (c *Cache) Observe(key string, now float64) *Entry {
 	c.hits++
 	if e, ok := c.entries[key]; ok {
-		e.Count++
-		c.bumpRate(e, now)
-		// Count grew by exactly one, so the heap property can only break
-		// towards the children: a single bounded sift-down restores it.
-		c.min.down(e.index)
-		return e
+		return c.touch(e, now)
 	}
 	if len(c.entries) < c.capacity {
-		e := &Entry{Key: key, Count: 1, InsertedAt: now, rateAt: now}
-		e.Rate = c.instantRate()
-		c.entries[key] = e
-		e.index = len(c.min)
-		c.min = append(c.min, e)
-		c.min.up(e.index)
-		return e
+		return c.insert(key, now)
 	}
 	// Full: the newcomer must displace the minimum entry. With an
 	// admission filter, a never-before-seen key only registers its first
@@ -123,6 +128,63 @@ func (c *Cache) Observe(key string, now float64) *Entry {
 		c.dropped++
 		return nil
 	}
+	return c.evictInto(key, now)
+}
+
+// ObserveBytes is Observe for a byte-slice view of the key. The dominant
+// case — the key is already monitored — is a pure map lookup that the
+// compiler performs without materializing a string, so composite keys
+// built in a reusable buffer (e.g. the srcsrv resolver>nameserver pair)
+// cost zero allocations at steady state. A string is materialized only
+// when the key actually enters the cache.
+func (c *Cache) ObserveBytes(key []byte, now float64) *Entry {
+	c.hits++
+	if e, ok := c.entries[string(key)]; ok {
+		return c.touch(e, now)
+	}
+	if len(c.entries) < c.capacity {
+		return c.insert(string(key), now)
+	}
+	if c.admitter != nil {
+		if c.bytesAdm != nil {
+			if !c.bytesAdm.ContainsBytes(key) {
+				c.bytesAdm.AddBytes(key)
+				c.dropped++
+				return nil
+			}
+		} else if !c.admitter.Contains(string(key)) {
+			c.admitter.Add(string(key))
+			c.dropped++
+			return nil
+		}
+	}
+	return c.evictInto(string(key), now)
+}
+
+// touch is the monitored-key fast path: bump the count and rate and
+// restore the heap.
+func (c *Cache) touch(e *Entry, now float64) *Entry {
+	e.Count++
+	c.bumpRate(e, now)
+	// Count grew by exactly one, so the heap property can only break
+	// towards the children: a single bounded sift-down restores it.
+	c.min.down(e.index)
+	return e
+}
+
+// insert admits a key while the cache is below capacity.
+func (c *Cache) insert(key string, now float64) *Entry {
+	e := &Entry{Key: key, Count: 1, InsertedAt: now, rateAt: now}
+	e.Rate = c.instantRate()
+	c.entries[key] = e
+	e.index = len(c.min)
+	c.min = append(c.min, e)
+	c.min.up(e.index)
+	return e
+}
+
+// evictInto displaces the minimum entry with key.
+func (c *Cache) evictInto(key string, now float64) *Entry {
 	e := c.min[0]
 	delete(c.entries, e.Key)
 	if e.State != nil && c.OnEvictState != nil {

@@ -1,8 +1,11 @@
 package tsv
 
 import (
+	"bytes"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -157,6 +160,80 @@ func TestStoreManyAggregations(t *testing.T) {
 		}
 		if len(snap.Rows) != 1 || snap.Rows[0].Key != agg+"-key" {
 			t.Errorf("%s rows = %+v", agg, snap.Rows)
+		}
+	}
+}
+
+// TestCascadeAllMatchesSerial runs the same minutely corpus through the
+// serial per-aggregation cascade and the pooled CascadeAll and requires
+// byte-identical output files: parallelism must only change wall clock,
+// never content.
+func TestCascadeAllMatchesSerial(t *testing.T) {
+	aggs := []string{"srvip", "esld", "qname", "srcsrv"}
+	fill := func(st *Store) {
+		for ai, agg := range aggs {
+			for i := int64(0); i < 180; i++ {
+				s := &Snapshot{
+					Aggregation: agg, Level: Minutely, Start: i * 60,
+					Columns: []string{"hits", "qnames"},
+					Kinds:   []Kind{Counter, Gauge},
+					Rows: []Row{
+						{Key: fmt.Sprintf("%s-a", agg), Values: []float64{float64(ai + 1), float64(i % 7)}},
+						{Key: fmt.Sprintf("%s-b", agg), Values: []float64{float64(i%3 + 1), 5}},
+					},
+					Windows: 1, TotalBefore: 11, TotalAfter: 10,
+				}
+				if err := st.Put(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	serial, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Parallelism = 1
+	fill(serial)
+	for _, agg := range aggs {
+		if err := serial.Cascade(agg, 180*60); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parallel, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.Parallelism = 8
+	fill(parallel)
+	if err := parallel.CascadeAll(aggs, 180*60); err != nil {
+		t.Fatal(err)
+	}
+
+	sFiles, err := os.ReadDir(serial.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFiles, err := os.ReadDir(parallel.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sFiles) != len(pFiles) {
+		t.Fatalf("file count: serial %d, parallel %d", len(sFiles), len(pFiles))
+	}
+	for _, e := range sFiles {
+		sb, err := os.ReadFile(filepath.Join(serial.Dir(), e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := os.ReadFile(filepath.Join(parallel.Dir(), e.Name()))
+		if err != nil {
+			t.Fatalf("parallel store missing %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(sb, pb) {
+			t.Errorf("%s differs between serial and parallel cascade", e.Name())
 		}
 	}
 }

@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -60,8 +62,14 @@ type Store struct {
 	// — the chaos-injection point for failing and short writes. Nil in
 	// production.
 	WrapWriter func(io.Writer) io.Writer
+	// Parallelism bounds the worker pool CascadeAll (and Cascade) uses to
+	// build upper-level aggregates; 0 means GOMAXPROCS. 1 gives the fully
+	// serial behavior. Output files are byte-identical at any setting:
+	// jobs within a level write disjoint files from identical inputs.
+	Parallelism int
 
 	corruptSkipped atomic.Uint64
+	tmpSeq         atomic.Uint64
 }
 
 // NewStore returns a store rooted at dir, creating it if needed and
@@ -97,7 +105,12 @@ func (st *Store) CorruptSkipped() uint64 { return st.corruptSkipped.Load() }
 // a crash or write error never leaves a half-written snapshot under a
 // committed name.
 func (st *Store) Put(snap *Snapshot) error {
-	f, err := os.CreateTemp(st.dir, ".tmp-*")
+	// A store-scoped sequence number plus the pid gives a unique name in
+	// one shot — os.CreateTemp's random-name retry loop costs noticeably
+	// more when the cascade writes hundreds of small files. The .tmp-
+	// prefix is the crash-recovery contract: NewStore reaps it.
+	tmp := filepath.Join(st.dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), st.tmpSeq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
 	if err != nil {
 		return err
 	}
@@ -179,6 +192,28 @@ func (st *Store) List(agg string, level Level) ([]int64, error) {
 	return starts, nil
 }
 
+// listLevel returns the start times of every stored file at one level,
+// grouped by aggregation and ascending — one directory scan where a
+// List-per-aggregation loop would rescan the directory each time.
+func (st *Store) listLevel(level Level) (map[string][]int64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	byAgg := map[string][]int64{}
+	for _, e := range entries {
+		a, l, start, err := ParseFileName(e.Name())
+		if err != nil || l != level {
+			continue
+		}
+		byAgg[a] = append(byAgg[a], start)
+	}
+	for _, starts := range byAgg {
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	}
+	return byAgg, nil
+}
+
 // Cascade aggregates complete groups of files into the next level, for
 // every level below Yearly. A group is complete when GroupSize files of
 // the lower level fall within one upper-level window and that window has
@@ -190,58 +225,119 @@ func (st *Store) List(agg string, level Level) ([]int64, error) {
 // parses, matching the codec's contract that every committed file was
 // written whole — anything else is damage to route around.
 func (st *Store) Cascade(agg string, now int64) error {
+	return st.CascadeAll([]string{agg}, now)
+}
+
+// cascadeJob is one upper-level aggregate to build: the lower-level
+// start times of agg that fall into the upper window at window.
+type cascadeJob struct {
+	agg    string
+	level  Level
+	window int64
+	starts []int64
+}
+
+// CascadeAll runs the cascade for every aggregation at once. Levels are
+// sequential (upper levels consume the files lower levels just wrote),
+// but within a level every (aggregation, closed window) aggregate is an
+// independent job — disjoint input files, one distinct output file —
+// fanned over a worker pool bounded by Parallelism. The produced files
+// are identical to len(aggs) serial Cascade calls; only the wall clock
+// differs.
+func (st *Store) CascadeAll(aggs []string, now int64) error {
+	workers := st.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	for level := Minutely; level < MaxLevel; level++ {
 		upper := level + 1
-		starts, err := st.List(agg, level)
+		// One directory scan serves every aggregation at this level.
+		byAgg, err := st.listLevel(level)
 		if err != nil {
 			return err
 		}
-		groups := map[int64][]int64{}
-		for _, s := range starts {
-			w := s - s%upper.Seconds()
-			groups[w] = append(groups[w], s)
-		}
-		ws := make([]int64, 0, len(groups))
-		for w := range groups {
-			ws = append(ws, w)
-		}
-		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
-		for _, w := range ws {
-			if w+upper.Seconds() > now {
-				continue // window still open
+		var jobs []cascadeJob
+		for _, agg := range aggs {
+			starts := byAgg[agg]
+			groups := map[int64][]int64{}
+			for _, s := range starts {
+				w := s - s%upper.Seconds()
+				groups[w] = append(groups[w], s)
 			}
-			if _, err := st.Get(agg, upper, w); err == nil {
-				continue // already aggregated
-			} else if errors.Is(err, ErrCorruptSnapshot) {
-				// A corrupt upper file: rebuild it from the lower level.
-				st.corruptSkipped.Add(1)
+			ws := make([]int64, 0, len(groups))
+			for w := range groups {
+				ws = append(ws, w)
 			}
-			var snaps []*Snapshot
-			for _, s := range groups[w] {
-				snap, err := st.Get(agg, level, s)
-				if err != nil {
-					if errors.Is(err, ErrCorruptSnapshot) {
-						st.corruptSkipped.Add(1)
-						continue
-					}
-					return err
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+			for _, w := range ws {
+				if w+upper.Seconds() > now {
+					continue // window still open
 				}
-				snaps = append(snaps, snap)
+				jobs = append(jobs, cascadeJob{agg: agg, level: level, window: w, starts: groups[w]})
 			}
-			if len(snaps) == 0 {
-				continue // every input corrupt; nothing to aggregate
-			}
-			out, err := Aggregate(snaps)
-			if err != nil {
-				return err
-			}
-			out.Start = w
-			if err := st.Put(out); err != nil {
-				return err
-			}
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		var (
+			wg      sync.WaitGroup
+			sem     = make(chan struct{}, workers)
+			errMu   sync.Mutex
+			pending error
+		)
+		for _, j := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j cascadeJob) {
+				defer func() { <-sem; wg.Done() }()
+				if err := st.buildUpper(j); err != nil {
+					errMu.Lock()
+					if pending == nil {
+						pending = err
+					}
+					errMu.Unlock()
+				}
+			}(j)
+		}
+		wg.Wait()
+		if pending != nil {
+			return pending
 		}
 	}
 	return nil
+}
+
+// buildUpper aggregates one closed upper-level window from its
+// lower-level files, skipping (and counting) corrupt inputs.
+func (st *Store) buildUpper(j cascadeJob) error {
+	upper := j.level + 1
+	if _, err := st.Get(j.agg, upper, j.window); err == nil {
+		return nil // already aggregated
+	} else if errors.Is(err, ErrCorruptSnapshot) {
+		// A corrupt upper file: rebuild it from the lower level.
+		st.corruptSkipped.Add(1)
+	}
+	var snaps []*Snapshot
+	for _, s := range j.starts {
+		snap, err := st.Get(j.agg, j.level, s)
+		if err != nil {
+			if errors.Is(err, ErrCorruptSnapshot) {
+				st.corruptSkipped.Add(1)
+				continue
+			}
+			return err
+		}
+		snaps = append(snaps, snap)
+	}
+	if len(snaps) == 0 {
+		return nil // every input corrupt; nothing to aggregate
+	}
+	out, err := Aggregate(snaps)
+	if err != nil {
+		return err
+	}
+	out.Start = j.window
+	return st.Put(out)
 }
 
 // Retention deletes the oldest files of each level beyond the configured

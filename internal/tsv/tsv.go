@@ -166,15 +166,17 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	if err := write("#kind\t" + strings.Join(kinds, "\t") + "\n"); err != nil {
 		return n, err
 	}
+	var buf []byte // reused across rows; AppendFloat avoids FormatFloat's string alloc
 	for _, r := range s.Rows {
-		var sb strings.Builder
-		sb.WriteString(r.Key)
+		buf = append(buf[:0], r.Key...)
 		for _, v := range r.Values {
-			sb.WriteByte('\t')
-			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			buf = append(buf, '\t')
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
 		}
-		sb.WriteByte('\n')
-		if err := write(sb.String()); err != nil {
+		buf = append(buf, '\n')
+		m, err := bw.Write(buf)
+		n += int64(m)
+		if err != nil {
 			return n, err
 		}
 	}
@@ -196,19 +198,22 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 // catch — and Read reports ErrBadFile.
 func Read(r io.Reader) (*Snapshot, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	// Start small — snapshot lines are tens of bytes, and the cascade
+	// parses hundreds of files per run — but allow pathological lines to
+	// grow the buffer up to 16 MiB.
+	sc.Buffer(make([]byte, 0, 4<<10), 16<<20)
 	s := &Snapshot{Windows: 1}
 	sawStats := false
-	lineNo := 0
+	// Row values are carved out of chunk-allocated backing arrays so a
+	// 30k-row file costs a handful of allocations, not one per row.
+	var flat []float64
 	for sc.Scan() {
 		line := sc.Text()
-		lineNo++
-		fields := strings.Split(line, "\t")
 		switch {
 		case strings.HasPrefix(line, "#key\t"):
-			s.Columns = fields[1:]
+			s.Columns = strings.Split(line, "\t")[1:]
 		case strings.HasPrefix(line, "#kind\t"):
-			for _, k := range fields[1:] {
+			for _, k := range strings.Split(line, "\t")[1:] {
 				switch k {
 				case "c":
 					s.Kinds = append(s.Kinds, Counter)
@@ -222,7 +227,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 			// All three keys must parse: a file cut mid-way through this
 			// line would otherwise still pass the end-of-file check.
 			statKeys := 0
-			for _, f := range fields[1:] {
+			for _, f := range strings.Split(line, "\t")[1:] {
 				k, v, ok := strings.Cut(f, "=")
 				if !ok {
 					continue
@@ -253,18 +258,43 @@ func Read(r io.Reader) (*Snapshot, error) {
 			if s.Columns == nil {
 				return nil, ErrBadFile
 			}
-			if len(fields) != len(s.Columns)+1 {
+			// The hot path: split fields in place (no []string per row)
+			// and parse values into the shared chunk.
+			nCols := len(s.Columns)
+			tab := strings.IndexByte(line, '\t')
+			if tab < 0 {
 				return nil, ErrBadFile
 			}
-			row := Row{Key: fields[0], Values: make([]float64, len(fields)-1)}
-			for i, f := range fields[1:] {
+			key, rest := line[:tab], line[tab+1:]
+			if len(flat)+nCols > cap(flat) {
+				chunk := nCols * 256
+				if chunk < 1024 {
+					chunk = 1024
+				}
+				flat = make([]float64, 0, chunk)
+			}
+			start := len(flat)
+			for i := 0; i < nCols; i++ {
+				var f string
+				if i == nCols-1 {
+					if strings.IndexByte(rest, '\t') >= 0 {
+						return nil, ErrBadFile // too many fields
+					}
+					f = rest
+				} else {
+					t := strings.IndexByte(rest, '\t')
+					if t < 0 {
+						return nil, ErrBadFile // too few fields
+					}
+					f, rest = rest[:t], rest[t+1:]
+				}
 				v, err := strconv.ParseFloat(f, 64)
 				if err != nil {
 					return nil, ErrBadFile
 				}
-				row.Values[i] = v
+				flat = append(flat, v)
 			}
-			s.Rows = append(s.Rows, row)
+			s.Rows = append(s.Rows, Row{Key: key, Values: flat[start:len(flat):len(flat)]})
 		}
 	}
 	if err := sc.Err(); err != nil {
