@@ -26,6 +26,7 @@ import (
 	"dnsobservatory/internal/experiments"
 	"dnsobservatory/internal/features"
 	"dnsobservatory/internal/hll"
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/observatory"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/simnet"
@@ -278,6 +279,24 @@ func BenchmarkCascade(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) { run(b, 1) })
 	b.Run("pooled", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkMetricsRecord measures the instrumentation record path the
+// ingest engines run per transaction: counter increment, gauge store,
+// histogram observation. All three must stay alloc-free — the metrics
+// layer rides on the hot path of every engine.
+func BenchmarkMetricsRecord(b *testing.B) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("bench_events_total", "", "engine", "serial")
+	g := reg.Gauge("bench_depth", "")
+	h := reg.Histogram("bench_flush_seconds", "", metrics.DurationBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i%1000) / 4e5)
+	}
 }
 
 // BenchmarkSummarize measures raw-packet parsing into a Summary.

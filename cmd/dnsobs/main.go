@@ -13,11 +13,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/observatory"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/tsv"
@@ -35,8 +37,13 @@ func main() {
 		sharded  = flag.Bool("sharded", false, "use the key-hash-sharded engine (implied by -shards/-workers)")
 		shards   = flag.Int("shards", 0, "sharded engine: key-hash shards per aggregation (0 = one per worker)")
 		workers  = flag.Int("workers", 0, "sharded engine: worker goroutines (0 = GOMAXPROCS, capped at 16)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the web UI (requires -http)")
+		report   = flag.Duration("report", 60*time.Second, "self-report interval for the health log line (0 disables)")
 	)
 	flag.Parse()
+	if *pprofOn && *httpAddr == "" {
+		fatal(errors.New("-pprof requires -http"))
+	}
 
 	inFile := os.Stdin
 	if *in != "-" {
@@ -72,6 +79,13 @@ func main() {
 		store.Retain[tsv.Minutely] = *retain
 	}
 
+	// Every layer publishes into the process-wide registry: the engines
+	// via Config.Metrics, the store and the dependency-free platform
+	// counters (hll, sie) via read-through registration.
+	reg := metrics.Default()
+	observatory.InstrumentPlatform(reg)
+	store.Instrument(reg)
+
 	aggs := observatory.StandardAggregations(*factor)
 	var aggNames []string
 	for _, a := range aggs {
@@ -79,6 +93,8 @@ func main() {
 	}
 
 	ui := webui.NewServer(store)
+	ui.Registry = reg
+	ui.EnablePprof = *pprofOn
 	if *httpAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, ui.Handler()); err != nil {
@@ -124,10 +140,12 @@ func main() {
 		reject  func()
 		stats   func() observatory.EngineStats
 	)
+	engineCfg := observatory.DefaultConfig()
+	engineCfg.Metrics = reg
 	switch {
 	case *sharded || *shards > 0 || *workers > 0:
 		eng := observatory.NewSharded(observatory.ShardedConfig{
-			Config:  observatory.DefaultConfig(),
+			Config:  engineCfg,
 			Shards:  *shards,
 			Workers: *workers,
 		}, aggs, onSnapshot)
@@ -142,7 +160,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dnsobs: sharded engine: %d shards, %d workers\n",
 			eng.Shards(), eng.Workers())
 	case *parallel:
-		pipe := observatory.NewParallel(observatory.DefaultConfig(), aggs, onSnapshot)
+		pipe := observatory.NewParallel(engineCfg, aggs, onSnapshot)
 		var sum sie.Summary
 		borrow = func() *sie.Summary { return &sum }
 		ingest = func(now float64) { pipe.Ingest(&sum, now) }
@@ -151,7 +169,7 @@ func main() {
 		reject = pipe.RecordRejected
 		stats = pipe.Stats
 	default:
-		pipe := observatory.New(observatory.DefaultConfig(), aggs, onSnapshot)
+		pipe := observatory.New(engineCfg, aggs, onSnapshot)
 		var sum sie.Summary
 		borrow = func() *sie.Summary { return &sum }
 		ingest = func(now float64) { pipe.Ingest(&sum, now) }
@@ -159,6 +177,27 @@ func main() {
 		flush = pipe.Flush
 		reject = pipe.RecordRejected
 		stats = pipe.Stats
+	}
+
+	// Periodic one-line self-report so headless runs log their own
+	// health: wall-clock ingest rate, heap in use, and live top-k
+	// occupancy summed over aggregations.
+	if *report > 0 {
+		go func() {
+			tick := time.NewTicker(*report)
+			defer tick.Stop()
+			last := uint64(0)
+			for range tick.C {
+				cur := stats().Ingested
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				fmt.Fprintf(os.Stderr, "dnsobs: report: %.0f tx/s, heap %d MiB, topk %.0f objects\n",
+					float64(cur-last)/report.Seconds(),
+					ms.HeapAlloc>>20,
+					reg.Sum(observatory.MetricTopkOccupancy))
+				last = cur
+			}
+		}()
 	}
 
 	reader := sie.NewReader(bufio.NewReaderSize(r, 1<<20))
@@ -210,7 +249,6 @@ func main() {
 		if base.IsZero() {
 			base = tx.QueryTime.Truncate(time.Minute)
 		}
-		ui.CountIngest()
 		ingest(tx.QueryTime.Sub(base).Seconds())
 		if err := failed(); err != nil {
 			fatal(err)

@@ -12,6 +12,7 @@ import (
 	"net/http"
 
 	"dnsobservatory/dnsobs"
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/observatory"
 	"dnsobservatory/internal/webui"
 )
@@ -22,7 +23,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One registry shared by the engine (which publishes ingest counts)
+	// and the web UI (whose /healthz and /metrics read them) — no
+	// per-transaction counting hook to remember.
+	reg := metrics.Default()
 	ui := webui.NewServer(nil)
+	ui.Registry = reg
 	srv := &http.Server{Handler: ui.Handler()}
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
@@ -31,6 +37,7 @@ func main() {
 	// Observatory over a parallel pipeline.
 	cfg := dnsobs.DefaultPipelineConfig()
 	cfg.SkipFreshObjects = false
+	cfg.Metrics = reg
 	pipe := observatory.NewParallel(cfg,
 		[]dnsobs.Aggregation{
 			{Name: "srvip", K: 1000, Key: dnsobs.SrvIPKey},
@@ -51,7 +58,6 @@ func main() {
 		if err := summarizer.Summarize(tx, &sum); err != nil {
 			log.Fatal(err)
 		}
-		ui.CountIngest()
 		pipe.Ingest(&sum, tx.QueryTime.Sub(simCfg.Start).Seconds())
 	})
 	pipe.Close()

@@ -1,6 +1,3 @@
-// Package analysis implements the paper's evaluation: every table and
-// figure of sections 3–5 is regenerated by a function here, operating on
-// Observatory snapshots produced from simulated SIE traffic.
 package analysis
 
 import (

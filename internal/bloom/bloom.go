@@ -1,7 +1,3 @@
-// Package bloom provides a classic Bloom filter (Bloom, 1970). The
-// Observatory consults one before evicting an entry from the
-// Space-Saving cache, so that one-off observations of rare keys do not
-// churn the top-k list (paper §2.2).
 package bloom
 
 import (

@@ -1,0 +1,10 @@
+// Package bloom provides a classic Bloom filter (Bloom, 1970). The
+// Observatory consults one before evicting an entry from the
+// Space-Saving cache, so that one-off observations of rare keys do not
+// churn the top-k list (paper §2.2).
+//
+// Concurrency: a Filter is a single-owner structure with no internal
+// locking. Each Space-Saving cache owns its admission filter outright,
+// and the sharded ingest engine gives every shard its own filter, so a
+// filter is only ever touched from one goroutine at a time.
+package bloom

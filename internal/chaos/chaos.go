@@ -1,26 +1,3 @@
-// Package chaos is a deterministic, seeded fault injector for the
-// Observatory's robustness harness. Real SIE sensors emit truncated,
-// bit-flipped and spoofed packets, feeds duplicate and reorder
-// transactions, and disks fail mid-write (paper §2: the platform runs
-// unattended against a hostile 200 k tx/s feed) — this package produces
-// all of those faults on demand, reproducibly, so every layer of the
-// pipeline can be soaked against them in tests and from the command
-// line (dnsgen -chaos).
-//
-// One Injector wraps three surfaces:
-//
-//   - the transaction stream (Transactions): bit corruption, truncation,
-//     duplication, bounded reordering, zero and backwards timestamps,
-//     and oversized (>255 octet) query names;
-//   - the ingest engines (PanicHook): per-summary worker panics, which
-//     the supervised engines must quarantine (observatory.Config);
-//   - the snapshot store (WrapWriter): failing and short writes, which
-//     tsv.Store.Put must surface as errors rather than half-written
-//     files.
-//
-// All randomness comes from one seeded source guarded by a mutex, so a
-// given (seed, input) pair always injects the same faults — a failing
-// soak run is replayable by seed.
 package chaos
 
 import (
@@ -28,6 +5,8 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+
+	"dnsobservatory/internal/metrics"
 	"time"
 
 	"dnsobservatory/internal/ipwire"
@@ -129,6 +108,33 @@ func (inj *Injector) Stats() Stats {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	return inj.stats
+}
+
+// Instrument registers one dnsobs_chaos_injected_total{kind=...} counter
+// per fault kind with reg, read through Stats at collect time — the
+// injection hot paths gain no extra work. Re-instrumenting (a fresh
+// injector per soak run) replaces the previous injector's slots.
+func (inj *Injector) Instrument(reg *metrics.Registry) {
+	kinds := []struct {
+		kind string
+		read func(Stats) uint64
+	}{
+		{"corrupted", func(s Stats) uint64 { return s.Corrupted }},
+		{"truncated", func(s Stats) uint64 { return s.Truncated }},
+		{"duplicated", func(s Stats) uint64 { return s.Duplicated }},
+		{"reordered", func(s Stats) uint64 { return s.Reordered }},
+		{"zero_time", func(s Stats) uint64 { return s.ZeroTime }},
+		{"back_time", func(s Stats) uint64 { return s.BackTime }},
+		{"oversized", func(s Stats) uint64 { return s.Oversized }},
+		{"panics", func(s Stats) uint64 { return s.Panics }},
+		{"write_errs", func(s Stats) uint64 { return s.WriteErrs }},
+		{"short_writes", func(s Stats) uint64 { return s.ShortWrites }},
+	}
+	for _, k := range kinds {
+		read := k.read
+		reg.CounterFunc("dnsobs_chaos_injected_total", "chaos faults injected by kind",
+			func() uint64 { return read(inj.Stats()) }, "kind", k.kind)
+	}
 }
 
 // roll returns true with probability rate. Caller holds inj.mu.

@@ -1,0 +1,30 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// Observatory's robustness harness. Real SIE sensors emit truncated,
+// bit-flipped and spoofed packets, feeds duplicate and reorder
+// transactions, and disks fail mid-write (paper §2: the platform runs
+// unattended against a hostile 200 k tx/s feed) — this package produces
+// all of those faults on demand, reproducibly, so every layer of the
+// pipeline can be soaked against them in tests and from the command
+// line (dnsgen -chaos).
+//
+// One Injector wraps three surfaces:
+//
+//   - the transaction stream (Transactions): bit corruption, truncation,
+//     duplication, bounded reordering, zero and backwards timestamps,
+//     and oversized (>255 octet) query names;
+//   - the ingest engines (PanicHook): per-summary worker panics, which
+//     the supervised engines must quarantine (observatory.Config);
+//   - the snapshot store (WrapWriter): failing and short writes, which
+//     tsv.Store.Put must surface as errors rather than half-written
+//     files.
+//
+// All randomness comes from one seeded source guarded by a mutex, so a
+// given (seed, input) pair always injects the same faults — a failing
+// soak run is replayable by seed.
+//
+// Concurrency: an Injector is safe for concurrent use; the mutex around
+// its random source is what makes multi-goroutine soaks deterministic
+// per seed. Instrument publishes every fault class to a metrics
+// registry as dnsobs_chaos_injected_total{kind=...}, read through
+// Stats at collection time so the injection paths stay unchanged.
+package chaos

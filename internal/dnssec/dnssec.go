@@ -1,10 +1,3 @@
-// Package dnssec implements real DNSSEC signing and validation with
-// Ed25519 (RFC 8080, algorithm 15): canonical RRset form and signature
-// computation per RFC 4034 §3 and §6, key tags per RFC 4034 Appendix B,
-// and DS digests per RFC 4034 §5. The simulator signs its zones with
-// keys from this package, so the Observatory's ok_sec feature counts
-// cryptographically genuine signatures, and a validator can verify any
-// captured response end to end.
 package dnssec
 
 import (

@@ -1,0 +1,12 @@
+// Package dnssec implements real DNSSEC signing and validation with
+// Ed25519 (RFC 8080, algorithm 15): canonical RRset form and signature
+// computation per RFC 4034 §3 and §6, key tags per RFC 4034 Appendix B,
+// and DS digests per RFC 4034 §5. The simulator signs its zones with
+// keys from this package, so the Observatory's ok_sec feature counts
+// cryptographically genuine signatures, and a validator can verify any
+// captured response end to end.
+//
+// Concurrency: signing and validation are pure functions of their
+// inputs; a key pair is immutable after generation. Any number of
+// goroutines may sign or validate with the same key concurrently.
+package dnssec

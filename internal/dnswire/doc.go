@@ -1,0 +1,15 @@
+// Package dnswire implements the DNS wire format (RFC 1035 and friends):
+// domain-name encoding with message compression, header and flag packing,
+// resource records for the record types observed by DNS Observatory
+// (A, NS, CNAME, SOA, PTR, MX, TXT, AAAA, SRV, DS, RRSIG) and the EDNS0
+// OPT pseudo-record (RFC 6891).
+//
+// The package is written in the style of gopacket's DecodingLayerParser:
+// a Message can be unpacked repeatedly into the same value, reusing its
+// backing slices, so steady-state parsing performs no allocations beyond
+// what the record data itself requires.
+//
+// Concurrency: a Message is single-owner — the buffer reuse that makes
+// Unpack allocation-free also means one goroutine per Message. Give each
+// worker its own Message value; the package itself holds no shared state.
+package dnswire

@@ -1,9 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (sections 3–5). Each experiment is a function that runs the
-// required scenario through the Observatory pipeline, applies the
-// matching analysis, and prints the same rows or series the paper
-// reports. See DESIGN.md for the per-experiment index and EXPERIMENTS.md
-// for paper-vs-measured results.
 package experiments
 
 import (

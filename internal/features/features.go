@@ -1,12 +1,3 @@
-// Package features implements the per-object traffic statistics of paper
-// §2.3: counters for RCODE and section shapes, averages for QNAME depth
-// and section sizes, HyperLogLog cardinalities for name/address sets,
-// top-TTL trackers and quartile histograms for delays, hops and sizes.
-//
-// One Set hangs off each live Space-Saving entry (as its State); Observe
-// folds in a transaction summary, Snapshot extracts a Row for the TSV
-// time series, and Reset clears the statistics at each window boundary
-// without touching the top-k list itself (§2.4).
 package features
 
 import (

@@ -1,0 +1,24 @@
+// Package hll implements the HyperLogLog cardinality estimator with the
+// practical improvements of Heule, Nunkesser and Hall (EDBT 2013) that
+// the paper cites [30]: a 64-bit hash function (removing the large-range
+// correction entirely), linear counting for the small range, and a
+// sparse representation for low-cardinality sketches. The Observatory
+// uses HLL for per-object set-cardinality features such as qnames, tlds,
+// eslds, ip4s and ip6s (§2.3); the vast majority of Top-k objects sit in
+// the tail and see only a handful of distinct values per window, so the
+// sparse form cuts per-object feature memory by an order of magnitude.
+//
+// A sketch starts sparse: observations are packed (register, rank) pairs
+// kept as a small insertion buffer plus a sorted, deduplicated list.
+// Once the sparse list would cost as much memory as the dense register
+// array it promotes to classic 2^p byte registers. Estimates are
+// identical in both forms — both are computed from the same register
+// rank histogram, which the dense form maintains incrementally so
+// Estimate never scans the register array.
+//
+// Concurrency: a Sketch is single-owner, like the feature Set that
+// embeds it. The one piece of shared state is the process-wide
+// sparse→dense promotion counter (Promotions), an atomic that sketches
+// on any goroutine bump and that the metrics layer exposes as
+// dnsobs_hll_promotions_total.
+package hll

@@ -1,20 +1,3 @@
-// Package hll implements the HyperLogLog cardinality estimator with the
-// practical improvements of Heule, Nunkesser and Hall (EDBT 2013) that
-// the paper cites [30]: a 64-bit hash function (removing the large-range
-// correction entirely), linear counting for the small range, and a
-// sparse representation for low-cardinality sketches. The Observatory
-// uses HLL for per-object set-cardinality features such as qnames, tlds,
-// eslds, ip4s and ip6s (§2.3); the vast majority of Top-k objects sit in
-// the tail and see only a handful of distinct values per window, so the
-// sparse form cuts per-object feature memory by an order of magnitude.
-//
-// A sketch starts sparse: observations are packed (register, rank) pairs
-// kept as a small insertion buffer plus a sorted, deduplicated list.
-// Once the sparse list would cost as much memory as the dense register
-// array it promotes to classic 2^p byte registers. Estimates are
-// identical in both forms — both are computed from the same register
-// rank histogram, which the dense form maintains incrementally so
-// Estimate never scans the register array.
 package hll
 
 import (
@@ -22,7 +5,18 @@ import (
 	"math"
 	"math/bits"
 	"slices"
+	"sync/atomic"
 )
+
+// promotions counts sparse→dense promotions across every sketch in the
+// process. Sketches are single-owner, but distinct sketches promote
+// concurrently on different engine workers, hence the atomic.
+var promotions atomic.Uint64
+
+// Promotions returns the process-wide count of sparse→dense promotions
+// — the signal that objects are outgrowing the compact representation
+// (observatory.InstrumentPlatform exposes it as a metric).
+func Promotions() uint64 { return promotions.Load() }
 
 // Sketch is a HyperLogLog counter. Create one with New. Sketch is not
 // safe for concurrent use.
@@ -252,6 +246,7 @@ func (s *Sketch) maybePromote() {
 // freshly cleared registers. The register array and histogram are
 // allocated once and reused across Reset.
 func (s *Sketch) promote() {
+	promotions.Add(1)
 	if s.regs == nil {
 		s.regs = make([]uint8, 1<<s.p)
 		s.hist = make([]uint32, histLen)

@@ -1,0 +1,9 @@
+// Package ipwire encodes and decodes the IPv4, IPv6 and UDP headers that
+// frame every DNS transaction captured by the Observatory sensors, and
+// infers the number of network hops between resolver and nameserver from
+// the received IP TTL / hop-limit, following the hop-count-filtering
+// technique of Jin, Wang and Shin (CCS 2003) cited by the paper.
+//
+// Concurrency: the package is stateless — append-style encoders and
+// pure parsers, safe to call from any number of goroutines.
+package ipwire

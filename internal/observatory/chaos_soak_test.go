@@ -10,9 +10,32 @@ import (
 	"dnsobservatory/internal/chaos"
 	"dnsobservatory/internal/dnswire"
 	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/tsv"
 )
+
+// requireRegistryMatchesStats asserts that what the engine published to
+// its metrics registry is exactly what Stats() reports — the contract
+// that /metrics never drifts from EngineStats.
+func requireRegistryMatchesStats(t *testing.T, reg *metrics.Registry, es EngineStats) {
+	t.Helper()
+	for _, c := range []struct {
+		family string
+		want   uint64
+	}{
+		{MetricIngested, es.Ingested},
+		{MetricAccepted, es.Accepted},
+		{MetricRejected, es.Rejected},
+		{MetricShed, es.Shed},
+		{MetricPanics, es.Panics},
+		{MetricQuarantined, es.Quarantined},
+	} {
+		if got := uint64(reg.Sum(c.family)); got != c.want {
+			t.Errorf("registry %s = %d, EngineStats says %d", c.family, got, c.want)
+		}
+	}
+}
 
 // soakTx builds one well-formed answered transaction with a varied
 // query name, timestamped i*50ms after base.
@@ -127,6 +150,9 @@ func TestChaosSoakBlockPolicy(t *testing.T) {
 	econf := DefaultConfig()
 	econf.SkipFreshObjects = false
 	econf.ChaosHook = inj.PanicHook
+	reg := metrics.NewRegistry()
+	econf.Metrics = reg
+	inj.Instrument(reg)
 
 	snaps := map[string]map[int64]int{}
 	eng := NewSharded(ShardedConfig{Config: econf, Shards: 4, Workers: 2, BatchSize: 32},
@@ -162,6 +188,13 @@ func TestChaosSoakBlockPolicy(t *testing.T) {
 	if cs.Total() == 0 {
 		t.Fatal("injector fired no faults")
 	}
+	requireRegistryMatchesStats(t, reg, es)
+	if got := uint64(reg.Sum("dnsobs_chaos_injected_total")); got != cs.Total() {
+		t.Errorf("registry chaos injections = %d, injector says %d", got, cs.Total())
+	}
+	if reg.Sum(MetricTopkOccupancy) == 0 {
+		t.Error("per-aggregation occupancy gauges never published")
+	}
 	requireFullWindowCoverage(t, snaps)
 }
 
@@ -180,6 +213,9 @@ func TestChaosSoakShedPolicy(t *testing.T) {
 			time.Sleep(200 * time.Microsecond)
 		}
 	}
+
+	reg := metrics.NewRegistry()
+	econf.Metrics = reg
 
 	snaps := map[string]map[int64]int{}
 	eng := NewSharded(ShardedConfig{
@@ -200,6 +236,7 @@ func TestChaosSoakShedPolicy(t *testing.T) {
 		t.Errorf("accounting broken: ingested %d != accepted %d + rejected %d + shed %d",
 			es.Ingested, es.Accepted, es.Rejected, es.Shed)
 	}
+	requireRegistryMatchesStats(t, reg, es)
 	if es.Shed == 0 {
 		t.Skip("overload never triggered on this machine; nothing to assert")
 	}

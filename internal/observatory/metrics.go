@@ -1,0 +1,108 @@
+package observatory
+
+import (
+	"dnsobservatory/internal/hll"
+	"dnsobservatory/internal/metrics"
+	"dnsobservatory/internal/sie"
+)
+
+// Metric family names published by the ingest engines. Exported as
+// constants so consumers (web UI health checks, the dnsobs self-report)
+// read families by name without string drift.
+const (
+	MetricIngested    = "dnsobs_engine_ingested_total"
+	MetricAccepted    = "dnsobs_engine_accepted_total"
+	MetricRejected    = "dnsobs_engine_rejected_total"
+	MetricShed        = "dnsobs_engine_shed_total"
+	MetricPanics      = "dnsobs_engine_panics_total"
+	MetricQuarantined = "dnsobs_engine_quarantined_total"
+	MetricFlush       = "dnsobs_engine_flush_seconds"
+	MetricQueueDepth  = "dnsobs_engine_queue_depth"
+
+	MetricTopkOccupancy = "dnsobs_topk_occupancy"
+	MetricTopkMinCount  = "dnsobs_topk_min_count"
+	MetricTopkEvictions = "dnsobs_topk_evictions_total"
+	MetricTopkDropped   = "dnsobs_topk_dropped_total"
+)
+
+// engineMetrics is the ingest accounting every engine keeps. The
+// counters are the single source of truth — Stats() reads them — so
+// registry totals and EngineStats can never disagree. With a registry
+// configured the counters are registered under one engine label; with
+// none they are standalone, so hot paths never nil-check and engines in
+// tests do not cross-contaminate a shared registry.
+type engineMetrics struct {
+	reg         *metrics.Registry // nil when standalone
+	ingested    *metrics.Counter
+	accepted    *metrics.Counter
+	rejected    *metrics.Counter
+	shed        *metrics.Counter
+	panics      *metrics.Counter
+	quarantined *metrics.Counter
+	flush       *metrics.Histogram
+}
+
+// newEngineMetrics builds the counter set for one engine instance.
+func newEngineMetrics(reg *metrics.Registry, engine string) *engineMetrics {
+	if reg == nil {
+		return &engineMetrics{
+			ingested:    metrics.NewCounter(),
+			accepted:    metrics.NewCounter(),
+			rejected:    metrics.NewCounter(),
+			shed:        metrics.NewCounter(),
+			panics:      metrics.NewCounter(),
+			quarantined: metrics.NewCounter(),
+			flush:       metrics.NewHistogram(metrics.DurationBuckets),
+		}
+	}
+	return &engineMetrics{
+		reg:         reg,
+		ingested:    reg.Counter(MetricIngested, "transactions offered to the platform, including rejects", "engine", engine),
+		accepted:    reg.Counter(MetricAccepted, "summaries dispatched into aggregation state", "engine", engine),
+		rejected:    reg.Counter(MetricRejected, "malformed transactions refused before feature extraction", "engine", engine),
+		shed:        reg.Counter(MetricShed, "summaries dropped by the overload policy", "engine", engine),
+		panics:      reg.Counter(MetricPanics, "recovered worker panics", "engine", engine),
+		quarantined: reg.Counter(MetricQuarantined, "summary folds abandoned to a panic", "engine", engine),
+		flush:       reg.Histogram(MetricFlush, "window snapshot flush latency", metrics.DurationBuckets, "engine", engine),
+	}
+}
+
+// stats assembles EngineStats from the counters.
+func (m *engineMetrics) stats() EngineStats {
+	return EngineStats{
+		Ingested:    m.ingested.Value(),
+		Accepted:    m.accepted.Value(),
+		Rejected:    m.rejected.Value(),
+		Shed:        m.shed.Value(),
+		Panics:      m.panics.Value(),
+		Quarantined: m.quarantined.Value(),
+	}
+}
+
+// publishAggMetrics publishes one aggregation's cache health: live
+// occupancy and min-count (the overestimation bound), plus eviction and
+// admission-drop deltas accumulated since the last publish. Engines
+// call it at window-dump time, the only moment the publisher has
+// exclusive access to the cache counters (workers own their caches; the
+// sharded engine sums shard deltas on the merger before publishing).
+func publishAggMetrics(reg *metrics.Registry, agg string, occupancy int, minCount, evictDelta, droppedDelta uint64) {
+	reg.Gauge(MetricTopkOccupancy, "monitored keys across the aggregation's top-k cache(s)", "agg", agg).Set(float64(occupancy))
+	reg.Gauge(MetricTopkMinCount, "smallest monitored count — the frequency overestimation bound", "agg", agg).Set(float64(minCount))
+	if evictDelta > 0 {
+		reg.Counter(MetricTopkEvictions, "top-k minimum-entry displacements", "agg", agg).Add(evictDelta)
+	}
+	if droppedDelta > 0 {
+		reg.Counter(MetricTopkDropped, "observations refused by the Bloom admission filter", "agg", agg).Add(droppedDelta)
+	}
+}
+
+// InstrumentPlatform registers the process-wide platform counters that
+// live below the engines — layers deliberately kept dependency-free
+// (hll, sie) expose plain counters, and this adapter publishes them.
+// Call it once alongside wiring Config.Metrics.
+func InstrumentPlatform(reg *metrics.Registry) {
+	reg.CounterFunc("dnsobs_hll_promotions_total",
+		"HyperLogLog sparse-to-dense promotions across all sketches", hll.Promotions)
+	reg.CounterFunc("dnsobs_sie_decode_errors_total",
+		"well-framed SIE records that failed to decode", sie.DecodeErrors)
+}

@@ -1,26 +1,14 @@
-// Package observatory is the DNS Observatory stream-analytics pipeline
-// (paper §2): it ingests transaction summaries, tracks Top-k DNS objects
-// per aggregation with Space-Saving caches guarded by Bloom admission
-// filters, accumulates per-object traffic features, and every 60 seconds
-// dumps a TSV snapshot per aggregation — resetting the statistics but
-// keeping the top-k lists.
-//
-// Three ingest engines share the same aggregation state machinery:
-//
-//   - Pipeline: the serial reference implementation.
-//   - Parallel: one goroutine per aggregation (the legacy fan-out; kept
-//     as a comparison baseline).
-//   - Sharded: key-hash-sharded workers with pooled summary buffers and
-//     mergeable per-shard snapshots — the production shape.
 package observatory
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dnsobservatory/internal/bloom"
 	"dnsobservatory/internal/features"
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/spacesaving"
 	"dnsobservatory/internal/tsv"
@@ -73,6 +61,11 @@ type Config struct {
 	// the chaos-injection point for worker panics (chaos.Injector's
 	// PanicHook); leave nil in production.
 	ChaosHook func(*sie.Summary)
+	// Metrics, when set, is the registry the engine publishes its ingest
+	// accounting and per-aggregation cache health to. Nil means the
+	// engine keeps private, unregistered counters — hot paths are
+	// identical either way, so tests never contaminate a shared registry.
+	Metrics *metrics.Registry
 }
 
 // EngineStats is the ingest accounting every engine exposes via Stats().
@@ -156,6 +149,19 @@ type aggState struct {
 	seenAfter  uint64 // window transactions aggregated into some object
 	free       []*features.Set
 	keyBuf     []byte // reusable KeyBytes buffer (serial ingest path)
+	// lastEvict/lastDropped remember the cache counters at the previous
+	// metrics publish, so each window adds only its delta.
+	lastEvict   uint64
+	lastDropped uint64
+}
+
+// publishMetrics publishes this state's cache health to reg (see
+// publishAggMetrics for the exclusive-access requirement).
+func (st *aggState) publishMetrics(reg *metrics.Registry) {
+	ev, dr := st.cache.Evictions(), st.cache.Dropped()
+	publishAggMetrics(reg, st.agg.Name, st.cache.Len(), st.cache.MinCount(),
+		ev-st.lastEvict, dr-st.lastDropped)
+	st.lastEvict, st.lastDropped = ev, dr
 }
 
 // newAggState builds one aggregation state with a cache of the given
@@ -269,8 +275,7 @@ type Pipeline struct {
 
 	windowStart float64
 	started     bool
-	total       uint64
-	rejected    uint64
+	m           *engineMetrics
 }
 
 // New builds a pipeline over the given aggregations. onSnapshot may be
@@ -278,6 +283,7 @@ type Pipeline struct {
 func New(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Pipeline {
 	cfg.withDefaults()
 	p := &Pipeline{cfg: cfg, onSnapshot: onSnapshot, byName: make(map[string]*aggState, len(aggs))}
+	p.m = newEngineMetrics(cfg.Metrics, "serial")
 	for _, a := range aggs {
 		st := newAggState(a, &p.cfg, a.K)
 		p.aggs = append(p.aggs, st)
@@ -303,7 +309,8 @@ func (p *Pipeline) Ingest(sum *sie.Summary, now float64) {
 		p.dump()
 		p.windowStart += p.cfg.WindowSec
 	}
-	p.total++
+	p.m.ingested.Inc()
+	p.m.accepted.Inc()
 	for _, st := range p.aggs {
 		st.seenBefore++
 		if st.agg.KeyBytes != nil {
@@ -340,13 +347,18 @@ func (p *Pipeline) Flush() {
 
 // dump emits one snapshot per aggregation and resets window state.
 func (p *Pipeline) dump() {
+	start := time.Now()
 	for _, st := range p.aggs {
 		snap := p.snapshot(st)
 		if p.onSnapshot != nil {
 			p.onSnapshot(snap)
 		}
+		if p.m.reg != nil {
+			st.publishMetrics(p.m.reg)
+		}
 		st.resetWindow()
 	}
+	p.m.flush.Observe(time.Since(start).Seconds())
 }
 
 // snapshot builds the TSV snapshot for one aggregation's current window.
@@ -377,21 +389,20 @@ func (p *Pipeline) Cache(name string) *spacesaving.Cache {
 }
 
 // Total returns the number of summaries ingested.
-func (p *Pipeline) Total() uint64 { return p.total }
+func (p *Pipeline) Total() uint64 { return p.m.accepted.Value() }
 
 // RecordRejected accounts one transaction rejected before reaching the
 // pipeline (malformed wire input the summarizer refused).
-func (p *Pipeline) RecordRejected() { p.rejected++ }
+func (p *Pipeline) RecordRejected() {
+	p.m.ingested.Inc()
+	p.m.rejected.Inc()
+}
 
 // Stats returns the pipeline's ingest accounting. The serial pipeline
 // never sheds or panics, so Accepted always equals Ingested − Rejected.
-func (p *Pipeline) Stats() EngineStats {
-	return EngineStats{
-		Ingested: p.total + p.rejected,
-		Accepted: p.total,
-		Rejected: p.rejected,
-	}
-}
+// Stats reads the same counters the engine publishes to its metrics
+// registry, so the two views agree by construction.
+func (p *Pipeline) Stats() EngineStats { return p.m.stats() }
 
 // WindowStart returns the start of the current window.
 func (p *Pipeline) WindowStart() float64 { return p.windowStart }

@@ -3,7 +3,6 @@ package observatory
 import (
 	"net/netip"
 	"sync"
-	"sync/atomic"
 
 	"dnsobservatory/internal/publicsuffix"
 	"dnsobservatory/internal/sie"
@@ -28,10 +27,7 @@ type Parallel struct {
 	batch  []ingestItem
 	closed bool
 
-	ingested    uint64 // producer-side; Ingest is single-producer
-	rejected    uint64
-	panics      atomic.Uint64 // worker-side
-	quarantined atomic.Uint64
+	m *engineMetrics // producers bump ingested/rejected, workers panics
 }
 
 type ingestItem struct {
@@ -54,6 +50,11 @@ const batchSize = 256
 // NewParallel builds one single-aggregation pipeline per entry of aggs.
 func NewParallel(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Parallel {
 	p := &Parallel{suffixes: cfg.Features.Suffixes}
+	p.m = newEngineMetrics(cfg.Metrics, "parallel")
+	// The sub-pipelines must not publish: each would count the same
+	// stream again under engine="serial". Only this engine's counters
+	// (and per-agg gauges, which the legacy baseline skips) are visible.
+	cfg.Metrics = nil
 	emit := func(s *tsv.Snapshot) {
 		if onSnapshot == nil {
 			return
@@ -93,8 +94,8 @@ func (w *aggWorker) run() {
 func (w *aggWorker) ingestItem(it *ingestItem) {
 	defer func() {
 		if r := recover(); r != nil {
-			w.eng.panics.Add(1)
-			w.eng.quarantined.Add(1)
+			w.eng.m.panics.Inc()
+			w.eng.m.quarantined.Inc()
 		}
 	}()
 	if hook := w.cfg.ChaosHook; hook != nil {
@@ -109,7 +110,8 @@ func (p *Parallel) Ingest(sum *sie.Summary, now float64) {
 	if p.closed {
 		return
 	}
-	p.ingested++
+	p.m.ingested.Inc()
+	p.m.accepted.Inc()
 	// Batch items are shared by every worker, so hashes must be memoized
 	// before dispatch — workers only read them.
 	sum.PrecomputeHashes(p.suffixes)
@@ -123,21 +125,15 @@ func (p *Parallel) Ingest(sum *sie.Summary, now float64) {
 // engine (malformed wire input the summarizer refused). Like Ingest it
 // is producer-side and not safe for concurrent producers.
 func (p *Parallel) RecordRejected() {
-	p.ingested++
-	p.rejected++
+	p.m.ingested.Inc()
+	p.m.rejected.Inc()
 }
 
 // Stats returns the engine's ingest accounting. The parallel engine
 // only blocks (no shed policy), so Accepted = Ingested − Rejected.
-func (p *Parallel) Stats() EngineStats {
-	return EngineStats{
-		Ingested:    p.ingested,
-		Accepted:    p.ingested - p.rejected,
-		Rejected:    p.rejected,
-		Panics:      p.panics.Load(),
-		Quarantined: p.quarantined.Load(),
-	}
-}
+// Stats reads the counters the engine publishes to its metrics
+// registry, so the two views agree by construction.
+func (p *Parallel) Stats() EngineStats { return p.m.stats() }
 
 // dispatch hands the pending batch to every worker.
 func (p *Parallel) dispatch() {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/spacesaving"
@@ -51,14 +52,9 @@ type Sharded struct {
 	closed bool
 	total  uint64
 
-	// Ingest accounting (see EngineStats). Atomic: workers bump panic
-	// counters concurrently with producers bumping the others.
-	ingested    atomic.Uint64
-	accepted    atomic.Uint64
-	rejected    atomic.Uint64
-	shed        atomic.Uint64
-	panics      atomic.Uint64
-	quarantined atomic.Uint64
+	// Ingest accounting (see EngineStats). Counters are atomic: workers
+	// bump panic counters concurrently with producers bumping the rest.
+	m *engineMetrics
 }
 
 // OverloadPolicy selects what dispatch does when a worker queue is full.
@@ -137,6 +133,14 @@ type shardPart struct {
 	rows       []tsv.Row
 	seenBefore uint64
 	seenAfter  uint64
+	// Cache-health contribution of this worker's shards, collected at
+	// dump time when the worker has exclusive access; the merger sums
+	// the parts and publishes one value per aggregation, so per-agg
+	// metrics never race with worker ingest.
+	occupancy int
+	minCount  uint64 // max over shards: the worst-case bound
+	evictions uint64 // delta since the previous window
+	dropped   uint64 // delta since the previous window
 }
 
 type shardWorker struct {
@@ -221,6 +225,7 @@ func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snap
 		mergeDone:  make(chan struct{}),
 		onSnapshot: onSnapshot,
 	}
+	s.m = newEngineMetrics(cfg.Config.Metrics, "sharded")
 	for i, a := range aggs {
 		s.aggIdx[a.Name] = i
 	}
@@ -251,6 +256,15 @@ func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snap
 		}
 		s.workers = append(s.workers, w)
 		go w.run()
+	}
+	if reg := s.m.reg; reg != nil {
+		reg.GaugeFunc(MetricQueueDepth, "batches queued across shard workers", func() float64 {
+			var n int
+			for _, w := range s.workers {
+				n += len(w.in)
+			}
+			return float64(n)
+		}, "engine", "sharded")
 	}
 	go s.mergeLoop()
 	return s
@@ -344,7 +358,7 @@ func (s *Sharded) add(ps *sie.Shared, now float64) {
 		b.meta = append(b.meta, uint16(hashKeyBytes(b.keyBuf[start:])%uint64(s.shards))+1)
 	}
 	s.total++
-	s.ingested.Add(1)
+	s.m.ingested.Inc()
 	if len(b.sums) >= cap(b.sums) {
 		s.dispatchLocked()
 	}
@@ -365,7 +379,7 @@ func (s *Sharded) dispatchLocked() {
 		// check here guarantees the sends below do not block.
 		for _, w := range s.workers {
 			if len(w.in) == cap(w.in) {
-				s.shed.Add(uint64(len(b.sums)))
+				s.m.shed.Add(uint64(len(b.sums)))
 				for _, ps := range b.sums {
 					s.Discard(ps)
 				}
@@ -379,7 +393,7 @@ func (s *Sharded) dispatchLocked() {
 			}
 		}
 	}
-	s.accepted.Add(uint64(len(b.sums)))
+	s.m.accepted.Add(uint64(len(b.sums)))
 	s.cur = s.batchPool.Get().(*shardBatch)
 	b.refs.Store(int32(len(s.workers)))
 	for _, w := range s.workers {
@@ -390,23 +404,16 @@ func (s *Sharded) dispatchLocked() {
 // RecordRejected accounts one transaction rejected before reaching the
 // engine (malformed wire input the summarizer refused).
 func (s *Sharded) RecordRejected() {
-	s.ingested.Add(1)
-	s.rejected.Add(1)
+	s.m.ingested.Inc()
+	s.m.rejected.Inc()
 }
 
 // Stats returns the engine's ingest accounting. Once the stream has
 // been dispatched (after Close, or any moment no partial batch is
-// pending), Ingested = Accepted + Rejected + Shed.
-func (s *Sharded) Stats() EngineStats {
-	return EngineStats{
-		Ingested:    s.ingested.Load(),
-		Accepted:    s.accepted.Load(),
-		Rejected:    s.rejected.Load(),
-		Shed:        s.shed.Load(),
-		Panics:      s.panics.Load(),
-		Quarantined: s.quarantined.Load(),
-	}
-}
+// pending), Ingested = Accepted + Rejected + Shed. Stats reads the
+// counters the engine publishes to its metrics registry, so the two
+// views agree by construction.
+func (s *Sharded) Stats() EngineStats { return s.m.stats() }
 
 // recycleBatch clears a fully-processed batch (dropping its references
 // to summaries) and returns it to the pool. The key buffer holds no
@@ -521,8 +528,8 @@ func (w *shardWorker) process(b *shardBatch) {
 func (w *shardWorker) processItem(b *shardBatch, i int, now float64) {
 	defer func() {
 		if r := recover(); r != nil {
-			w.eng.panics.Add(1)
-			w.eng.quarantined.Add(1)
+			w.eng.m.panics.Inc()
+			w.eng.m.quarantined.Inc()
 		}
 	}()
 	nAggs := len(w.eng.aggs)
@@ -565,7 +572,7 @@ func (w *shardWorker) dumpWindow() {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				w.eng.panics.Add(1)
+				w.eng.m.panics.Inc()
 			}
 		}()
 		for a := range w.eng.aggs {
@@ -574,6 +581,14 @@ func (w *shardWorker) dumpWindow() {
 				part.rows = st.windowRows(part.rows, &w.eng.cfg, w.windowStart, windowEnd)
 				part.seenBefore += st.seenBefore
 				part.seenAfter += st.seenAfter
+				part.occupancy += st.cache.Len()
+				if mc := st.cache.MinCount(); mc > part.minCount {
+					part.minCount = mc
+				}
+				ev, dr := st.cache.Evictions(), st.cache.Dropped()
+				part.evictions += ev - st.lastEvict
+				part.dropped += dr - st.lastDropped
+				st.lastEvict, st.lastDropped = ev, dr
 				st.resetWindow()
 			}
 		}
@@ -611,11 +626,28 @@ func (s *Sharded) mergeLoop() {
 }
 
 // emitWindow merges one window's per-shard parts into one snapshot per
-// aggregation and delivers them to the callback.
+// aggregation, delivers them to the callback, and publishes the summed
+// per-aggregation cache health collected by the workers at dump time.
 func (s *Sharded) emitWindow(windowStart float64, dumps []*shardDump) {
+	start := time.Now()
+	defer func() { s.m.flush.Observe(time.Since(start).Seconds()) }()
 	cols, kinds := snapshotSchema()
 	parts := make([]*tsv.Snapshot, len(dumps))
 	for a, agg := range s.aggs {
+		if reg := s.m.reg; reg != nil {
+			var occupancy int
+			var minCount, evictions, dropped uint64
+			for _, d := range dumps {
+				p := &d.parts[a]
+				occupancy += p.occupancy
+				if p.minCount > minCount {
+					minCount = p.minCount
+				}
+				evictions += p.evictions
+				dropped += p.dropped
+			}
+			publishAggMetrics(reg, agg.Name, occupancy, minCount, evictions, dropped)
+		}
 		for i, d := range dumps {
 			parts[i] = &tsv.Snapshot{
 				Aggregation: agg.Name,
@@ -646,7 +678,7 @@ func (s *Sharded) emitWindow(windowStart float64, dumps []*shardDump) {
 func (s *Sharded) deliver(snap *tsv.Snapshot) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.panics.Add(1)
+			s.m.panics.Inc()
 		}
 	}()
 	s.onSnapshot(snap)

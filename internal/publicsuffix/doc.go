@@ -1,0 +1,9 @@
+// Package publicsuffix implements effective-TLD (eTLD) and effective-SLD
+// (eSLD) extraction against an embedded, ICANN-style public suffix list,
+// following the semantics of publicsuffix.org: exact rules, wildcard
+// rules (*.ck) and exception rules (!www.ck). The paper's etld and esld
+// aggregations (§3.1) key on these.
+//
+// Concurrency: the rule table is built once at init and immutable
+// afterwards; lookups are pure and safe from any number of goroutines.
+package publicsuffix

@@ -1,8 +1,3 @@
-// Package publicsuffix implements effective-TLD (eTLD) and effective-SLD
-// (eSLD) extraction against an embedded, ICANN-style public suffix list,
-// following the semantics of publicsuffix.org: exact rules, wildcard
-// rules (*.ck) and exception rules (!www.ck). The paper's etld and esld
-// aggregations (§3.1) key on these.
 package publicsuffix
 
 import (

@@ -1,8 +1,3 @@
-// Package routing maps IP addresses to autonomous systems and AS
-// organization names, standing in for the Route Views BGP table and the
-// AS Names dataset the paper joins against in §3.3. Lookup is
-// longest-prefix match over a binary trie, exactly as a BGP RIB resolves
-// an address.
 package routing
 
 import (

@@ -1,0 +1,23 @@
+// Package scenario loads simulation scenarios from JSON: the knobs of a
+// simnet.Config, per-domain overrides (TTLs, IPv6, DNSSEC), and a
+// schedule of infrastructure events. It is the configuration surface of
+// cmd/dnsgen, letting users stage the paper's experiments — TTL slashes,
+// negative-caching pathologies, renumberings — without writing Go.
+//
+// A minimal file:
+//
+//	{
+//	  "duration_sec": 600,
+//	  "qps": 1000,
+//	  "domains": [
+//	    {"index": 3, "attl": 750, "negttl": 15, "ipv6": false}
+//	  ],
+//	  "events": [
+//	    {"at_sec": 300, "type": "ttl", "domain": 3, "ttl": 10},
+//	    {"at_sec": 400, "type": "enable-v6", "domain": 3}
+//	  ]
+//	}
+//
+// Concurrency: loading happens once at startup and returns plain
+// values; nothing here is shared or mutated afterwards.
+package scenario

@@ -1,0 +1,16 @@
+// Package sie models the Security Information Exchange: the passive-DNS
+// sensors that reconstruct resolver↔nameserver transactions from raw
+// packets, the Protocol-Buffers-style serialization they submit, and the
+// channel stream the Observatory ingests (paper §2.1).
+//
+// Concurrency and ownership: a Reader and a Summarizer are each
+// single-owner — they reuse internal buffers between calls, so one
+// goroutine each. A Summary filled by Summarize borrows the
+// summarizer's buffers and is valid only until the next Summarize call;
+// deep-copy (or use the pooled path below) to keep it. Shared wraps a
+// Summary in a reference-counted pool buffer so the sharded engine can
+// hand one decoded summary to several workers without copying —
+// Retain/Release manage the count atomically. The package-wide decode
+// error counter (DecodeErrors) is an atomic, exposed by the metrics
+// layer as dnsobs_sie_decode_errors_total.
+package sie

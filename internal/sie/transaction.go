@@ -2,8 +2,19 @@ package sie
 
 import (
 	"io"
+	"sync/atomic"
 	"time"
 )
+
+// decodeErrors counts well-framed records that failed to decode, across
+// every Reader in the process (readers run on independent goroutines,
+// hence the atomic).
+var decodeErrors atomic.Uint64
+
+// DecodeErrors returns the process-wide count of records rejected with
+// a *DecodeError (observatory.InstrumentPlatform exposes it as a
+// metric).
+func DecodeErrors() uint64 { return decodeErrors.Load() }
 
 // Transaction is one DNS query/response pair reconstructed by a sensor,
 // as submitted to the exchange: raw packets starting at the IP header,
@@ -165,6 +176,7 @@ func (tr *Reader) Read(tx *Transaction) error {
 		return err
 	}
 	if err := tx.Unmarshal(frame); err != nil {
+		decodeErrors.Add(1)
 		return &DecodeError{Err: err}
 	}
 	tr.n++

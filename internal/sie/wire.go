@@ -1,7 +1,3 @@
-// Package sie models the Security Information Exchange: the passive-DNS
-// sensors that reconstruct resolver↔nameserver transactions from raw
-// packets, the Protocol-Buffers-style serialization they submit, and the
-// channel stream the Observatory ingests (paper §2.1).
 package sie
 
 import (

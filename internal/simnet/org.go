@@ -1,14 +1,3 @@
-// Package simnet synthesizes the Internet that DNS Observatory watches:
-// a domain universe with Zipf popularity, an authoritative nameserver
-// population owned by realistic organizations (with per-org delay, hop
-// and anycast profiles), recursive resolvers with RFC 2308 caches,
-// Happy-Eyeballs clients, a DGA botnet, PRSD attacks, and scheduled
-// infrastructure events (TTL changes, renumbering, IPv6 enablement).
-//
-// It replaces the paper's proprietary Farsight SIE feed: the output is
-// the same stream of cache-miss resolver↔nameserver transactions, as
-// raw IP/UDP/DNS packets with timestamps, so every downstream Observatory
-// code path runs unchanged (see DESIGN.md, "Substitutions").
 package simnet
 
 import (

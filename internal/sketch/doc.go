@@ -1,0 +1,10 @@
+// Package sketch provides the small summary structures behind the
+// Observatory's traffic features (§2.3): counters and averages, a
+// log-bucketed histogram with quantile queries (resp_delays,
+// network_hops, resp_size), and a top-N value tracker with counts
+// (the top-3 TTL values and their distributions).
+//
+// Concurrency: every structure here is single-owner, embedded in a
+// features.Set and touched only by the goroutine that owns the
+// corresponding top-k entry. No internal locking.
+package sketch

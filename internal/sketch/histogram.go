@@ -1,8 +1,3 @@
-// Package sketch provides the small summary structures behind the
-// Observatory's traffic features (§2.3): counters and averages, a
-// log-bucketed histogram with quantile queries (resp_delays,
-// network_hops, resp_size), and a top-N value tracker with counts
-// (the top-3 TTL values and their distributions).
 package sketch
 
 import (

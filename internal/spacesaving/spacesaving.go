@@ -1,24 +1,3 @@
-// Package spacesaving implements the Space-Saving algorithm of Metwally,
-// Agrawal and El Abbadi (ICDT 2005) for tracking the top-k most frequent
-// items in a stream with bounded memory — the basic tool of DNS
-// Observatory (§2.2).
-//
-// Two departures from the textbook algorithm follow the paper:
-//
-//   - Each monitored object carries an exponentially decaying moving
-//     average that estimates its transaction rate (hits per second), so
-//     popularity reflects recent traffic rather than all-time counts.
-//   - Before evicting the minimum entry for a never-seen key, an optional
-//     admission filter (a Bloom filter) is consulted, so that a key must
-//     be seen at least twice before it can displace a monitored object.
-//     This shields the top list from incidental observations of rare keys.
-//
-// Evicted entries bequeath their count to the newcomer (the classic
-// overestimation bound: error <= min count).
-//
-// Caches over key-disjoint partitions of one stream compose: Merge sums
-// counts and errors per key and keeps the strongest entries, which is the
-// standard parallel Space-Saving merge used by the sharded ingest engine.
 package spacesaving
 
 import (
@@ -74,9 +53,10 @@ type Cache struct {
 	admitter Admitter
 	// bytesAdm is the admitter's BytesAdmitter view, type-asserted once
 	// at New so ObserveBytes pays no interface assertion per call.
-	bytesAdm BytesAdmitter
-	hits     uint64
-	dropped  uint64
+	bytesAdm  BytesAdmitter
+	hits      uint64
+	dropped   uint64
+	evictions uint64
 
 	// OnEvictState, when non-nil, receives the State of every evicted
 	// entry (if non-nil) just before the entry is reassigned to the
@@ -185,6 +165,7 @@ func (c *Cache) insert(key string, now float64) *Entry {
 
 // evictInto displaces the minimum entry with key.
 func (c *Cache) evictInto(key string, now float64) *Entry {
+	c.evictions++
 	e := c.min[0]
 	delete(c.entries, e.Key)
 	if e.State != nil && c.OnEvictState != nil {
@@ -252,6 +233,10 @@ func (c *Cache) Capacity() int { return c.capacity }
 // admission filter.
 func (c *Cache) Hits() uint64    { return c.hits }
 func (c *Cache) Dropped() uint64 { return c.dropped }
+
+// Evictions returns how many times a minimum entry was displaced by a
+// new key — the churn a Bloom admitter exists to suppress.
+func (c *Cache) Evictions() uint64 { return c.evictions }
 
 // MinCount returns the smallest monitored count — the overestimation
 // bound for any reported frequency.

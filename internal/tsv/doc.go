@@ -1,0 +1,16 @@
+// Package tsv implements the Observatory's on-disk time series (paper
+// §2.4): TSV snapshot files whose names encode the aggregation, time
+// granularity and collection start; cascading time aggregation from
+// minutely files up to yearly ones (mean rates for counters, zero-filled
+// for missing objects; means over present windows for gauges); and the
+// per-granularity retention policy that keeps disk usage bounded.
+//
+// Concurrency: Store methods are safe for concurrent use. Put writes to
+// a uniquely numbered temp file and renames it into place atomically,
+// so concurrent puts (the parallel engines' snapshot callbacks) never
+// interleave bytes; the operation counters are atomics. CascadeAll runs
+// its own bounded worker pool (Store.Parallelism) whose output is
+// byte-identical to the serial cascade. Instrument publishes the store
+// counters and per-level cascade-duration histograms to a metrics
+// registry without adding work to Put itself.
+package tsv

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dnsobservatory/internal/metrics"
 )
 
 // ErrCorruptSnapshot matches (via errors.Is) any snapshot file the store
@@ -70,7 +73,41 @@ type Store struct {
 
 	corruptSkipped atomic.Uint64
 	tmpSeq         atomic.Uint64
+	puts           atomic.Uint64
+	rowsWritten    atomic.Uint64
+	fsyncs         atomic.Uint64
+
+	// cascadeSeconds[level] is the per-level cascade duration histogram,
+	// populated by Instrument; nil slots are simply not observed.
+	cascadeSeconds [MaxLevel]*metrics.Histogram
 }
+
+// Instrument registers the store's counters with reg (rows written,
+// puts, fsyncs, corrupt-skips) and creates the per-level cascade
+// duration histograms. Counters are registered read-through: the
+// store's own atomics stay the source of truth and the write path gains
+// no extra work. Call once per store; safe to call again after reuse
+// (the function slots are replaced).
+func (st *Store) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc("dnsobs_store_puts_total", "snapshot files committed by Put", st.Puts)
+	reg.CounterFunc("dnsobs_store_rows_written_total", "TSV rows across committed snapshots", st.RowsWritten)
+	reg.CounterFunc("dnsobs_store_fsyncs_total", "file and directory fsyncs issued by Put", st.Fsyncs)
+	reg.CounterFunc("dnsobs_store_corrupt_skips_total", "corrupt snapshot files skipped by the cascade", st.CorruptSkipped)
+	for level := Minutely; level < MaxLevel; level++ {
+		st.cascadeSeconds[level] = reg.Histogram("dnsobs_store_cascade_seconds",
+			"duration of one cascade pass per source level", metrics.DurationBuckets,
+			"level", level.Name())
+	}
+}
+
+// Puts returns how many snapshot files Put has committed.
+func (st *Store) Puts() uint64 { return st.puts.Load() }
+
+// RowsWritten returns the total TSV rows across committed snapshots.
+func (st *Store) RowsWritten() uint64 { return st.rowsWritten.Load() }
+
+// Fsyncs returns how many fsyncs (file and directory) Put has issued.
+func (st *Store) Fsyncs() uint64 { return st.fsyncs.Load() }
 
 // NewStore returns a store rooted at dir, creating it if needed and
 // deleting any .tmp-* files a crashed predecessor left behind (they
@@ -129,6 +166,7 @@ func (st *Store) Put(snap *Snapshot) error {
 			os.Remove(f.Name())
 			return err
 		}
+		st.fsyncs.Add(1)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(f.Name())
@@ -138,8 +176,13 @@ func (st *Store) Put(snap *Snapshot) error {
 		os.Remove(f.Name())
 		return err
 	}
+	st.puts.Add(1)
+	st.rowsWritten.Add(uint64(len(snap.Rows)))
 	if st.FsyncOnPut {
-		return syncDir(st.dir)
+		if err := syncDir(st.dir); err != nil {
+			return err
+		}
+		st.fsyncs.Add(1)
 	}
 	return nil
 }
@@ -279,6 +322,7 @@ func (st *Store) CascadeAll(aggs []string, now int64) error {
 		if len(jobs) == 0 {
 			continue
 		}
+		levelStart := time.Now()
 		var (
 			wg      sync.WaitGroup
 			sem     = make(chan struct{}, workers)
@@ -300,6 +344,9 @@ func (st *Store) CascadeAll(aggs []string, now int64) error {
 			}(j)
 		}
 		wg.Wait()
+		if h := st.cascadeSeconds[level]; h != nil {
+			h.Observe(time.Since(levelStart).Seconds())
+		}
 		if pending != nil {
 			return pending
 		}

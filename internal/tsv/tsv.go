@@ -1,9 +1,3 @@
-// Package tsv implements the Observatory's on-disk time series (paper
-// §2.4): TSV snapshot files whose names encode the aggregation, time
-// granularity and collection start; cascading time aggregation from
-// minutely files up to yearly ones (mean rates for counters, zero-filled
-// for missing objects; means over present windows for gauges); and the
-// per-granularity retention policy that keeps disk usage bounded.
 package tsv
 
 import (

@@ -1,36 +1,41 @@
-// Package webui exposes the Observatory's live state over HTTP — the
-// paper's planned "web interface" for sharing collected data. It serves
-// the latest snapshot of each aggregation as JSON, the stored TSV files
-// verbatim, and a health endpoint.
-//
-//	GET /healthz                         liveness + ingest counters
-//	GET /api/aggregations                aggregation names
-//	GET /api/top/{agg}?n=50&col=hits     latest top objects as JSON
-//	GET /api/files/{agg}                 stored snapshot files
-//	GET /files/{agg}/{level}/{start}     one TSV file, as written
 package webui
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/tsv"
 )
 
 // Server is the HTTP facade. The zero value is not usable; create with
 // NewServer. Server is safe for concurrent use.
+//
+// The server reads transaction counts from the metrics registry the
+// engines publish to (there is no per-transaction hook to remember to
+// call): wire the same registry into observatory.Config.Metrics, or
+// leave Registry nil to use metrics.Default().
 type Server struct {
 	mu     sync.RWMutex
 	latest map[string]*tsv.Snapshot
 	store  *tsv.Store // optional
 
-	ingested atomic.Uint64
-	windows  atomic.Uint64
+	// Registry is the metrics registry served by /metrics and
+	// /api/metricsz and read by /healthz. Set before Handler;
+	// nil means metrics.Default().
+	Registry *metrics.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and cost CPU, so
+	// they are opt-in (the dnsobs -pprof flag).
+	EnablePprof bool
+
+	windows atomic.Uint64
 }
 
 // NewServer returns a server; store may be nil when only live snapshots
@@ -48,26 +53,61 @@ func (s *Server) OnSnapshot(snap *tsv.Snapshot) {
 	s.windows.Add(1)
 }
 
-// CountIngest bumps the transaction counter reported by /healthz.
-func (s *Server) CountIngest() { s.ingested.Add(1) }
+// registry returns the effective metrics registry.
+func (s *Server) registry() *metrics.Registry {
+	if s.Registry != nil {
+		return s.Registry
+	}
+	return metrics.Default()
+}
 
 // Handler returns the routed http.Handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /api/aggregations", s.handleAggregations)
 	mux.HandleFunc("GET /api/top/{agg}", s.handleTop)
 	mux.HandleFunc("GET /api/files/{agg}", s.handleFiles)
 	mux.HandleFunc("GET /files/{agg}/{level}/{start}", s.handleFile)
+	if s.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"ok":           true,
-		"transactions": s.ingested.Load(),
+		"transactions": uint64(s.registry().Sum(observatoryIngested)),
 		"windows":      s.windows.Load(),
 	})
+}
+
+// observatoryIngested is the engine family /healthz reports. Mirrors
+// observatory.MetricIngested; the string is duplicated to keep webui
+// free of an import cycle risk and usable with any engine that
+// publishes the family.
+const observatoryIngested = "dnsobs_engine_ingested_total"
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	if err := s.registry().WritePrometheus(w); err != nil {
+		// Too late for a status change; the connection is gone.
+		return
+	}
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.registry().WriteJSON(w); err != nil {
+		return
+	}
 }
 
 func (s *Server) handleAggregations(w http.ResponseWriter, r *http.Request) {

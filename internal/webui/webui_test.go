@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/tsv"
 )
 
@@ -38,6 +39,7 @@ func newTestServer(t *testing.T, withStore bool) (*Server, *httptest.Server) {
 		}
 	}
 	s := NewServer(store)
+	s.Registry = metrics.NewRegistry() // isolate from other tests
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -59,8 +61,9 @@ func get(t *testing.T, url string) (int, string) {
 
 func TestHealthz(t *testing.T) {
 	s, ts := newTestServer(t, false)
-	s.CountIngest()
-	s.CountIngest()
+	// /healthz reads what the engines publish to the registry: no
+	// per-transaction hook the wiring could forget.
+	s.Registry.Counter(observatoryIngested, "", "engine", "serial").Add(2)
 	s.OnSnapshot(snapshotFixture("srvip", 0))
 	code, body := get(t, ts.URL+"/healthz")
 	if code != 200 {
@@ -76,6 +79,67 @@ func TestHealthz(t *testing.T) {
 	}
 	if !h.OK || h.Transactions != 2 || h.Windows != 1 {
 		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	s.Registry.Counter(observatoryIngested, "transactions", "engine", "sharded").Add(7)
+	s.Registry.Histogram("dnsobs_engine_flush_seconds", "", metrics.DurationBuckets, "engine", "sharded").Observe(0.002)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.PrometheusContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"# TYPE dnsobs_engine_ingested_total counter",
+		`dnsobs_engine_ingested_total{engine="sharded"} 7`,
+		"# TYPE dnsobs_engine_flush_seconds histogram",
+		`dnsobs_engine_flush_seconds_count{engine="sharded"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricszEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	s.Registry.Gauge("dnsobs_topk_occupancy", "", "agg", "srvip").Set(42)
+	code, body := get(t, ts.URL+"/api/metricsz")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	var fams []metrics.JSONFamily
+	if err := json.Unmarshal([]byte(body), &fams); err != nil {
+		t.Fatalf("metricsz not valid JSON: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Name != "dnsobs_topk_occupancy" {
+		t.Fatalf("families = %+v", fams)
+	}
+	m := fams[0].Metrics[0]
+	if m.Labels["agg"] != "srvip" || m.Value == nil || *m.Value != 42 {
+		t.Errorf("metric = %+v", m)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	_, ts := newTestServer(t, false)
+	if code, _ := get(t, ts.URL+"/debug/pprof/"); code != 404 {
+		t.Errorf("pprof served while disabled: %d", code)
+	}
+	s2 := NewServer(nil)
+	s2.Registry = metrics.NewRegistry()
+	s2.EnablePprof = true
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	code, body := get(t, ts2.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: code %d body %.80s", code, body)
 	}
 }
 

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Docs gate: the documentation contracts CI holds the tree to.
+#
+#  1. Every internal/* package carries a package-level doc.go.
+#  2. Every flag README.md claims a command accepts is one the command
+#     actually prints in its -h output — README flag references must
+#     not drift from the binaries (the PR 1–3 lesson: -sharded,
+#     -chaos and friends shipped undocumented).
+#
+# Run from the repository root: sh scripts/docs_gate.sh
+set -eu
+
+fail=0
+
+# -- 1: package docs ---------------------------------------------------
+for dir in internal/*/; do
+    if [ ! -f "${dir}doc.go" ]; then
+        echo "docs gate: ${dir} is missing doc.go" >&2
+        fail=1
+    fi
+done
+
+# -- 2: README flags vs -h output --------------------------------------
+# Collect every -flag README mentions per command (lines and inline
+# references of the form `go run ./cmd/NAME ... -flag`), then check it
+# against the flags the command registers.
+for cmd in cmd/*/; do
+    name=$(basename "$cmd")
+    help=$("$(command -v go)" run "./$cmd" -h 2>&1 || true)
+    # Flags the command really has, one per line, without the dash.
+    real=$(printf '%s\n' "$help" | sed -n 's/^  -\([a-z0-9-]*\).*/\1/p')
+    # Flags README associates with this command: the invocation line
+    # itself plus backslash-continuation lines. A flag is a dash
+    # preceded by whitespace, so observatory-data or a piped `grep -v`
+    # on another line never count.
+    mentioned=$(awk -v cmd="$name" '
+        cont { print; cont = /\\$/; next }
+        /go run \.\/cmd\// && $0 ~ "go run \\./cmd/" cmd { print; cont = /\\$/ }
+    ' README.md | grep -oE '(^|[[:space:]])-[a-z][a-z0-9-]*' \
+        | sed -e 's/^[[:space:]]*//' -e 's/^-//' | sort -u)
+    for f in $mentioned; do
+        if ! printf '%s\n' "$real" | grep -qx "$f"; then
+            echo "docs gate: README references '$name -$f' but '$name -h' does not print it" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs gate: FAILED" >&2
+    exit 1
+fi
+echo "docs gate: ok"
