@@ -23,9 +23,13 @@
 //     and nothing from this repository, so every layer can import it.
 //
 // Concurrency: everything is safe for concurrent use. Registration
-// takes a registry-wide mutex (it happens at wiring time, not per
+// takes a registry-wide mutex and fully initializes each (name, labels)
+// slot before releasing it (it happens at wiring time, not per
 // transaction); the record paths are atomics; collection (Snapshot,
-// WritePrometheus, WriteJSON, Sum) takes a read lock and sees each
-// metric atomically but the exposition as a whole is not a consistent
-// cut — normal for metrics scrapes.
+// WritePrometheus, WriteJSON, Sum, SumCounter) copies the family tables
+// under a read lock and renders — including calling read-through
+// functions — with no lock held, so a scrape never races registration
+// and a CounterFunc/GaugeFunc callback may itself touch the registry.
+// Each metric is read atomically but the exposition as a whole is not a
+// consistent cut — normal for metrics scrapes.
 package metrics

@@ -21,11 +21,8 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 // HELP and TYPE comment per family). Values read concurrently with
 // writers are each individually consistent.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.RLock()
-	fams, keys := r.sortedFamilies()
-	r.mu.RUnlock()
 	var b strings.Builder
-	for _, f := range fams {
+	for _, f := range r.snapshot() {
 		b.Reset()
 		if f.help != "" {
 			b.WriteString("# HELP ")
@@ -39,8 +36,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		b.WriteByte(' ')
 		b.WriteString(string(f.typ))
 		b.WriteByte('\n')
-		for _, k := range keys[f] {
-			ch := f.children[k]
+		for i := range f.children {
+			ch := &f.children[i]
 			if f.typ == TypeHistogram {
 				writeHistogram(&b, f.name, ch)
 				continue
@@ -134,14 +131,12 @@ type JSONFamily struct {
 // WriteJSON renders the registry as a JSON array of families (the
 // expvar-style /api/metricsz view), sorted like WritePrometheus.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	r.mu.RLock()
-	fams, keys := r.sortedFamilies()
-	r.mu.RUnlock()
+	fams := r.snapshot()
 	out := make([]JSONFamily, 0, len(fams))
 	for _, f := range fams {
 		jf := JSONFamily{Name: f.name, Type: f.typ, Help: f.help, Metrics: []JSONMetric{}}
-		for _, k := range keys[f] {
-			ch := f.children[k]
+		for i := range f.children {
+			ch := &f.children[i]
 			m := JSONMetric{Labels: parseLabels(ch.labels)}
 			if f.typ == TypeHistogram {
 				if ch.h == nil {

@@ -45,6 +45,28 @@ func TestSum(t *testing.T) {
 	if got := r.Sum("missing"); got != 0 {
 		t.Fatalf("Sum(missing) = %v, want 0", got)
 	}
+	if got := r.SumCounter("tx_total"); got != 17 {
+		t.Fatalf("SumCounter = %v, want 17", got)
+	}
+	if got := r.SumCounter("missing"); got != 0 {
+		t.Fatalf("SumCounter(missing) = %v, want 0", got)
+	}
+}
+
+// TestSumCounterExact: counter totals above 2^53 are not representable
+// in float64, so Sum rounds — SumCounter must not.
+func TestSumCounterExact(t *testing.T) {
+	r := NewRegistry()
+	const big = uint64(1<<53) + 1
+	r.Counter("big_total", "").Add(big)
+	if got := r.SumCounter("big_total"); got != big {
+		t.Fatalf("SumCounter = %d, want %d", got, big)
+	}
+	// Gauges never contribute to SumCounter.
+	r.Gauge("g_depth", "").Set(5)
+	if got := r.SumCounter("g_depth"); got != 0 {
+		t.Fatalf("SumCounter over a gauge family = %d, want 0", got)
+	}
 }
 
 func TestTypeMismatchPanics(t *testing.T) {
@@ -216,11 +238,11 @@ func TestConcurrentRegisterCollect(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	for g := 0; g < 4; g++ {
+	for g := 0; g < 6; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			name := []string{"m_a_total", "m_b_total", "m_c", "m_d_seconds"}[g]
+			name := []string{"m_a_total", "m_b_total", "m_c", "m_d_seconds", "m_e_total", "m_f"}[g]
 			for i := 0; i < 2000; i++ {
 				switch g {
 				case 0, 1:
@@ -229,6 +251,14 @@ func TestConcurrentRegisterCollect(t *testing.T) {
 					r.Gauge(name, "").Set(float64(i))
 				case 3:
 					r.Histogram(name, "", DurationBuckets).Observe(float64(i) / 1e4)
+				case 4:
+					// Re-registration replaces the read-through func;
+					// must not race with a concurrent collect.
+					v := uint64(i)
+					r.CounterFunc(name, "", func() uint64 { return v })
+				case 5:
+					v := float64(i)
+					r.GaugeFunc(name, "", func() float64 { return v })
 				}
 			}
 		}(g)

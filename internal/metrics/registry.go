@@ -68,32 +68,41 @@ func Default() *Registry { return defaultRegistry }
 // registering it on first use. labels are alternating key, value pairs.
 // help is recorded the first time the family is seen.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	ch := r.child(name, help, TypeCounter, labels)
-	if ch.c == nil {
-		ch.c = NewCounter()
-	}
-	return ch.c
+	var c *Counter
+	r.child(name, help, TypeCounter, labels, func(ch *child) {
+		if ch.c == nil {
+			ch.c = NewCounter()
+		}
+		c = ch.c
+	})
+	return c
 }
 
 // Gauge returns the gauge for (name, labels), creating and registering
 // it on first use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	ch := r.child(name, help, TypeGauge, labels)
-	if ch.g == nil {
-		ch.g = NewGauge()
-	}
-	return ch.g
+	var g *Gauge
+	r.child(name, help, TypeGauge, labels, func(ch *child) {
+		if ch.g == nil {
+			ch.g = NewGauge()
+		}
+		g = ch.g
+	})
+	return g
 }
 
 // Histogram returns the histogram for (name, labels), creating it with
 // the given bucket bounds on first use. Later calls for the same child
 // return the existing histogram regardless of bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
-	ch := r.child(name, help, TypeHistogram, labels)
-	if ch.h == nil {
-		ch.h = NewHistogram(bounds)
-	}
-	return ch.h
+	var h *Histogram
+	r.child(name, help, TypeHistogram, labels, func(ch *child) {
+		if ch.h == nil {
+			ch.h = NewHistogram(bounds)
+		}
+		h = ch.h
+	})
+	return h
 }
 
 // CounterFunc registers a counter whose value is read from fn at
@@ -102,17 +111,19 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 // their hot paths. Re-registering the same (name, labels) replaces fn,
 // so a fresh component instance can take over its family slot.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...string) {
-	ch := r.child(name, help, TypeCounter, labels)
-	ch.c = nil
-	ch.cfn = fn
+	r.child(name, help, TypeCounter, labels, func(ch *child) {
+		ch.c = nil
+		ch.cfn = fn
+	})
 }
 
 // GaugeFunc registers a gauge read from fn at collect time (queue
 // depths, cache sizes). Re-registering replaces fn.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
-	ch := r.child(name, help, TypeGauge, labels)
-	ch.g = nil
-	ch.gfn = fn
+	r.child(name, help, TypeGauge, labels, func(ch *child) {
+		ch.g = nil
+		ch.gfn = fn
+	})
 }
 
 // Sum returns the sum of every child of the named family (counter and
@@ -120,15 +131,27 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 // consumers read a family total without enumerating label sets — e.g.
 // transactions across engines, top-k occupancy across aggregations.
 func (r *Registry) Sum(name string) float64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	f := r.families[name]
-	if f == nil {
-		return 0
-	}
 	var total float64
-	for _, ch := range f.children {
+	for _, ch := range r.familyChildren(name) {
 		total += ch.scalar()
+	}
+	return total
+}
+
+// SumCounter is Sum for counter families, kept in uint64 end to end:
+// counters are uint64 internally, and totalling through float64 loses
+// precision above 2^53 — reachable on a long-lived 200 k tx/s feed —
+// which could make a reported total non-monotone. Non-counter children
+// contribute nothing.
+func (r *Registry) SumCounter(name string) uint64 {
+	var total uint64
+	for _, ch := range r.familyChildren(name) {
+		switch {
+		case ch.c != nil:
+			total += ch.c.Value()
+		case ch.cfn != nil:
+			total += ch.cfn()
+		}
 	}
 	return total
 }
@@ -148,8 +171,11 @@ func (ch *child) scalar() float64 {
 	return 0
 }
 
-// child looks up or creates the (family, label set) slot.
-func (r *Registry) child(name, help string, typ Type, labels []string) *child {
+// child looks up or creates the (family, label set) slot and runs init
+// on it while the write lock is still held, so the slot is fully
+// initialized exactly once and two racing registrations of the same
+// (name, labels) can never each build a distinct metric.
+func (r *Registry) child(name, help string, typ Type, labels []string, init func(*child)) {
 	checkName(name)
 	key := renderLabels(labels)
 	r.mu.Lock()
@@ -170,7 +196,7 @@ func (r *Registry) child(name, help string, typ Type, labels []string) *child {
 		ch = &child{labels: key}
 		f.children[key] = ch
 	}
-	return ch
+	init(ch)
 }
 
 // checkName enforces the Prometheus metric-name charset.
@@ -248,23 +274,52 @@ func escapeLabelValue(b *strings.Builder, v string) {
 	}
 }
 
-// sortedFamilies returns the families sorted by name, and each family's
-// child keys sorted, for deterministic exposition. Caller must hold at
-// least the read lock.
-func (r *Registry) sortedFamilies() ([]*family, map[*family][]string) {
-	fams := make([]*family, 0, len(r.families))
+// famView is an immutable copy of one family taken under the registry
+// lock, so collection can render from it with no lock held.
+type famView struct {
+	name     string
+	help     string
+	typ      Type
+	children []child
+}
+
+// snapshot copies every family and child value under the read lock,
+// sorted by family name then label set for deterministic exposition.
+// Registration mutates the maps and child fields under the write lock,
+// so rendering from the copies is race-free; evaluating cfn/gfn
+// callbacks happens after the lock is released, so a callback that
+// itself touches the registry cannot deadlock collection.
+func (r *Registry) snapshot() []famView {
+	r.mu.RLock()
+	fams := make([]famView, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	keys := make(map[*family][]string, len(fams))
-	for _, f := range fams {
-		ks := make([]string, 0, len(f.children))
-		for k := range f.children {
-			ks = append(ks, k)
+		fv := famView{name: f.name, help: f.help, typ: f.typ,
+			children: make([]child, 0, len(f.children))}
+		for _, ch := range f.children {
+			fv.children = append(fv.children, *ch)
 		}
-		sort.Strings(ks)
-		keys[f] = ks
+		fams = append(fams, fv)
 	}
-	return fams, keys
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, fv := range fams {
+		sort.Slice(fv.children, func(i, j int) bool { return fv.children[i].labels < fv.children[j].labels })
+	}
+	return fams
+}
+
+// familyChildren copies the named family's children under the read
+// lock; Sum and SumCounter evaluate the copies lock-free.
+func (r *Registry) familyChildren(name string) []child {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f := r.families[name]
+	if f == nil {
+		return nil
+	}
+	out := make([]child, 0, len(f.children))
+	for _, ch := range f.children {
+		out = append(out, *ch)
+	}
+	return out
 }

@@ -31,7 +31,7 @@ func requireRegistryMatchesStats(t *testing.T, reg *metrics.Registry, es EngineS
 		{MetricPanics, es.Panics},
 		{MetricQuarantined, es.Quarantined},
 	} {
-		if got := uint64(reg.Sum(c.family)); got != c.want {
+		if got := reg.SumCounter(c.family); got != c.want {
 			t.Errorf("registry %s = %d, EngineStats says %d", c.family, got, c.want)
 		}
 	}
@@ -189,7 +189,7 @@ func TestChaosSoakBlockPolicy(t *testing.T) {
 		t.Fatal("injector fired no faults")
 	}
 	requireRegistryMatchesStats(t, reg, es)
-	if got := uint64(reg.Sum("dnsobs_chaos_injected_total")); got != cs.Total() {
+	if got := reg.SumCounter("dnsobs_chaos_injected_total"); got != cs.Total() {
 		t.Errorf("registry chaos injections = %d, injector says %d", got, cs.Total())
 	}
 	if reg.Sum(MetricTopkOccupancy) == 0 {

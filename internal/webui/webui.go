@@ -84,7 +84,7 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"ok":           true,
-		"transactions": uint64(s.registry().Sum(observatoryIngested)),
+		"transactions": s.registry().SumCounter(observatoryIngested),
 		"windows":      s.windows.Load(),
 	})
 }
