@@ -1,6 +1,7 @@
 // Command dnsgen generates a synthetic SIE passive-DNS stream — framed
-// transactions of raw IP/UDP/DNS packets — to a file or stdout, for
-// feeding into dnsobs or third-party tooling.
+// transactions of raw IP/UDP/DNS packets — to a file, stdout, or a
+// remote dnsobs collector, for feeding into dnsobs or third-party
+// tooling.
 package main
 
 import (
@@ -15,51 +16,66 @@ import (
 	"dnsobservatory/internal/scenario"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/simnet"
+	"dnsobservatory/internal/transport"
 )
 
 func main() {
-	var (
-		out       = flag.String("o", "-", "output file ('-' for stdout)")
-		duration  = flag.Float64("duration", 300, "simulated seconds")
-		qps       = flag.Float64("qps", 2000, "client query events per second")
-		resolvers = flag.Int("resolvers", 200, "recursive resolvers")
-		slds      = flag.Int("slds", 4000, "registered domains")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		scenPath  = flag.String("scenario", "", "JSON scenario file (overrides the flags above)")
-		chaosRate = flag.Float64("chaos", 0, "inject every stream fault class at this rate (0..1)")
-		chaosSeed = flag.Int64("chaos-seed", 1, "fault injector seed (replay a failing run)")
-	)
-	flag.Parse()
-
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "dnsgen:", err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
+		os.Exit(1)
 	}
-	bw := bufio.NewWriterSize(w, 1<<20)
+}
+
+// run is main minus the exit code: every failure — including a write
+// error surfacing mid-stream or only at the final flush — comes back as
+// a non-nil error so the process cannot report success for a truncated
+// stream.
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dnsgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("o", "-", "output file ('-' for stdout)")
+		connect    = fs.String("connect", "", "stream to a dnsobs collector at this address (host:port, tcp:host:port or unix:/path) instead of writing a file")
+		sensorName = fs.String("sensor", "dnsgen", "sensor name sent in the transport handshake (with -connect)")
+		duration   = fs.Float64("duration", 300, "simulated seconds")
+		qps        = fs.Float64("qps", 2000, "client query events per second")
+		resolvers  = fs.Int("resolvers", 200, "recursive resolvers")
+		slds       = fs.Int("slds", 4000, "registered domains")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		scenPath   = fs.String("scenario", "", "JSON scenario file (overrides the flags above)")
+		chaosRate  = fs.Float64("chaos", 0, "inject every stream fault class at this rate (0..1)")
+		chaosWrite = fs.Float64("chaos-write", 0, "inject output write failures at this rate (0..1)")
+		chaosShort = fs.Float64("chaos-short", 0, "inject short output writes at this rate (0..1)")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "fault injector seed (replay a failing run)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var inj *chaos.Injector
+	if *chaosRate > 0 || *chaosWrite > 0 || *chaosShort > 0 {
+		cfg := chaos.Uniform(*chaosRate, *chaosSeed)
+		cfg.WriteErrRate = *chaosWrite
+		cfg.ShortWriteRate = *chaosShort
+		inj = chaos.New(cfg)
+	}
 
 	var sim *simnet.Sim
 	if *scenPath != "" {
 		f, err := os.Open(*scenPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		doc, err := scenario.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sim, err = doc.Build()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		cfg := simnet.DefaultConfig()
@@ -71,39 +87,78 @@ func main() {
 		sim = simnet.New(cfg)
 	}
 
-	writer := sie.NewWriter(bw)
-	start := time.Now()
+	// The sink: either a transport sensor streaming to a collector, or
+	// a framed file/stdout writer. finish flushes and closes it; its
+	// error matters as much as a mid-stream one (a buffered tail that
+	// never reached the output is still data loss).
 	var writeErr error
-	emit := func(tx *sie.Transaction) {
-		if writeErr == nil {
-			writeErr = writer.Write(tx)
+	var emit func(*sie.Transaction)
+	var finish func() error
+	if *connect != "" {
+		sensor := transport.NewSensor(transport.SensorConfig{
+			Addr: *connect,
+			Name: *sensorName,
+		})
+		emit = func(tx *sie.Transaction) {
+			if writeErr == nil {
+				writeErr = sensor.Write(tx)
+			}
+		}
+		finish = sensor.Close
+	} else {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *out != "-" {
+			var err error
+			if f, err = os.Create(*out); err != nil {
+				return err
+			}
+			w = f
+		}
+		if *chaosWrite > 0 || *chaosShort > 0 {
+			// Wrap under bufio so injected faults hit the real write
+			// path, exactly where a full disk or closed pipe would.
+			w = inj.WrapWriter(w)
+		}
+		bw := bufio.NewWriterSize(w, 1<<20)
+		writer := sie.NewWriter(bw)
+		emit = func(tx *sie.Transaction) {
+			if writeErr == nil {
+				writeErr = writer.Write(tx)
+			}
+		}
+		finish = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if f != nil {
+				return f.Close()
+			}
+			return nil
 		}
 	}
-	var inj *chaos.Injector
-	if *chaosRate > 0 {
-		inj = chaos.New(chaos.Uniform(*chaosRate, *chaosSeed))
+
+	if inj != nil {
 		emit = inj.Transactions(emit)
 	}
+	start := time.Now()
 	stats := sim.Run(emit)
 	if inj != nil {
 		inj.Flush() // release reorder-held transactions
 	}
+	finishErr := finish()
 	if writeErr != nil {
-		fatal(writeErr)
+		return writeErr
 	}
-	if err := bw.Flush(); err != nil {
-		fatal(err)
+	if finishErr != nil {
+		return finishErr
 	}
-	fmt.Fprintf(os.Stderr, "dnsgen: %d transactions (%d client queries, %d cache hits) in %v\n",
+	fmt.Fprintf(stderr, "dnsgen: %d transactions (%d client queries, %d cache hits) in %v\n",
 		stats.Transactions, stats.ClientQueries, stats.CacheHits, time.Since(start).Round(time.Millisecond))
 	if inj != nil {
 		cs := inj.Stats()
-		fmt.Fprintf(os.Stderr, "dnsgen: chaos: %d faults (corrupt %d, truncate %d, dup %d, reorder %d, zerotime %d, backtime %d, oversize %d)\n",
-			cs.Total(), cs.Corrupted, cs.Truncated, cs.Duplicated, cs.Reordered, cs.ZeroTime, cs.BackTime, cs.Oversized)
+		fmt.Fprintf(stderr, "dnsgen: chaos: %d faults (corrupt %d, truncate %d, dup %d, reorder %d, zerotime %d, backtime %d, oversize %d, writeerr %d, shortwrite %d)\n",
+			cs.Total(), cs.Corrupted, cs.Truncated, cs.Duplicated, cs.Reordered, cs.ZeroTime, cs.BackTime, cs.Oversized, cs.WriteErrs, cs.ShortWrites)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dnsgen:", err)
-	os.Exit(1)
+	return nil
 }

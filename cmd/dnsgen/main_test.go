@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"time"
+
+	"dnsobservatory/internal/chaos"
+	"dnsobservatory/internal/transport"
+)
+
+// genArgs are a small, fast simulation shared by the tests.
+func genArgs(extra ...string) []string {
+	return append([]string{"-duration", "5", "-qps", "100", "-resolvers", "4", "-slds", "50"}, extra...)
+}
+
+func TestRunWritesStream(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.sie")
+	var stderr bytes.Buffer
+	if err := run(genArgs("-o", out), &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "transactions") {
+		t.Errorf("no summary on stderr: %q", stderr.String())
+	}
+}
+
+// Regression: a failing output writer must surface as a non-nil error
+// from run (and so a non-zero exit), whether the failure hits
+// mid-stream or only when the buffered tail flushes. A generator that
+// exits 0 after truncating its stream poisons everything downstream.
+func TestRunPropagatesWriteFailure(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.sie")
+	var stderr bytes.Buffer
+	err := run(genArgs("-o", out, "-chaos-write", "1"), &stderr)
+	if err == nil {
+		t.Fatal("run reported success with every write failing")
+	}
+	if !errors.Is(err, chaos.ErrInjectedWrite) {
+		t.Fatalf("err = %v, want the injected write error", err)
+	}
+}
+
+func TestRunPropagatesShortWrite(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.sie")
+	var stderr bytes.Buffer
+	err := run(genArgs("-o", out, "-chaos-short", "1"), &stderr)
+	if err == nil {
+		t.Fatal("run reported success with every write truncated")
+	}
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+}
+
+func TestRunConnectStreamsToCollector(t *testing.T) {
+	ln, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := transport.NewCollector(transport.CollectorConfig{})
+	go coll.Serve(ln)
+	var n int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range coll.C() {
+			n++
+		}
+	}()
+
+	var stderr bytes.Buffer
+	if err := run(genArgs("-connect", ln.Addr().String(), "-sensor", "gen-test"), &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// run has returned with sensor.Close() succeeded, so every frame is
+	// on the wire — but the collector may still be draining its socket.
+	// Its handler exits (marking the sensor disconnected) only after
+	// reading through the Bye, so wait for that before closing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := coll.Sensors()
+		if len(s) == 1 && !s[0].Connected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sensor never finished draining: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	coll.Close()
+	<-done
+	if n == 0 {
+		t.Fatal("collector received no transactions")
+	}
+	sensors := coll.Sensors()
+	if len(sensors) != 1 || sensors[0].Name != "gen-test" {
+		t.Fatalf("sensors = %+v", sensors)
+	}
+	if uint64(n) != sensors[0].Frames {
+		t.Errorf("delivered %d, collector counted %d frames", n, sensors[0].Frames)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &stderr); err == nil || err == flag.ErrHelp {
+		t.Fatalf("err = %v", err)
+	}
+}

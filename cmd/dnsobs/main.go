@@ -2,6 +2,8 @@
 // (from dnsgen or any compatible producer): it tracks the standard Top-k
 // aggregations, writes minutely TSV snapshots into a store directory,
 // runs the time-aggregation cascade and applies the retention policy.
+// The stream comes from a file, stdin, or — with -listen — a fleet of
+// remote sensors speaking the transport frame protocol.
 package main
 
 import (
@@ -22,13 +24,41 @@ import (
 	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/observatory"
 	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/transport"
 	"dnsobservatory/internal/tsv"
 	"dnsobservatory/internal/webui"
 )
 
+// txSource abstracts where transactions come from: a framed stream file
+// (sie.Reader) or a transport collector fed by remote sensors.
+type txSource interface {
+	Read(*sie.Transaction) error
+	Count() uint64
+}
+
+// collectorSource adapts the collector's ingest channel to txSource,
+// returning io.EOF once the collector is closed and its queue drained.
+type collectorSource struct {
+	c <-chan *sie.Transaction
+	n uint64
+}
+
+func (s *collectorSource) Read(tx *sie.Transaction) error {
+	rx, ok := <-s.c
+	if !ok {
+		return io.EOF
+	}
+	*tx = *rx
+	s.n++
+	return nil
+}
+
+func (s *collectorSource) Count() uint64 { return s.n }
+
 func main() {
 	var (
 		in       = flag.String("i", "-", "input stream file ('-' for stdin)")
+		listen   = flag.String("listen", "", "accept sensor connections on this address (host:port, tcp:host:port or unix:/path) instead of reading a stream")
 		dir      = flag.String("dir", "observatory-data", "snapshot store directory")
 		factor   = flag.Float64("k", 0.1, "top-k capacity factor (1.0 = paper scale)")
 		retain   = flag.Int("retain-min", 0, "minutely files to retain (0 = all)")
@@ -44,9 +74,12 @@ func main() {
 	if *pprofOn && *httpAddr == "" {
 		fatal(errors.New("-pprof requires -http"))
 	}
+	if *listen != "" && *in != "-" {
+		fatal(errors.New("-listen and -i are mutually exclusive"))
+	}
 
 	inFile := os.Stdin
-	if *in != "-" {
+	if *listen == "" && *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
 			fatal(err)
@@ -54,22 +87,6 @@ func main() {
 		defer f.Close()
 		inFile = f
 	}
-	var r io.Reader = inFile
-
-	// On SIGINT/SIGTERM, drain what has been read, flush the final
-	// partial window and exit 0. Closing the input file unblocks a read
-	// in progress; a second signal aborts immediately.
-	var stopping atomic.Bool
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		sig := <-sigc
-		fmt.Fprintf(os.Stderr, "dnsobs: %v: draining (signal again to abort)\n", sig)
-		stopping.Store(true)
-		inFile.Close()
-		<-sigc
-		os.Exit(1)
-	}()
 
 	store, err := tsv.NewStore(*dir)
 	if err != nil {
@@ -95,14 +112,6 @@ func main() {
 	ui := webui.NewServer(store)
 	ui.Registry = reg
 	ui.EnablePprof = *pprofOn
-	if *httpAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*httpAddr, ui.Handler()); err != nil {
-				fmt.Fprintln(os.Stderr, "dnsobs: http:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "dnsobs: web UI on http://%s\n", *httpAddr)
-	}
 
 	// The parallel and sharded engines call onSnapshot from their own
 	// goroutines, so store state is mutex-guarded.
@@ -179,6 +188,62 @@ func main() {
 		stats = pipe.Stats
 	}
 
+	// The transaction source. stop unblocks a Read in progress: closing
+	// the input file for the stream path, closing the collector (which
+	// drains its queue, then closes the channel) for the listen path.
+	var src txSource
+	var stop func()
+	if *listen != "" {
+		ln, err := transport.Listen(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		coll := transport.NewCollector(transport.CollectorConfig{
+			Metrics: reg,
+			// A frame that is not a transaction is accounted exactly
+			// like an unparsable record from a stream file; the engine
+			// counters are atomic, so collector goroutines may call
+			// this concurrently with the ingest loop.
+			OnReject: func(error) { reject() },
+		})
+		go func() {
+			if err := coll.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "dnsobs: listen:", err)
+			}
+		}()
+		ui.Sensors = func() any { return coll.Sensors() }
+		src = &collectorSource{c: coll.C()}
+		stop = func() { coll.Close() }
+		fmt.Fprintf(os.Stderr, "dnsobs: listening for sensors on %s\n", *listen)
+	} else {
+		src = sie.NewReader(bufio.NewReaderSize(io.Reader(inFile), 1<<20))
+		stop = func() { inFile.Close() }
+	}
+
+	// On SIGINT/SIGTERM, drain what has been read, flush the final
+	// partial window and exit 0. stop unblocks a read in progress; a
+	// second signal aborts immediately.
+	var stopping atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "dnsobs: %v: draining (signal again to abort)\n", sig)
+		stopping.Store(true)
+		stop()
+		<-sigc
+		os.Exit(1)
+	}()
+
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, ui.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "dnsobs: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dnsobs: web UI on http://%s\n", *httpAddr)
+	}
+
 	// Periodic one-line self-report so headless runs log their own
 	// health: wall-clock ingest rate, heap in use, and live top-k
 	// occupancy summed over aggregations.
@@ -200,7 +265,6 @@ func main() {
 		}()
 	}
 
-	reader := sie.NewReader(bufio.NewReaderSize(r, 1<<20))
 	var summarizer sie.Summarizer
 	summarizer.KeepUnparsableResponses = true
 	var tx sie.Transaction
@@ -208,7 +272,7 @@ func main() {
 	var base time.Time
 	wall := time.Now()
 	for {
-		err := reader.Read(&tx)
+		err := src.Read(&tx)
 		if err == io.EOF {
 			break
 		}
@@ -216,7 +280,8 @@ func main() {
 			var de *sie.DecodeError
 			if errors.As(err, &de) {
 				// The frame was sound but its body was not a transaction;
-				// the stream is still in sync.
+				// the stream is still in sync. (The listen path accounts
+				// these collector-side, via OnReject.)
 				errs++
 				reject()
 				continue
@@ -253,7 +318,7 @@ func main() {
 		if err := failed(); err != nil {
 			fatal(err)
 		}
-		if stopping.Load() {
+		if stopping.Load() && *listen == "" {
 			break
 		}
 	}
@@ -271,7 +336,7 @@ func main() {
 	}
 	es := stats()
 	fmt.Fprintf(os.Stderr, "dnsobs: %d transactions (%d unparsable) -> %s in %v\n",
-		reader.Count(), errs, *dir, time.Since(wall).Round(time.Millisecond))
+		src.Count(), errs, *dir, time.Since(wall).Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr, "dnsobs: engine: ingested %d accepted %d rejected %d shed %d panics %d quarantined %d; store: %d corrupt snapshots skipped\n",
 		es.Ingested, es.Accepted, es.Rejected, es.Shed, es.Panics, es.Quarantined, store.CorruptSkipped())
 }

@@ -4,12 +4,12 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"net"
 	"sync"
-
-	"dnsobservatory/internal/metrics"
 	"time"
 
 	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/sie"
 )
 
@@ -20,6 +20,14 @@ var (
 	ErrInjectedWrite = errors.New("chaos: injected write failure")
 	// ErrInjectedPanic is the value PanicHook panics with.
 	ErrInjectedPanic = errors.New("chaos: injected worker panic")
+	// ErrInjectedReset is returned by a wrapped connection whose write
+	// was cut mid-frame (the connection is closed underneath).
+	ErrInjectedReset = errors.New("chaos: injected connection reset")
+	// ErrInjectedAckLoss is returned by a wrapped connection that
+	// completed the write but reports failure — the network delivered
+	// the bytes, the sender does not know it, and its retransmit after
+	// reconnecting produces duplicates downstream.
+	ErrInjectedAckLoss = errors.New("chaos: injected ack loss")
 )
 
 // Config sets per-fault injection probabilities (0..1). The zero value
@@ -42,6 +50,14 @@ type Config struct {
 	// Store faults, rolled once per wrapped Write call.
 	WriteErrRate   float64 // fail the write outright
 	ShortWriteRate float64 // write only a prefix, report success
+
+	// Network faults, applied by WrapConn-wrapped connections.
+	ConnResetRate    float64 // per Write: deliver a prefix, close the conn, fail
+	DupReconnectRate float64 // per Write: deliver everything, report failure ("lost ack")
+	StalledReadRate  float64 // per Read: stall StallDuration before reading
+	// StallDuration is how long a stalled read sleeps (default 100ms
+	// when a stall fires with it unset).
+	StallDuration time.Duration
 }
 
 // Uniform returns a Config injecting every stream fault at the given
@@ -71,13 +87,17 @@ type Stats struct {
 	Panics      uint64
 	WriteErrs   uint64
 	ShortWrites uint64
+	ConnResets  uint64
+	DupWrites   uint64
+	StalledRds  uint64
 }
 
 // Total returns the number of injected faults across all kinds.
 func (s Stats) Total() uint64 {
 	return s.Corrupted + s.Truncated + s.Duplicated + s.Reordered +
 		s.ZeroTime + s.BackTime + s.Oversized + s.Panics +
-		s.WriteErrs + s.ShortWrites
+		s.WriteErrs + s.ShortWrites +
+		s.ConnResets + s.DupWrites + s.StalledRds
 }
 
 // heldTx is a reordered transaction waiting out its delay.
@@ -129,6 +149,9 @@ func (inj *Injector) Instrument(reg *metrics.Registry) {
 		{"panics", func(s Stats) uint64 { return s.Panics }},
 		{"write_errs", func(s Stats) uint64 { return s.WriteErrs }},
 		{"short_writes", func(s Stats) uint64 { return s.ShortWrites }},
+		{"conn_resets", func(s Stats) uint64 { return s.ConnResets }},
+		{"dup_writes", func(s Stats) uint64 { return s.DupWrites }},
+		{"stalled_reads", func(s Stats) uint64 { return s.StalledRds }},
 	}
 	for _, k := range kinds {
 		read := k.read
@@ -347,4 +370,71 @@ func (fw *faultWriter) Write(p []byte) (int, error) {
 		return n, nil
 	}
 	return fw.w.Write(p)
+}
+
+// WrapConn wraps a network connection with the network faults: writes
+// reset mid-frame or lose their acknowledgement, reads stall. Install
+// it as transport.SensorConfig.WrapConn (sender-side faults) or
+// transport.CollectorConfig.WrapConn (stalled reads on the receiver).
+func (inj *Injector) WrapConn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, inj: inj}
+}
+
+type faultConn struct {
+	net.Conn
+	inj *Injector
+}
+
+// Write rolls the network write faults before delegating. A reset
+// delivers a prefix — cutting the stream mid-frame — then closes the
+// connection; an ack loss delivers everything and lies about it.
+func (fc *faultConn) Write(p []byte) (int, error) {
+	fc.inj.mu.Lock()
+	reset := fc.inj.roll(fc.inj.cfg.ConnResetRate)
+	dup := !reset && fc.inj.roll(fc.inj.cfg.DupReconnectRate)
+	var n int
+	if reset {
+		fc.inj.stats.ConnResets++
+		n = fc.inj.rng.Intn(len(p) + 1)
+	}
+	if dup {
+		fc.inj.stats.DupWrites++
+	}
+	fc.inj.mu.Unlock()
+	if reset {
+		if n > 0 {
+			fc.Conn.Write(p[:n])
+		}
+		fc.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if dup {
+		if _, err := fc.Conn.Write(p); err != nil {
+			return 0, err
+		}
+		return 0, ErrInjectedAckLoss
+	}
+	return fc.Conn.Write(p)
+}
+
+// Read rolls the stalled-reader fault, sleeping outside the injector
+// lock so concurrent connections never serialize on a stall. A read
+// deadline set on the connection still applies to the delegated Read,
+// so a receiver with a timeout cuts the stalled connection — exactly
+// the slow-sensor behaviour the fault exists to exercise.
+func (fc *faultConn) Read(p []byte) (int, error) {
+	fc.inj.mu.Lock()
+	stall := fc.inj.roll(fc.inj.cfg.StalledReadRate)
+	d := fc.inj.cfg.StallDuration
+	if stall {
+		fc.inj.stats.StalledRds++
+	}
+	fc.inj.mu.Unlock()
+	if stall {
+		if d <= 0 {
+			d = 100 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	return fc.Conn.Read(p)
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"net"
 	"net/netip"
 	"testing"
 	"time"
@@ -194,5 +195,72 @@ func TestWrapWriterFaults(t *testing.T) {
 		if err = bw.Flush(); err == nil {
 			t.Fatal("bufio over short writer reported success")
 		}
+	}
+}
+
+// pipeConns returns both ends of an in-memory connection.
+func pipeConns() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestWrapConnReset(t *testing.T) {
+	inj := New(Config{Seed: 3, ConnResetRate: 1})
+	a, b := pipeConns()
+	defer b.Close()
+	go io.Copy(io.Discard, b) // drain whatever prefix the reset delivers
+	wrapped := inj.WrapConn(a)
+	if _, err := wrapped.Write([]byte("hello frame")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	// The connection is dead: a later write must fail on the real conn.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("connection survived an injected reset")
+	}
+	if inj.Stats().ConnResets != 1 {
+		t.Fatalf("ConnResets = %d, want 1", inj.Stats().ConnResets)
+	}
+}
+
+func TestWrapConnAckLoss(t *testing.T) {
+	inj := New(Config{Seed: 3, DupReconnectRate: 1})
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	wrapped := inj.WrapConn(a)
+	msg := []byte("payload")
+	if _, err := wrapped.Write(msg); !errors.Is(err, ErrInjectedAckLoss) {
+		t.Fatalf("err = %v, want ErrInjectedAckLoss", err)
+	}
+	// Despite the reported failure, the bytes arrived in full — the
+	// fault that forces a duplicate retransmit after reconnecting.
+	if delivered := <-got; !bytes.Equal(delivered, msg) {
+		t.Fatalf("delivered %q, want %q", delivered, msg)
+	}
+	if inj.Stats().DupWrites != 1 {
+		t.Fatalf("DupWrites = %d, want 1", inj.Stats().DupWrites)
+	}
+}
+
+func TestWrapConnStalledRead(t *testing.T) {
+	inj := New(Config{Seed: 3, StalledReadRate: 1, StallDuration: 50 * time.Millisecond})
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go b.Write([]byte("x"))
+	wrapped := inj.WrapConn(a)
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := wrapped.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("read returned after %v, want >= 50ms stall", d)
+	}
+	if inj.Stats().StalledRds != 1 {
+		t.Fatalf("StalledRds = %d, want 1", inj.Stats().StalledRds)
 	}
 }

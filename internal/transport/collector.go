@@ -1,0 +1,401 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dnsobservatory/internal/metrics"
+	"dnsobservatory/internal/sie"
+)
+
+// OverloadPolicy selects what a connection handler does when the
+// collector's ingest channel is full. It mirrors the sharded engine's
+// policy of the same name (observatory.Block / observatory.Shed) one
+// layer down the stack.
+type OverloadPolicy int
+
+const (
+	// Block applies backpressure: the handler waits for the consumer,
+	// which stalls the sensor's TCP stream once kernel buffers fill.
+	// The default, and the right choice when sensors buffer locally.
+	Block OverloadPolicy = iota
+	// Shed drops the transaction when the queue is full, counting it
+	// in Stats().Shed — for a collector that must never stall reads.
+	Shed
+)
+
+// CollectorConfig tunes a Collector. The zero value is usable.
+type CollectorConfig struct {
+	// QueueLen is the capacity of the ordered ingest channel (default
+	// 4096 transactions).
+	QueueLen int
+	// Overload selects the bounded-queue policy: Block (default)
+	// applies backpressure, Shed drops with accounting.
+	Overload OverloadPolicy
+	// ReadTimeout, when positive, is the per-frame read deadline: a
+	// sensor that stalls mid-stream longer than this is cut (it will
+	// reconnect and resume). 0 disables deadlines.
+	ReadTimeout time.Duration
+	// HelloTimeout bounds the wait for the handshake frame on a new
+	// connection (default 10s).
+	HelloTimeout time.Duration
+	// Metrics, when set, is the registry the collector publishes the
+	// dnsobs_transport_* families to. Nil keeps standalone counters.
+	Metrics *metrics.Registry
+	// WrapConn, when set, wraps every accepted connection — the chaos
+	// injection point for network faults (chaos.Injector.WrapConn).
+	WrapConn func(net.Conn) net.Conn
+	// OnReject, when set, is called for every well-framed Data payload
+	// that failed to decode as a transaction (so the pipeline can
+	// account it as rejected, keeping the EngineStats invariant).
+	OnReject func(err error)
+}
+
+// Collector accepts many concurrent sensor connections and fans their
+// transaction streams into one ordered ingest channel: per-sensor
+// frame order is preserved (TCP FIFO per connection), interleaving
+// between sensors is arrival order. Transactions on the channel own
+// their buffers; the consumer may hold them indefinitely.
+//
+// Concurrency contract: Serve may be called for several listeners
+// (e.g. one TCP, one Unix); each connection runs on its own goroutine.
+// Close stops accepting, cuts every connection, waits for the
+// handlers, then closes the ingest channel — transactions already
+// queued remain readable, so the consumer drains by ranging until the
+// channel closes.
+type Collector struct {
+	cfg CollectorConfig
+	out chan *sie.Transaction
+	// stop unblocks handlers waiting on a full ingest channel under
+	// the Block policy once Close begins.
+	stop chan struct{}
+
+	mu        sync.Mutex
+	closed    bool
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	sensors   map[string]*sensorState
+
+	serveWG sync.WaitGroup // accept loops
+	connWG  sync.WaitGroup // connection handlers
+
+	m *collectorMetrics
+}
+
+// sensorState is the liveness record behind one sensor name. Guarded
+// by Collector.mu.
+type sensorState struct {
+	conns     int
+	connects  uint64
+	frames    uint64
+	lastFrame time.Time
+}
+
+// SensorStatus is one sensor's liveness as reported by Sensors (and,
+// through it, the web UI /healthz endpoint).
+type SensorStatus struct {
+	Name string `json:"name"`
+	// Connected reports a live connection claiming this sensor name.
+	Connected bool `json:"connected"`
+	// Connects counts connections ever accepted under this name — a
+	// value above 1 means the sensor reconnected.
+	Connects uint64 `json:"connects"`
+	// Frames counts Data frames received from this sensor.
+	Frames uint64 `json:"frames"`
+	// LastFrameAgeSec is the age of the newest frame, or -1 when the
+	// sensor completed its handshake but has sent no data yet.
+	LastFrameAgeSec float64 `json:"last_frame_age_sec"`
+}
+
+// CollectorStats is the collector's ingest accounting.
+type CollectorStats struct {
+	// Connections counts accepted sensor connections.
+	Connections uint64
+	// Frames counts Data frames received across all sensors.
+	Frames uint64
+	// Shed counts transactions dropped by the Shed overload policy.
+	Shed uint64
+	// DecodeErrors counts well-framed payloads that were not valid
+	// transactions.
+	DecodeErrors uint64
+}
+
+// NewCollector returns a collector; start it with Serve.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	c := &Collector{
+		cfg:     cfg,
+		out:     make(chan *sie.Transaction, cfg.QueueLen),
+		stop:    make(chan struct{}),
+		conns:   map[net.Conn]struct{}{},
+		sensors: map[string]*sensorState{},
+		m:       newCollectorMetrics(cfg.Metrics),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc(MetricQueueDepth, "transactions queued in the collector ingest channel",
+			func() float64 { return float64(len(c.out)) }, "role", "collector")
+		reg.GaugeFunc(MetricActiveConns, "live sensor connections",
+			func() float64 { return float64(c.activeConns()) }, "role", "collector")
+	}
+	return c
+}
+
+// C returns the ordered ingest channel. It closes after Close, once
+// every handler has exited; queued transactions remain readable.
+func (c *Collector) C() <-chan *sie.Transaction { return c.out }
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() CollectorStats {
+	return CollectorStats{
+		Connections:  c.m.connections.Value(),
+		Frames:       c.m.frames.Value(),
+		Shed:         c.m.shed.Value(),
+		DecodeErrors: c.m.decodeErrors.Value(),
+	}
+}
+
+// Sensors returns per-sensor liveness, sorted by name.
+func (c *Collector) Sensors() []SensorStatus {
+	now := time.Now()
+	c.mu.Lock()
+	out := make([]SensorStatus, 0, len(c.sensors))
+	for name, st := range c.sensors {
+		s := SensorStatus{
+			Name:            name,
+			Connected:       st.conns > 0,
+			Connects:        st.connects,
+			Frames:          st.frames,
+			LastFrameAgeSec: -1,
+		}
+		if !st.lastFrame.IsZero() {
+			s.LastFrameAgeSec = now.Sub(st.lastFrame).Seconds()
+		}
+		out = append(out, s)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// activeConns returns the live connection count.
+func (c *Collector) activeConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
+// Serve accepts sensor connections on ln until Close (which closes the
+// listener). It returns nil on a Close-triggered shutdown and the
+// accept error otherwise. Run it on its own goroutine; it may be
+// called for several listeners concurrently.
+func (c *Collector) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	c.listeners = append(c.listeners, ln)
+	c.serveWG.Add(1)
+	c.mu.Unlock()
+	defer c.serveWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if c.cfg.WrapConn != nil {
+			conn = c.cfg.WrapConn(conn)
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		c.conns[conn] = struct{}{}
+		c.connWG.Add(1)
+		c.mu.Unlock()
+		c.m.connections.Inc()
+		go c.handle(conn)
+	}
+}
+
+// Close stops accepting, cuts every live connection, waits for the
+// handlers, and closes the ingest channel. Safe to call once;
+// transactions already queued stay readable after it returns.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	listeners := c.listeners
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, conn := range conns {
+		conn.Close() // unblocks any read in progress
+	}
+	c.serveWG.Wait()
+	c.connWG.Wait()
+	close(c.out)
+}
+
+// dropConn forgets a finished connection.
+func (c *Collector) dropConn(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+}
+
+// register binds a connection to its sensor name after the handshake.
+func (c *Collector) register(name string) *sensorState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.sensors[name]
+	if st == nil {
+		st = &sensorState{}
+		c.sensors[name] = st
+	}
+	st.conns++
+	st.connects++
+	return st
+}
+
+// unregister releases a connection's claim on its sensor name. The
+// liveness record survives (Connected goes false) so /healthz keeps
+// reporting a sensor that died.
+func (c *Collector) unregister(st *sensorState) {
+	c.mu.Lock()
+	st.conns--
+	c.mu.Unlock()
+}
+
+// noteFrame updates a sensor's liveness for one received Data frame.
+func (c *Collector) noteFrame(st *sensorState) {
+	c.mu.Lock()
+	st.frames++
+	st.lastFrame = time.Now()
+	c.mu.Unlock()
+}
+
+// handle runs one connection: handshake, then Data frames until EOF,
+// Bye, an error, or Close. A torn trailing frame (the sensor died or
+// was cut mid-frame) is discarded here; the sensor retransmits it in
+// full on its next connection, so the stream resumes on a frame
+// boundary — at-least-once delivery across reconnects.
+func (c *Collector) handle(conn net.Conn) {
+	defer c.connWG.Done()
+	defer c.dropConn(conn)
+	defer conn.Close()
+	fr := NewFrameReader(conn)
+
+	conn.SetReadDeadline(time.Now().Add(c.cfg.HelloTimeout))
+	typ, payload, err := fr.Next()
+	if err != nil || typ != FrameHello {
+		c.m.disconnectProt.Inc()
+		return
+	}
+	name, err := ParseHello(payload)
+	if err != nil {
+		c.m.disconnectProt.Inc()
+		return
+	}
+	st := c.register(name)
+	defer c.unregister(st)
+
+	for {
+		if c.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		typ, payload, err := fr.Next()
+		if err == io.EOF {
+			c.m.disconnectEOF.Inc()
+			return
+		}
+		if err != nil {
+			c.m.disconnectErr.Inc()
+			return
+		}
+		switch typ {
+		case FrameData:
+			c.m.frames.Inc()
+			c.noteFrame(st)
+			// The frame reader reuses its buffer, so the transaction
+			// decodes from its own copy — the consumer owns it outright.
+			body := make([]byte, len(payload))
+			copy(body, payload)
+			tx := new(sie.Transaction)
+			if err := tx.Unmarshal(body); err != nil {
+				c.m.decodeErrors.Inc()
+				if c.cfg.OnReject != nil {
+					c.cfg.OnReject(err)
+				}
+				continue
+			}
+			if !c.enqueue(tx) {
+				return // closing
+			}
+		case FrameBye:
+			c.m.disconnectEOF.Inc()
+			return
+		default: // a second Hello mid-stream
+			c.m.disconnectProt.Inc()
+			return
+		}
+	}
+}
+
+// enqueue applies the overload policy. It reports false only when the
+// collector is closing (the handler should exit).
+func (c *Collector) enqueue(tx *sie.Transaction) bool {
+	if c.cfg.Overload == Shed {
+		select {
+		case c.out <- tx:
+		default:
+			c.m.shed.Inc()
+		}
+		return true
+	}
+	select {
+	case c.out <- tx:
+		return true
+	case <-c.stop:
+		return false
+	}
+}
+
+// Listen opens a listener for a SplitAddr-style address: "host:port"
+// or "tcp:host:port" for TCP, "unix:/path" for a Unix socket (a stale
+// socket file from a previous run is removed first).
+func Listen(addr string) (net.Listener, error) {
+	network, address := SplitAddr(addr)
+	if network == "unix" {
+		removeStaleSocket(address)
+	}
+	return net.Listen(network, address)
+}

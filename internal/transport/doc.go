@@ -1,0 +1,24 @@
+// Package transport is the networked sensor→collector boundary: the
+// paper's Observatory ingests a ~200k tx/s feed streamed from hundreds
+// of distributed SIE sensors (§2.1), and this package makes that split
+// a real network protocol instead of an in-process function call.
+//
+// The wire format is a sequence of typed, length-prefixed frames over
+// TCP or a Unix socket: a Hello handshake naming the sensor, then Data
+// frames each carrying one serialized sie.Transaction, then an
+// optional Bye. Sensor is the client: it batches frames, writes with
+// deadlines, and reconnects with jittered exponential backoff,
+// retransmitting the unacknowledged batch so a connection torn
+// mid-frame always resumes on a frame boundary (at-least-once
+// delivery). Collector is the server: it accepts many concurrent
+// sensor connections and fans their streams into one ordered ingest
+// channel with a bounded queue under the Block/Shed overload policy,
+// mirroring the sharded engine one layer up.
+//
+// Concurrency contract: a Sensor is owned by one goroutine (Stats is
+// the exception). A Collector runs one goroutine per connection plus
+// one per Serve call; Close stops accepting, cuts the connections,
+// waits for the handlers and closes the ingest channel, so the
+// consumer drains by ranging until the channel closes. Both ends
+// publish dnsobs_transport_* metric families when given a registry.
+package transport

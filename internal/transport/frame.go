@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// The sensor→collector stream is a sequence of typed, length-prefixed
+// frames:
+//
+//	[type: 1 byte][payload length: uvarint][payload]
+//
+// The first frame on every connection must be a Hello; after it the
+// sensor streams Data frames (each payload one serialized
+// sie.Transaction) and optionally ends with a Bye. A clean EOF on a
+// frame boundary is equivalent to a Bye.
+const (
+	// FrameHello opens a connection: payload is [version byte][sensor
+	// name]. The collector rejects unknown versions.
+	FrameHello = 0x01
+	// FrameData carries one serialized sie.Transaction.
+	FrameData = 0x02
+	// FrameBye marks a clean end of stream; its payload is empty.
+	FrameBye = 0x03
+)
+
+// ProtocolVersion is the hello version this implementation speaks.
+const ProtocolVersion = 1
+
+// MaxFramePayload bounds a single frame payload. It matches
+// sie.MaxFrameLen — a Data payload is exactly one sie transaction
+// message — and caps what a decoder will ever allocate for one frame.
+const MaxFramePayload = 1 << 17
+
+// MaxHelloName bounds the sensor name carried in a Hello payload.
+const MaxHelloName = 256
+
+// Errors returned by the frame codec. All malformed input maps to one
+// of these (or io.EOF / io.ErrUnexpectedEOF for clean / mid-frame
+// stream ends) — the decoder never panics and never allocates more
+// than MaxFramePayload for a frame, whatever length the prefix claims.
+var (
+	ErrFrameTooLarge    = errors.New("transport: frame exceeds size limit")
+	ErrUnknownFrameType = errors.New("transport: unknown frame type")
+	ErrVarintOverflow   = errors.New("transport: length prefix overflows 64 bits")
+	ErrBadHello         = errors.New("transport: malformed hello frame")
+	ErrBadVersion       = errors.New("transport: unsupported protocol version")
+)
+
+// appendUvarint appends v in base-128 varint encoding.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// AppendFrame appends one frame to dst. The caller is responsible for
+// keeping len(payload) within MaxFramePayload (Sensor.Write checks).
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = appendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// AppendHello appends a Hello frame carrying the sensor name.
+func AppendHello(dst []byte, name string) []byte {
+	payload := make([]byte, 0, 1+len(name))
+	payload = append(payload, ProtocolVersion)
+	payload = append(payload, name...)
+	return AppendFrame(dst, FrameHello, payload)
+}
+
+// ParseHello decodes a Hello payload into the sensor name.
+func ParseHello(payload []byte) (string, error) {
+	if len(payload) < 2 || len(payload) > 1+MaxHelloName {
+		return "", ErrBadHello
+	}
+	if payload[0] != ProtocolVersion {
+		return "", ErrBadVersion
+	}
+	return string(payload[1:]), nil
+}
+
+// FrameReader decodes frames from a stream through one per-connection
+// read buffer. The payload slice returned by Next is reused by the
+// following call.
+type FrameReader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader returns a reader over r with a fresh read buffer.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next frame. It returns io.EOF at a clean end of
+// stream (between frames) and io.ErrUnexpectedEOF when the stream ends
+// inside a frame; all other malformed input returns one of the typed
+// codec errors above. The payload is valid until the next call.
+func (fr *FrameReader) Next() (typ byte, payload []byte, err error) {
+	typ, err = fr.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, err
+	}
+	if typ != FrameHello && typ != FrameData && typ != FrameBye {
+		return 0, nil, ErrUnknownFrameType
+	}
+	n, err := fr.readUvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > MaxFramePayload {
+		return 0, nil, ErrFrameTooLarge
+	}
+	// The allocation is bounded by the check above, no matter what the
+	// prefix claimed.
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	payload = fr.buf[:n]
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// readUvarint decodes a length prefix. A stream ending inside the
+// varint is io.ErrUnexpectedEOF — a frame had started with the type
+// byte already consumed.
+func (fr *FrameReader) readUvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		c, err := fr.br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if shift >= 64 || (shift == 63 && c > 1) {
+			return 0, ErrVarintOverflow
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+// SplitAddr parses a listen/dial address into (network, address):
+// "unix:/path" selects a Unix socket, "tcp:host:port" is explicit TCP,
+// and a bare "host:port" defaults to TCP.
+func SplitAddr(addr string) (network, address string) {
+	const unixPrefix, tcpPrefix = "unix:", "tcp:"
+	switch {
+	case len(addr) > len(unixPrefix) && addr[:len(unixPrefix)] == unixPrefix:
+		return "unix", addr[len(unixPrefix):]
+	case len(addr) > len(tcpPrefix) && addr[:len(tcpPrefix)] == tcpPrefix:
+		return "tcp", addr[len(tcpPrefix):]
+	default:
+		return "tcp", addr
+	}
+}

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dnsobservatory/internal/sie"
+	"time"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame decoder. The
+// contract under attack: Next never panics, never allocates beyond
+// MaxFramePayload for a single frame no matter what length the prefix
+// declares, and every malformed stream maps to a typed error —
+// io.ErrUnexpectedEOF for truncation, ErrFrameTooLarge for oversized
+// declared lengths, ErrVarintOverflow for unterminated varints,
+// ErrUnknownFrameType for unknown envelope types.
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed streams.
+	f.Add(AppendHello(nil, "seed"))
+	tx := &sie.Transaction{QueryPacket: []byte("q"), QueryTime: time.Unix(1, 0)}
+	f.Add(AppendFrame(AppendHello(nil, "s"), FrameData, tx.Append(nil)))
+	f.Add(AppendFrame(nil, FrameBye, nil))
+	// Malformed seeds steering the fuzzer at each error path.
+	f.Add([]byte{FrameData})                               // missing length
+	f.Add([]byte{FrameData, 0x80})                         // truncated varint
+	f.Add([]byte{FrameData, 0x10, 'x'})                    // mid-frame EOF
+	f.Add([]byte{FrameData, 0x80, 0x80, 0x80, 0x80, 0x01}) // oversized length
+	f.Add([]byte{0x7f, 0x00})                              // unknown type
+	f.Add(bytes.Repeat([]byte{0xff}, 12))                  // varint overflow
+	f.Add(AppendFrame(nil, FrameData, bytes.Repeat([]byte("p"), 4096))[:100])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		var consumed int
+		for {
+			typ, payload, err := fr.Next()
+			if err != nil {
+				switch {
+				case errors.Is(err, io.EOF),
+					errors.Is(err, io.ErrUnexpectedEOF),
+					errors.Is(err, ErrFrameTooLarge),
+					errors.Is(err, ErrVarintOverflow),
+					errors.Is(err, ErrUnknownFrameType):
+					return
+				default:
+					t.Fatalf("untyped error from decoder: %v", err)
+				}
+			}
+			if len(payload) > MaxFramePayload {
+				t.Fatalf("decoder over-allocated: %d-byte payload", len(payload))
+			}
+			if typ != FrameHello && typ != FrameData && typ != FrameBye {
+				t.Fatalf("decoder returned unknown type %#x without error", typ)
+			}
+			// Hello payloads must parse or fail with a typed error too.
+			if typ == FrameHello {
+				if _, err := ParseHello(payload); err != nil &&
+					!errors.Is(err, ErrBadHello) && !errors.Is(err, ErrBadVersion) {
+					t.Fatalf("untyped hello error: %v", err)
+				}
+			}
+			consumed++
+			if consumed > len(data)+1 {
+				t.Fatalf("decoder emitted %d frames from %d bytes", consumed, len(data))
+			}
+		}
+	})
+}

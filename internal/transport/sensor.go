@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"dnsobservatory/internal/metrics"
+	"dnsobservatory/internal/sie"
+)
+
+// ErrSensorClosed is returned by Write and Flush after Close.
+var ErrSensorClosed = errors.New("transport: sensor is closed")
+
+// SensorConfig tunes a Sensor. Addr is required unless Dial is set.
+type SensorConfig struct {
+	// Addr is the collector address in SplitAddr form ("host:port",
+	// "tcp:host:port" or "unix:/path").
+	Addr string
+	// Name identifies this sensor in the handshake (default "sensor").
+	// The collector keys per-sensor liveness by it.
+	Name string
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-flush write deadline (default 10s): a
+	// collector that stops reading fails the write instead of hanging
+	// the sensor forever, and the reconnect logic takes over.
+	WriteTimeout time.Duration
+	// FlushBytes is the buffered-frame threshold that triggers a wire
+	// write (default 32 KiB). Write flushes automatically past it;
+	// call Flush to bound latency on a slow stream.
+	FlushBytes int
+	// BackoffMin/BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 50ms / 5s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// MaxAttempts is the number of consecutive failed connect-or-write
+	// attempts before Write/Flush/Close give up and return the error.
+	// 0 means the default (8); negative retries forever.
+	MaxAttempts int
+	// Seed drives backoff jitter (default 1; fixed so failing runs
+	// replay).
+	Seed int64
+	// Metrics, when set, receives the sensor's dnsobs_transport_*
+	// families labeled with Name.
+	Metrics *metrics.Registry
+	// Dial overrides the connection factory (tests, chaos). Default
+	// dials Addr.
+	Dial func() (net.Conn, error)
+	// WrapConn, when set, wraps every dialed connection — the chaos
+	// injection point for network faults on the sensor side.
+	WrapConn func(net.Conn) net.Conn
+}
+
+// SensorStats is a snapshot of one sensor's transport counters.
+type SensorStats struct {
+	// Connects counts successful connection establishments (dial plus
+	// handshake write).
+	Connects uint64
+	// Reconnects counts re-establishments after a lost connection:
+	// Connects minus the first.
+	Reconnects uint64
+	// Frames counts Data frames acknowledged by a successful wire
+	// write.
+	Frames uint64
+}
+
+// Sensor is the client half of the transport: it serializes
+// transactions into Data frames, batches them, and ships them to a
+// collector with write deadlines and jittered exponential-backoff
+// reconnect. On a lost connection the entire unacknowledged batch —
+// including any frame the old connection tore mid-write — is
+// retransmitted from the start on the new one, so the collector always
+// resumes on a frame boundary (at-least-once delivery; a frame is
+// dropped from the batch only after a fully successful write).
+//
+// A Sensor is not safe for concurrent use: one goroutine owns
+// Write/Flush/Close. Stats is safe to call from other goroutines.
+type Sensor struct {
+	cfg     SensorConfig
+	conn    net.Conn
+	buf     []byte // encoded-but-unacknowledged frames
+	nbuf    uint64 // frames in buf
+	scratch []byte // transaction serialization scratch
+	hello   []byte // pre-encoded handshake frame
+	rng     *rand.Rand
+	fails   int // consecutive failed attempts
+	lastErr error
+	ever    bool // connected at least once
+	closed  bool
+	m       *sensorMetrics
+}
+
+// NewSensor returns a sensor; the first Write or Flush dials.
+func NewSensor(cfg SensorConfig) *Sensor {
+	if cfg.Name == "" {
+		cfg.Name = "sensor"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 32 << 10
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Sensor{
+		cfg:   cfg,
+		hello: AppendHello(nil, cfg.Name),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		m:     newSensorMetrics(cfg.Metrics, cfg.Name),
+	}
+}
+
+// Stats returns a snapshot of the sensor's counters.
+func (s *Sensor) Stats() SensorStats {
+	return SensorStats{
+		Connects:   s.m.connects.Value(),
+		Reconnects: s.m.reconnects.Value(),
+		Frames:     s.m.frames.Value(),
+	}
+}
+
+// Write serializes one transaction into the pending batch and flushes
+// it once FlushBytes accumulate. The transaction is copied immediately;
+// the caller may reuse it.
+func (s *Sensor) Write(tx *sie.Transaction) error {
+	if s.closed {
+		return ErrSensorClosed
+	}
+	s.scratch = tx.Append(s.scratch[:0])
+	if len(s.scratch) > MaxFramePayload {
+		return ErrFrameTooLarge
+	}
+	s.buf = AppendFrame(s.buf, FrameData, s.scratch)
+	s.nbuf++
+	if len(s.buf) >= s.cfg.FlushBytes {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush writes the pending batch to the collector, reconnecting with
+// backoff as needed. On return with nil error the batch is on the wire
+// (kernel-acknowledged) and the buffer is empty.
+func (s *Sensor) Flush() error {
+	if s.closed {
+		return ErrSensorClosed
+	}
+	return s.flush()
+}
+
+func (s *Sensor) flush() error {
+	for len(s.buf) > 0 {
+		if err := s.ensureConn(); err != nil {
+			return err
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := s.conn.Write(s.buf); err != nil {
+			// Partial-frame safety: whatever prefix the dead connection
+			// carried, the whole batch goes out again on the next one
+			// and the collector discards the torn tail it saw.
+			s.lastErr = err
+			s.fails++
+			s.dropConn()
+			continue
+		}
+		s.m.frames.Add(s.nbuf)
+		s.nbuf = 0
+		s.buf = s.buf[:0]
+		s.fails = 0
+	}
+	return nil
+}
+
+// Close flushes the pending batch, sends a Bye frame and closes the
+// connection. The flush error, if any, is returned — a sensor that
+// could not deliver its tail must not report success.
+func (s *Sensor) Close() error {
+	if s.closed {
+		return ErrSensorClosed
+	}
+	err := s.flush()
+	if err == nil && s.conn != nil {
+		s.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		s.conn.Write(AppendFrame(nil, FrameBye, nil)) // best-effort
+	}
+	s.closed = true
+	s.dropConn()
+	return err
+}
+
+// ensureConn establishes a connection (dial plus handshake) if none is
+// live, applying jittered exponential backoff between attempts and
+// honoring MaxAttempts.
+func (s *Sensor) ensureConn() error {
+	for s.conn == nil {
+		if s.cfg.MaxAttempts > 0 && s.fails >= s.cfg.MaxAttempts {
+			return fmt.Errorf("transport: sensor %q: giving up after %d attempts: %w",
+				s.cfg.Name, s.fails, s.lastErr)
+		}
+		if s.fails > 0 {
+			time.Sleep(s.backoff(s.fails))
+		}
+		conn, err := s.dial()
+		if err != nil {
+			s.lastErr = err
+			s.fails++
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := conn.Write(s.hello); err != nil {
+			s.lastErr = err
+			s.fails++
+			conn.Close()
+			continue
+		}
+		s.conn = conn
+		s.m.connects.Inc()
+		if s.ever {
+			s.m.reconnects.Inc()
+		}
+		s.ever = true
+	}
+	return nil
+}
+
+// dial opens one connection using the configured factory.
+func (s *Sensor) dial() (net.Conn, error) {
+	var conn net.Conn
+	var err error
+	if s.cfg.Dial != nil {
+		conn, err = s.cfg.Dial()
+	} else {
+		network, address := SplitAddr(s.cfg.Addr)
+		conn, err = net.DialTimeout(network, address, s.cfg.DialTimeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.WrapConn != nil {
+		conn = s.cfg.WrapConn(conn)
+	}
+	return conn, nil
+}
+
+// dropConn closes and forgets the current connection.
+func (s *Sensor) dropConn() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// backoff returns the jittered exponential delay for the given
+// consecutive-failure count: base·2^(n-1) capped at BackoffMax, then
+// uniformly jittered over [½d, 1½d) so a fleet of sensors cut by one
+// collector restart does not reconnect in lockstep.
+func (s *Sensor) backoff(fails int) time.Duration {
+	d := s.cfg.BackoffMin
+	for i := 1; i < fails && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	return d/2 + time.Duration(s.rng.Int63n(int64(d)))
+}
+
+// removeStaleSocket unlinks a leftover Unix socket file so a restarted
+// collector can bind again. Only sockets are removed.
+func removeStaleSocket(path string) {
+	if fi, err := os.Stat(path); err == nil && fi.Mode()&os.ModeSocket != 0 {
+		os.Remove(path)
+	}
+}

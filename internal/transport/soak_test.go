@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/chaos"
+	"dnsobservatory/internal/metrics"
+	"dnsobservatory/internal/observatory"
+	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/tsv"
+)
+
+// TestChaosSoakEightSensors drives a collector with eight concurrent
+// sensors whose connections are chaos-wrapped on both ends — resets
+// mid-write, ack losses forcing duplicate retransmits, stalled reads on
+// the collector side — and feeds the merged stream into a sharded
+// engine. Run under -race in CI, it asserts the two accounting
+// invariants the transport must not break: the engine's
+// Ingested = Accepted + Rejected + Shed, and every reconnect any sensor
+// performed is counted in dnsobs_transport_reconnects_total.
+func TestChaosSoakEightSensors(t *testing.T) {
+	const (
+		sensors   = 8
+		perSensor = 1200
+	)
+	reg := metrics.NewRegistry()
+	base := time.Unix(1600000000, 0)
+
+	// Collector-side chaos: stalled reads (short, so the soak finishes).
+	collInj := chaos.New(chaos.Config{
+		Seed:            99,
+		StalledReadRate: 0.002,
+		StallDuration:   2 * time.Millisecond,
+	})
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := NewCollector(CollectorConfig{
+		Metrics:  reg,
+		QueueLen: 1024,
+		Overload: Block,
+		WrapConn: collInj.WrapConn,
+	})
+	go coll.Serve(ln)
+	addr := ln.Addr().String()
+
+	// The consumer: full dnsobs ingest into a sharded engine.
+	eng := observatory.NewSharded(observatory.ShardedConfig{
+		Config: func() observatory.Config {
+			c := observatory.DefaultConfig()
+			c.Metrics = reg
+			return c
+		}(),
+		Shards:  2,
+		Workers: 2,
+	}, observatory.StandardAggregations(0.01), func(*tsv.Snapshot) {})
+	var delivered uint64
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		var summarizer sie.Summarizer
+		summarizer.KeepUnparsableResponses = true
+		for tx := range coll.C() {
+			delivered++
+			buf := eng.Borrow()
+			if err := summarizer.Summarize(tx, &buf.Summary); err != nil {
+				eng.Discard(buf)
+				eng.RecordRejected()
+				continue
+			}
+			eng.IngestShared(buf, tx.QueryTime.Sub(base).Seconds())
+		}
+	}()
+
+	// Eight sensors, each owned by its own goroutine, each with its own
+	// chaos injector cutting connections mid-write and losing acks (the
+	// duplicate-retransmit path). Retries are unlimited: under chaos the
+	// contract is at-least-once, not best-effort.
+	sens := make([]*Sensor, sensors)
+	var wg sync.WaitGroup
+	for si := 0; si < sensors; si++ {
+		inj := chaos.New(chaos.Config{
+			Seed:             int64(1000 + si),
+			ConnResetRate:    0.05,
+			DupReconnectRate: 0.03,
+		})
+		sens[si] = NewSensor(SensorConfig{
+			Addr:        addr,
+			Name:        "soak-" + string(rune('a'+si)),
+			FlushBytes:  2 << 10, // small batches: many wire writes, many fault rolls
+			BackoffMin:  time.Millisecond,
+			BackoffMax:  8 * time.Millisecond,
+			MaxAttempts: -1,
+			Seed:        int64(si + 1),
+			Metrics:     reg,
+			WrapConn:    inj.WrapConn,
+		})
+		wg.Add(1)
+		go func(si int, s *Sensor) {
+			defer wg.Done()
+			for i := 0; i < perSensor; i++ {
+				if err := s.Write(dnsTx(t, si*perSensor+i, base)); err != nil {
+					t.Errorf("sensor %d write: %v", si, err)
+					return
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Errorf("sensor %d close: %v", si, err)
+			}
+		}(si, sens[si])
+	}
+	wg.Wait()
+
+	// Every sensor closed successfully, so every transaction is on the
+	// wire at least once. Wait for the handlers to drain their sockets,
+	// then shut down and drain the queue.
+	waitFor(t, func() bool {
+		for _, s := range coll.Sensors() {
+			if s.Connected {
+				return false
+			}
+		}
+		return coll.Stats().Frames >= sensors*perSensor
+	})
+	coll.Close()
+	<-consumerDone
+	eng.Close()
+
+	const sent = sensors * perSensor
+	if delivered < sent {
+		t.Errorf("delivered %d < sent %d: transport lost transactions", delivered, sent)
+	}
+	t.Logf("soak: sent %d, delivered %d (%d duplicates from ack-loss retransmits)",
+		sent, delivered, delivered-sent)
+
+	// Invariant 1: engine accounting balances exactly.
+	es := eng.Stats()
+	if es.Ingested != es.Accepted+es.Rejected+es.Shed {
+		t.Errorf("EngineStats invariant broken: ingested %d != accepted %d + rejected %d + shed %d",
+			es.Ingested, es.Accepted, es.Rejected, es.Shed)
+	}
+	if es.Ingested != delivered {
+		t.Errorf("engine ingested %d, consumer delivered %d", es.Ingested, delivered)
+	}
+
+	// Invariant 2: every reconnect is counted, per sensor and in the
+	// metrics family.
+	var totalReconnects uint64
+	for si, s := range sens {
+		st := s.Stats()
+		if st.Connects == 0 {
+			t.Errorf("sensor %d never connected", si)
+			continue
+		}
+		if st.Reconnects != st.Connects-1 {
+			t.Errorf("sensor %d: reconnects %d != connects %d - 1", si, st.Reconnects, st.Connects)
+		}
+		totalReconnects += st.Reconnects
+	}
+	if totalReconnects == 0 {
+		t.Error("chaos soak produced no reconnects; fault rates too low to test anything")
+	}
+	if got := reg.SumCounter(MetricReconnects); got != totalReconnects {
+		t.Errorf("%s = %d, sensors report %d", MetricReconnects, got, totalReconnects)
+	}
+
+	// The collector's chaos actually fired.
+	cs := collInj.Stats()
+	t.Logf("soak: collector stalls %d; sensor reconnects %d", cs.StalledRds, totalReconnects)
+}

@@ -34,6 +34,11 @@ type Server struct {
 	// default: profiling endpoints expose internals and cost CPU, so
 	// they are opt-in (the dnsobs -pprof flag).
 	EnablePprof bool
+	// Sensors, when set, adds its result under the "sensors" key in
+	// /healthz — dnsobs wires it to the transport collector's per-sensor
+	// liveness so operators see which feeds are up. Declared as func()
+	// any to keep webui decoupled from the transport package.
+	Sensors func() any
 
 	windows atomic.Uint64
 }
@@ -82,11 +87,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	health := map[string]any{
 		"ok":           true,
 		"transactions": s.registry().SumCounter(observatoryIngested),
 		"windows":      s.windows.Load(),
-	})
+	}
+	if s.Sensors != nil {
+		health["sensors"] = s.Sensors()
+	}
+	writeJSON(w, health)
 }
 
 // observatoryIngested is the engine family /healthz reports. Mirrors

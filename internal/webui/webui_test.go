@@ -80,6 +80,31 @@ func TestHealthz(t *testing.T) {
 	if !h.OK || h.Transactions != 2 || h.Windows != 1 {
 		t.Errorf("health = %+v", h)
 	}
+	if strings.Contains(body, `"sensors"`) {
+		t.Errorf("sensors key present without a Sensors hook:\n%s", body)
+	}
+}
+
+func TestHealthzSensors(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	type sensor struct {
+		Name      string `json:"name"`
+		Connected bool   `json:"connected"`
+	}
+	s.Sensors = func() any { return []sensor{{Name: "edge-1", Connected: true}} }
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	var h struct {
+		Sensors []sensor `json:"sensors"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Sensors) != 1 || h.Sensors[0].Name != "edge-1" || !h.Sensors[0].Connected {
+		t.Errorf("sensors = %+v", h.Sensors)
+	}
 }
 
 func TestMetricsEndpoint(t *testing.T) {

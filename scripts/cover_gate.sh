@@ -1,0 +1,40 @@
+#!/bin/sh
+# Coverage gate: the wire-facing packages must stay well tested. The
+# frame decoder and the transport state machines (reconnect, overload,
+# drain) are exactly the code that fails in production in ways unit
+# demos never hit, so CI refuses any change that drops their statement
+# coverage below the floor.
+#
+# Run from the repository root: sh scripts/cover_gate.sh
+set -eu
+
+FLOOR=80
+
+fail=0
+for pkg in ./internal/transport/ ./internal/sie/; do
+    out=$("$(command -v go)" test -count=1 -cover "$pkg" 2>&1) || {
+        printf '%s\n' "$out" >&2
+        echo "cover gate: tests failed in $pkg" >&2
+        exit 1
+    }
+    pct=$(printf '%s\n' "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "cover gate: no coverage figure for $pkg" >&2
+        fail=1
+        continue
+    fi
+    # Integer compare on the whole part: 79.9 fails, 80.0 passes.
+    whole=${pct%.*}
+    if [ "$whole" -lt "$FLOOR" ]; then
+        echo "cover gate: $pkg at ${pct}% is below the ${FLOOR}% floor" >&2
+        fail=1
+    else
+        echo "cover gate: $pkg ${pct}% (floor ${FLOOR}%)"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "cover gate: FAILED" >&2
+    exit 1
+fi
+echo "cover gate: ok"
