@@ -4,10 +4,17 @@
 //
 //	$ dnsgen -duration 5 -o - | dnsdump | head
 //	00:00:00.123 192.0.2.10 > 198.51.100.53 udp A www.example.com. NOERROR 23.1ms 120B
+//
+// With -snap it instead dumps one stored snapshot file as TSV text,
+// auto-detecting the on-disk format — the way to inspect the columnar
+// store's binary .col files:
+//
+//	$ dnsdump -snap observatory-data/qname-min-60.col | head
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -15,15 +22,23 @@ import (
 	"strings"
 
 	"dnsobservatory/internal/sie"
+	"dnsobservatory/internal/tsv"
 )
 
 func main() {
 	var (
-		in    = flag.String("i", "-", "input stream file ('-' for stdin)")
-		limit = flag.Uint64("n", 0, "stop after N transactions (0 = all)")
-		qname = flag.String("grep", "", "only show transactions whose QNAME contains this substring")
+		in       = flag.String("i", "-", "input stream file ('-' for stdin)")
+		limit    = flag.Uint64("n", 0, "stop after N transactions (0 = all)")
+		qname    = flag.String("grep", "", "only show transactions whose QNAME contains this substring")
+		snapFile = flag.String("snap", "", "dump a stored snapshot file (TSV or columnar, auto-detected) as TSV text and exit")
 	)
 	flag.Parse()
+	if *snapFile != "" {
+		if err := dumpSnapshot(*snapFile); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -84,6 +99,34 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "dnsdump: %d transactions read, %d shown\n", reader.Count(), shown)
+}
+
+// dumpSnapshot prints one snapshot file as TSV text, decoding the
+// columnar format when the file carries its magic.
+func dumpSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap *tsv.Snapshot
+	if tsv.IsColumnar(data) {
+		snap, err = tsv.DecodeColumnar(data)
+	} else {
+		snap, err = tsv.Read(bytes.NewReader(data))
+	}
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	if _, err := snap.WriteTo(out); err != nil {
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dnsdump: %s: %d rows, %d columns, %d windows\n",
+		path, len(snap.Rows), len(snap.Columns), snap.Windows)
+	return nil
 }
 
 func fatal(err error) {

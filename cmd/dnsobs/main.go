@@ -60,6 +60,7 @@ func main() {
 		in       = flag.String("i", "-", "input stream file ('-' for stdin)")
 		listen   = flag.String("listen", "", "accept sensor connections on this address (host:port, tcp:host:port or unix:/path) instead of reading a stream")
 		dir      = flag.String("dir", "observatory-data", "snapshot store directory")
+		backend  = flag.String("store", tsv.BackendTSV, "snapshot store backend: tsv (plain text) or columnar (compressed, indexed)")
 		factor   = flag.Float64("k", 0.1, "top-k capacity factor (1.0 = paper scale)")
 		retain   = flag.Int("retain-min", 0, "minutely files to retain (0 = all)")
 		httpAddr = flag.String("http", "", "serve the live web UI on this address (e.g. :8053)")
@@ -88,7 +89,7 @@ func main() {
 		inFile = f
 	}
 
-	store, err := tsv.NewStore(*dir)
+	store, err := tsv.NewStoreBackend(*dir, *backend)
 	if err != nil {
 		fatal(err)
 	}

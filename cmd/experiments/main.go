@@ -2,15 +2,27 @@
 // simulated SIE traffic. Run one experiment with -run <id> or everything
 // with -run all; ids follow the paper (fig2, tab1, tab2, fig3, tab3,
 // fig4, fig5, fig6, fig7, fig8, tab4, fig9, v6on).
+//
+// It is also a query client for the snapshot store: -ingest persists
+// the shared main scenario into a store directory (then cascades it),
+// and -top answers paper-style "top objects" questions through the
+// query engine instead of in-memory scans:
+//
+//	$ experiments -store data -backend columnar -ingest
+//	$ experiments -store data -backend columnar -top srvip -k 10 -col hits
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
 	"time"
 
 	"dnsobservatory/internal/experiments"
+	"dnsobservatory/internal/tsv"
 )
 
 func main() {
@@ -20,6 +32,17 @@ func main() {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		outdir = flag.String("outdir", "", "directory for binary artifacts (fig6 heatmap)")
 		list   = flag.Bool("list", false, "list experiments and exit")
+
+		storeDir = flag.String("store", "", "snapshot store directory for -ingest/-top")
+		backend  = flag.String("backend", tsv.BackendColumnar, "store backend for -ingest/-top: tsv or columnar")
+		ingest   = flag.Bool("ingest", false, "persist the main scenario's snapshots into -store and cascade")
+		top      = flag.String("top", "", "query -store for the top objects of this aggregation and exit")
+		col      = flag.String("col", "", "ranking column for -top (default: first column)")
+		cols     = flag.String("cols", "", "CSV column projection for -top (default: all)")
+		k        = flag.Int("k", 10, "row cap for -top (0 = all)")
+		level    = flag.String("level", "min", "cascade level name for -top (min, 10min, hour, ...)")
+		from     = flag.Int64("from", 0, "inclusive window-start lower bound for -top")
+		to       = flag.Int64("to", 0, "exclusive window-start upper bound for -top (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -31,6 +54,31 @@ func main() {
 	}
 
 	ctx := experiments.NewContext(experiments.Options{Scale: *scale, Seed: *seed, OutDir: *outdir})
+
+	if *ingest || *top != "" {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -ingest/-top require -store")
+			os.Exit(2)
+		}
+		store, err := tsv.NewStoreBackend(*storeDir, *backend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *ingest {
+			if err := ingestMain(ctx, store); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: ingest:", err)
+				os.Exit(1)
+			}
+		}
+		if *top != "" {
+			if err := queryTop(store, *top, *level, *cols, *col, *k, *from, *to); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: top:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.Registry
@@ -51,4 +99,67 @@ func main() {
 		}
 		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// ingestMain persists every main-scenario snapshot into the store and
+// cascades, so -top queries can range over any level.
+func ingestMain(ctx *experiments.Context, store *tsv.Store) error {
+	snaps := ctx.MainSnapshots()
+	var aggs []string
+	files := 0
+	var last int64
+	for agg, list := range snaps {
+		aggs = append(aggs, agg)
+		for _, s := range list {
+			if err := store.Put(s); err != nil {
+				return err
+			}
+			files++
+			if s.Start > last {
+				last = s.Start
+			}
+		}
+	}
+	sort.Strings(aggs)
+	if err := store.CascadeAll(aggs, last+60); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: ingested %d snapshots (%s) into %s [%s backend]\n",
+		files, strings.Join(aggs, ", "), store.Dir(), store.Backend())
+	return nil
+}
+
+// queryTop answers one top-k question through the query engine and
+// prints the result as a table.
+func queryTop(store *tsv.Store, agg, levelName, colsCSV, orderBy string, k int, from, to int64) error {
+	var lv tsv.Level
+	found := false
+	for l := tsv.Minutely; l <= tsv.MaxLevel; l++ {
+		if l.Name() == levelName {
+			lv, found = l, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown level %q", levelName)
+	}
+	q := tsv.Query{Agg: agg, Level: lv, From: from, To: to, OrderBy: orderBy, K: k}
+	if colsCSV != "" {
+		q.Columns = strings.Split(colsCSV, ",")
+	}
+	res, err := tsv.RunQuery(store, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %s (%s, %d windows over %d files)\n", agg, res.Level.Name(), res.Windows, res.Files)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "rank\tkey\t%s\n", strings.Join(res.Columns, "\t"))
+	for i, r := range res.Rows {
+		fmt.Fprintf(tw, "%d\t%s", i+1, r.Key)
+		for _, v := range r.Values {
+			fmt.Fprintf(tw, "\t%g", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
 }

@@ -108,17 +108,54 @@ type (
 	// SnapshotRow is one object's feature vector.
 	SnapshotRow = tsv.Row
 	// SnapshotStore manages snapshot files, cascading aggregation and
-	// retention in a directory.
+	// retention in a directory. Both backends (TSV text and compressed
+	// columnar) share this type; see NewSnapshotStoreBackend.
 	SnapshotStore = tsv.Store
+	// SnapshotStorer is the read/write interface both backends satisfy;
+	// query clients and the web UI depend on it, not on a concrete store.
+	SnapshotStorer = tsv.SnapshotStore
 	// TimeLevel is a granularity of the cascade.
 	TimeLevel = tsv.Level
+
+	// SnapshotQuery is one read against a store: time range, projection,
+	// predicates, top-k.
+	SnapshotQuery = tsv.Query
+	// SnapshotQueryResult is a query's aggregated, ranked answer.
+	SnapshotQueryResult = tsv.Result
+	// SnapshotQueryEngine runs queries and keeps query-side metrics.
+	SnapshotQueryEngine = tsv.Engine
+	// SnapshotProjection selects columns, a key, and value predicates
+	// for a store read.
+	SnapshotProjection = tsv.Projection
+	// SnapshotPredicate keeps rows whose column value lies in [Min, Max].
+	SnapshotPredicate = tsv.Pred
 )
 
 // Snapshot store and aggregation helpers.
 var (
-	NewSnapshotStore   = tsv.NewStore
-	AggregateSnapshots = tsv.Aggregate
-	ReadSnapshot       = tsv.Read
+	NewSnapshotStore = tsv.NewStore
+	// NewColumnarSnapshotStore stores snapshots in the compressed
+	// columnar format with per-block min/max and bloom indexes.
+	NewColumnarSnapshotStore = tsv.NewColumnarStore
+	// NewSnapshotStoreBackend selects the backend by name
+	// (StoreBackendTSV or StoreBackendColumnar).
+	NewSnapshotStoreBackend = tsv.NewStoreBackend
+	AggregateSnapshots      = tsv.Aggregate
+	ReadSnapshot            = tsv.Read
+	// DecodeColumnarSnapshot decodes one columnar snapshot file;
+	// IsColumnarSnapshot sniffs the format.
+	DecodeColumnarSnapshot = tsv.DecodeColumnar
+	IsColumnarSnapshot     = tsv.IsColumnar
+	// QuerySnapshots answers one query against any store backend.
+	QuerySnapshots = tsv.RunQuery
+	// NewSnapshotQueryEngine builds a reusable, instrumentable engine.
+	NewSnapshotQueryEngine = tsv.NewEngine
+)
+
+// Store backend names for NewSnapshotStoreBackend.
+const (
+	StoreBackendTSV      = tsv.BackendTSV
+	StoreBackendColumnar = tsv.BackendColumnar
 )
 
 // Cascade levels.

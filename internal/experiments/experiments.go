@@ -10,6 +10,7 @@ import (
 	"dnsobservatory/internal/analysis"
 	"dnsobservatory/internal/observatory"
 	"dnsobservatory/internal/simnet"
+	"dnsobservatory/internal/tsv"
 )
 
 // Options scales and seeds the experiment scenarios.
@@ -69,6 +70,15 @@ func (c *Context) mainScenario() *analysis.RunResult {
 			analysis.QMinAggregation("qminpairs", 30_000, sim))
 	})
 	return c.main
+}
+
+// MainSnapshots exposes the cached main-scenario snapshots per
+// aggregation, generating the scenario on first use. It feeds
+// store-backed workflows: ingest these into a SnapshotStore and the
+// experiment tables become answerable through the query engine instead
+// of in-memory scans.
+func (c *Context) MainSnapshots() map[string][]*tsv.Snapshot {
+	return c.mainScenario().Snapshots
 }
 
 // Experiment is one regenerable artifact.

@@ -1,0 +1,912 @@
+package tsv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// The columnar snapshot format. One file holds the same logical content
+// as a TSV snapshot, laid out for selective reads:
+//
+//	magic "DNSC1\n"
+//	header: column names + kinds, row count, collection statistics
+//	key section (length-prefixed so it can be skipped):
+//	    dictionary of distinct keys (concatenated bytes + lengths),
+//	    optional per-row dictionary ids (omitted when keys are unique)
+//	key bloom filter (deterministic, serialized)
+//	column directory: rows-per-block + per-column section byte lengths
+//	per-column sections: blocks of values, each with min/max bounds,
+//	    an encoding tag and a length-prefixed payload
+//	footer "CEND"
+//
+// Counter-style integral values use zigzag-delta varints, constant
+// blocks store a single value, everything else is raw little-endian
+// float64 — so decoding is bounded by varint/memcpy bandwidth, never by
+// text parsing. The per-block min/max let predicate evaluation skip
+// blocks wholesale; the bloom filter answers negative point lookups
+// without touching row data. The directory lets a projection skip whole
+// columns by slice arithmetic.
+//
+// Everything in the format is deterministic: the same snapshot always
+// encodes to the same bytes, so cross-process and cross-backend golden
+// comparisons stay valid.
+
+// ErrBadColumnar matches (via errors.Is) every decode failure of the
+// columnar codec: truncated files, hostile lengths, unknown encodings.
+// The store wraps it in *CorruptError, so cascade-level skip/count
+// handling is shared with the TSV codec.
+var ErrBadColumnar = errors.New("tsv: malformed columnar snapshot")
+
+const (
+	colMagic  = "DNSC1\n"
+	colFooter = "CEND"
+
+	// colBlockRows is the number of values per column block. Small
+	// enough that predicate pushdown has real skip granularity on
+	// paper-scale files (30 k rows -> ~30 blocks), large enough that
+	// per-block metadata stays negligible.
+	colBlockRows = 1024
+
+	encConst    = 0 // payload: one float64 (all values identical bits)
+	encIntDelta = 1 // payload: zigzag varints of value deltas (integral values)
+	encRaw      = 2 // payload: little-endian float64 per value
+)
+
+// colKindByte maps Kind to its single-byte file form and back.
+func colKindByte(k Kind) byte {
+	switch k {
+	case Counter:
+		return 'c'
+	case Mode:
+		return 'm'
+	default:
+		return 'g'
+	}
+}
+
+func kindFromByte(b byte) (Kind, bool) {
+	switch b {
+	case 'c':
+		return Counter, true
+	case 'm':
+		return Mode, true
+	case 'g':
+		return Gauge, true
+	}
+	return 0, false
+}
+
+// --- deterministic key bloom ------------------------------------------------
+
+// colBloom is a serializable bloom filter over keys. Hashing is
+// FNV-1a 64 finalized with the splitmix64 mixer — deterministic across
+// processes, unlike hash/maphash, so the filter can live in the file.
+type colBloom struct {
+	k     int
+	words []uint64
+}
+
+const colBloomK = 7
+
+// newColBloom sizes the filter for n keys at roughly 1% false
+// positives (~10 bits per key, power-of-two rounded).
+func newColBloom(n int) *colBloom {
+	bitsWanted := uint64(64)
+	for bitsWanted < uint64(n)*10 {
+		bitsWanted <<= 1
+	}
+	return &colBloom{k: colBloomK, words: make([]uint64, bitsWanted/64)}
+}
+
+// bloomHash2 derives the two Kirsch–Mitzenmacher base hashes of s.
+func bloomHash2(s string) (uint64, uint64) {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// splitmix64 finalizer decorrelates the low bits FNV leaves weak.
+	z := h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return h, z | 1 // odd step so all k probes are distinct mod 2^m
+}
+
+func (f *colBloom) add(s string) {
+	h1, h2 := bloomHash2(s)
+	mask := uint64(len(f.words)*64 - 1)
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) & mask
+		f.words[b/64] |= 1 << (b % 64)
+	}
+}
+
+func (f *colBloom) has(s string) bool {
+	h1, h2 := bloomHash2(s)
+	mask := uint64(len(f.words)*64 - 1)
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) & mask
+		if f.words[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- encoding ---------------------------------------------------------------
+
+// EncodeColumnar writes s in the columnar format. The same snapshot
+// always produces the same bytes.
+func EncodeColumnar(s *Snapshot, w io.Writer) (int64, error) {
+	ncols := len(s.Columns)
+	for i := range s.Rows {
+		if len(s.Rows[i].Values) != ncols {
+			return 0, fmt.Errorf("tsv: row %d has %d values for %d columns",
+				i, len(s.Rows[i].Values), ncols)
+		}
+	}
+	buf := make([]byte, 0, 64+len(s.Rows)*(8+ncols*4))
+	buf = append(buf, colMagic...)
+	buf = binary.AppendUvarint(buf, uint64(ncols))
+	for i, name := range s.Columns {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = append(buf, colKindByte(s.Kinds[i]))
+	}
+	nrows := len(s.Rows)
+	buf = binary.AppendUvarint(buf, uint64(nrows))
+	buf = binary.AppendUvarint(buf, s.TotalBefore)
+	buf = binary.AppendUvarint(buf, s.TotalAfter)
+	buf = binary.AppendUvarint(buf, uint64(s.Windows))
+
+	// Key section: dictionary in first-appearance order; per-row ids
+	// only when a duplicate key makes them necessary.
+	dictID := make(map[string]int, nrows)
+	var dictKeys []string
+	ids := make([]int, nrows)
+	for i := range s.Rows {
+		k := s.Rows[i].Key
+		id, ok := dictID[k]
+		if !ok {
+			id = len(dictKeys)
+			dictID[k] = id
+			dictKeys = append(dictKeys, k)
+		}
+		ids[i] = id
+	}
+	var keySect []byte
+	keySect = binary.AppendUvarint(keySect, uint64(len(dictKeys)))
+	concatLen := 0
+	for _, k := range dictKeys {
+		concatLen += len(k)
+	}
+	keySect = binary.AppendUvarint(keySect, uint64(concatLen))
+	for _, k := range dictKeys {
+		keySect = append(keySect, k...)
+	}
+	for _, k := range dictKeys {
+		keySect = binary.AppendUvarint(keySect, uint64(len(k)))
+	}
+	if len(dictKeys) == nrows {
+		keySect = append(keySect, 0) // ids are the identity
+	} else {
+		keySect = append(keySect, 1)
+		for _, id := range ids {
+			keySect = binary.AppendUvarint(keySect, uint64(id))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(keySect)))
+	buf = append(buf, keySect...)
+
+	// Bloom over distinct keys.
+	bloom := newColBloom(len(dictKeys))
+	for _, k := range dictKeys {
+		bloom.add(k)
+	}
+	buf = append(buf, byte(bloom.k))
+	buf = binary.AppendUvarint(buf, uint64(len(bloom.words)))
+	for _, wd := range bloom.words {
+		buf = binary.LittleEndian.AppendUint64(buf, wd)
+	}
+
+	// Column sections, then the directory so a reader can skip columns.
+	sects := make([][]byte, ncols)
+	colVals := make([]float64, nrows)
+	for c := 0; c < ncols; c++ {
+		for r := 0; r < nrows; r++ {
+			colVals[r] = s.Rows[r].Values[c]
+		}
+		sects[c] = encodeColumn(colVals)
+	}
+	buf = binary.AppendUvarint(buf, colBlockRows)
+	for _, sect := range sects {
+		buf = binary.AppendUvarint(buf, uint64(len(sect)))
+	}
+	for _, sect := range sects {
+		buf = append(buf, sect...)
+	}
+	buf = append(buf, colFooter...)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// encodeColumn encodes one column's values as blocks.
+func encodeColumn(vals []float64) []byte {
+	var out []byte
+	for off := 0; off < len(vals); off += colBlockRows {
+		end := off + colBlockRows
+		if end > len(vals) {
+			end = len(vals)
+		}
+		out = encodeBlock(out, vals[off:end])
+	}
+	return out
+}
+
+// encodeBlock appends one block: min/max, encoding tag, payload.
+func encodeBlock(out []byte, vals []float64) []byte {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	hasNaN := false
+	firstBits := math.Float64bits(vals[0])
+	allConst := true
+	allInt := true
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			hasNaN = true
+			allInt = false
+			continue
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		if math.Float64bits(v) != firstBits {
+			allConst = false
+		}
+		if allInt && !integralFloat(v) {
+			allInt = false
+		}
+	}
+	if hasNaN {
+		// NaN never matches a predicate but the block may hold rows
+		// that do: NaN bounds force per-row evaluation.
+		mn, mx = math.NaN(), math.NaN()
+		allConst = false
+	}
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(mn))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(mx))
+	switch {
+	case allConst:
+		out = append(out, encConst)
+		out = binary.AppendUvarint(out, 8)
+		out = binary.LittleEndian.AppendUint64(out, firstBits)
+	case allInt:
+		out = append(out, encIntDelta)
+		var payload []byte
+		prev := int64(0)
+		for _, v := range vals {
+			iv := int64(v)
+			payload = binary.AppendUvarint(payload, zigzag(iv-prev))
+			prev = iv
+		}
+		out = binary.AppendUvarint(out, uint64(len(payload)))
+		out = append(out, payload...)
+	default:
+		out = append(out, encRaw)
+		out = binary.AppendUvarint(out, uint64(8*len(vals)))
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// integralFloat reports whether v round-trips exactly through int64:
+// integral, within 2^53, and not the negative zero (whose sign bit an
+// integer cannot carry).
+func integralFloat(v float64) bool {
+	if v != math.Trunc(v) || math.Abs(v) > 1<<53 {
+		return false
+	}
+	return !(v == 0 && math.Signbit(v))
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// --- decoding ---------------------------------------------------------------
+
+// colStats counts the selective-read work a single decode did; the
+// store aggregates them into metrics.
+type colStats struct {
+	blocksDecoded uint64
+	blocksSkipped uint64
+	bloomSkips    uint64
+}
+
+// colReader is a bounds-checked cursor over the file bytes. Every read
+// failure is a typed ErrBadColumnar: the decoder must never panic or
+// allocate proportionally to a hostile length field.
+type colReader struct {
+	data []byte
+	off  int
+}
+
+func (r *colReader) fail(what string) error {
+	return fmt.Errorf("%w: %s at byte %d", ErrBadColumnar, what, r.off)
+}
+
+func (r *colReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, r.fail("bad varint: " + what)
+	}
+	r.off += n
+	return v, nil
+}
+
+// length reads a uvarint that counts not-yet-read items each at least
+// minSize bytes, rejecting values the remaining input cannot hold —
+// the over-allocation guard.
+func (r *colReader) length(what string, minSize int) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if v > uint64(len(r.data)-r.off)/uint64(minSize) {
+		return 0, r.fail("oversized length: " + what)
+	}
+	return int(v), nil
+}
+
+func (r *colReader) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || n > len(r.data)-r.off {
+		return nil, r.fail("truncated: " + what)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *colReader) byte1(what string) (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, r.fail("truncated: " + what)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *colReader) f64(what string) (float64, error) {
+	b, err := r.bytes(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// lazyCol is one column's parsed block metadata with per-block lazy
+// value decoding.
+type lazyCol struct {
+	nrows     int
+	blockRows int
+	blocks    []colBlockMeta
+	vals      []float64 // allocated on first decode
+	decoded   []bool
+}
+
+type colBlockMeta struct {
+	min, max float64
+	enc      byte
+	payload  []byte
+}
+
+// parseColSection scans a column section's block headers, validating
+// payload bounds without decoding any values.
+func parseColSection(sect []byte, nrows, blockRows int) (*lazyCol, error) {
+	nblocks := 0
+	if nrows > 0 {
+		nblocks = (nrows + blockRows - 1) / blockRows
+	}
+	c := &lazyCol{nrows: nrows, blockRows: blockRows, blocks: make([]colBlockMeta, nblocks)}
+	r := &colReader{data: sect}
+	for b := 0; b < nblocks; b++ {
+		mn, err := r.f64("block min")
+		if err != nil {
+			return nil, err
+		}
+		mx, err := r.f64("block max")
+		if err != nil {
+			return nil, err
+		}
+		enc, err := r.byte1("block encoding")
+		if err != nil {
+			return nil, err
+		}
+		plen, err := r.length("block payload", 1)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := r.bytes(plen, "block payload")
+		if err != nil {
+			return nil, err
+		}
+		count := blockRows
+		if b == nblocks-1 {
+			count = nrows - b*blockRows
+		}
+		switch enc {
+		case encConst:
+			if plen != 8 {
+				return nil, r.fail("const block payload size")
+			}
+		case encRaw:
+			if plen != 8*count {
+				return nil, r.fail("raw block payload size")
+			}
+		case encIntDelta:
+			// Lengths are validated on decode (varint count must match).
+		default:
+			return nil, r.fail("unknown block encoding")
+		}
+		c.blocks[b] = colBlockMeta{min: mn, max: mx, enc: enc, payload: payload}
+	}
+	if r.off != len(sect) {
+		return nil, r.fail("trailing bytes in column section")
+	}
+	return c, nil
+}
+
+// blockRange returns the row range [lo, hi) of block b.
+func (c *lazyCol) blockRange(b int) (int, int) {
+	lo := b * c.blockRows
+	hi := lo + c.blockRows
+	if hi > c.nrows {
+		hi = c.nrows
+	}
+	return lo, hi
+}
+
+// ensure decodes block b into c.vals.
+func (c *lazyCol) ensure(b int, stats *colStats) error {
+	if c.decoded == nil {
+		c.vals = make([]float64, c.nrows)
+		c.decoded = make([]bool, len(c.blocks))
+	}
+	if c.decoded[b] {
+		return nil
+	}
+	lo, hi := c.blockRange(b)
+	m := &c.blocks[b]
+	switch m.enc {
+	case encConst:
+		v := math.Float64frombits(binary.LittleEndian.Uint64(m.payload))
+		for i := lo; i < hi; i++ {
+			c.vals[i] = v
+		}
+	case encRaw:
+		for i := lo; i < hi; i++ {
+			c.vals[i] = math.Float64frombits(
+				binary.LittleEndian.Uint64(m.payload[(i-lo)*8:]))
+		}
+	case encIntDelta:
+		off := 0
+		prev := int64(0)
+		for i := lo; i < hi; i++ {
+			u, n := binary.Uvarint(m.payload[off:])
+			if n <= 0 {
+				return fmt.Errorf("%w: truncated delta block", ErrBadColumnar)
+			}
+			off += n
+			prev += unzigzag(u)
+			c.vals[i] = float64(prev)
+		}
+		if off != len(m.payload) {
+			return fmt.Errorf("%w: trailing bytes in delta block", ErrBadColumnar)
+		}
+	}
+	c.decoded[b] = true
+	if stats != nil {
+		stats.blocksDecoded++
+	}
+	return nil
+}
+
+// DecodeColumnar decodes a columnar snapshot file in full. Aggregation,
+// Level and Start live in the file name, as with the TSV codec, and are
+// left zero.
+func DecodeColumnar(data []byte) (*Snapshot, error) {
+	return decodeColumnar(data, nil, nil)
+}
+
+// IsColumnar reports whether data begins with the columnar file magic —
+// the format sniff tools use to pick a decoder for a snapshot file.
+func IsColumnar(data []byte) bool {
+	return len(data) >= len(colMagic) && string(data[:len(colMagic)]) == colMagic
+}
+
+// decodeColumnar decodes data, materializing only what proj selects.
+// The result is exactly applyProjection(fullDecode(data), proj); the
+// point of the format is reaching it without decoding skipped blocks.
+func decodeColumnar(data []byte, proj *Projection, stats *colStats) (*Snapshot, error) {
+	r := &colReader{data: data}
+	if m, err := r.bytes(len(colMagic), "magic"); err != nil || string(m) != colMagic {
+		if err != nil {
+			return nil, err
+		}
+		return nil, r.fail("bad magic")
+	}
+	ncols, err := r.length("column count", 2)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Columns: make([]string, ncols),
+		Kinds:   make([]Kind, ncols),
+	}
+	for i := 0; i < ncols; i++ {
+		nameLen, err := r.length("column name", 1)
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.bytes(nameLen, "column name")
+		if err != nil {
+			return nil, err
+		}
+		kb, err := r.byte1("column kind")
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := kindFromByte(kb)
+		if !ok {
+			return nil, r.fail("unknown column kind")
+		}
+		s.Columns[i] = string(name)
+		s.Kinds[i] = kind
+	}
+	nrows, err := r.length("row count", 1)
+	if err != nil {
+		return nil, err
+	}
+	if s.TotalBefore, err = r.uvarint("total_before"); err != nil {
+		return nil, err
+	}
+	if s.TotalAfter, err = r.uvarint("total_after"); err != nil {
+		return nil, err
+	}
+	windows, err := r.uvarint("windows")
+	if err != nil {
+		return nil, err
+	}
+	if windows > uint64(math.MaxInt32) {
+		return nil, r.fail("oversized windows")
+	}
+	s.Windows = int(windows)
+
+	keySectLen, err := r.length("key section", 1)
+	if err != nil {
+		return nil, err
+	}
+	keySect, err := r.bytes(keySectLen, "key section")
+	if err != nil {
+		return nil, err
+	}
+
+	bloomK, err := r.byte1("bloom k")
+	if err != nil {
+		return nil, err
+	}
+	var bloom *colBloom
+	if bloomK > 0 {
+		if bloomK > 32 {
+			return nil, r.fail("oversized bloom k")
+		}
+		nwords, err := r.length("bloom words", 8)
+		if err != nil {
+			return nil, err
+		}
+		if nwords == 0 || bits.OnesCount(uint(nwords)) != 1 {
+			return nil, r.fail("bloom size not a power of two")
+		}
+		wordBytes, err := r.bytes(nwords*8, "bloom bits")
+		if err != nil {
+			return nil, err
+		}
+		bloom = &colBloom{k: int(bloomK), words: make([]uint64, nwords)}
+		for i := range bloom.words {
+			bloom.words[i] = binary.LittleEndian.Uint64(wordBytes[i*8:])
+		}
+	}
+
+	blockRows64, err := r.uvarint("block rows")
+	if err != nil {
+		return nil, err
+	}
+	if blockRows64 == 0 || blockRows64 > 1<<20 {
+		return nil, r.fail("bad block rows")
+	}
+	blockRows := int(blockRows64)
+	sectLens := make([]int, ncols)
+	for i := range sectLens {
+		if sectLens[i], err = r.length("column section length", 1); err != nil {
+			return nil, err
+		}
+	}
+	sects := make([][]byte, ncols)
+	for i := range sects {
+		if sects[i], err = r.bytes(sectLens[i], "column section"); err != nil {
+			return nil, err
+		}
+	}
+	if f, err := r.bytes(len(colFooter), "footer"); err != nil || string(f) != colFooter {
+		if err != nil {
+			return nil, err
+		}
+		return nil, r.fail("bad footer")
+	}
+	if r.off != len(data) {
+		return nil, r.fail("trailing bytes after footer")
+	}
+
+	// Resolve the projection against the schema before touching any row
+	// data, so unknown columns error identically on every path (even a
+	// bloom-rejected point lookup).
+	outCols := s.Columns
+	if proj != nil && len(proj.Columns) > 0 {
+		outCols = proj.Columns
+	}
+	colIdx := make([]int, len(outCols))
+	outKinds := make([]Kind, len(outCols))
+	for i, name := range outCols {
+		j, err := s.columnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		colIdx[i] = j
+		outKinds[i] = s.Kinds[j]
+	}
+	var preds []Pred
+	var predIdx []int
+	if proj != nil {
+		preds = proj.Where
+		predIdx = make([]int, len(preds))
+		for i, p := range preds {
+			j, err := s.columnIndex(p.Col)
+			if err != nil {
+				return nil, err
+			}
+			predIdx[i] = j
+		}
+	}
+	out := &Snapshot{
+		Aggregation: s.Aggregation,
+		Level:       s.Level,
+		Start:       s.Start,
+		Columns:     append([]string(nil), outCols...),
+		Kinds:       outKinds,
+		TotalBefore: s.TotalBefore,
+		TotalAfter:  s.TotalAfter,
+		Windows:     s.Windows,
+	}
+
+	// Bloom pushdown: a negative point lookup ends here — no key or
+	// value data is decoded at all.
+	if proj != nil && proj.Key != "" && bloom != nil && !bloom.has(proj.Key) {
+		if stats != nil {
+			stats.bloomSkips++
+		}
+		return out, nil
+	}
+
+	keys, err := decodeKeySection(keySect, nrows)
+	if err != nil {
+		return nil, err
+	}
+
+	// Row selection: key filter first, then predicate pushdown per
+	// column with block skipping.
+	selected := make([]bool, nrows)
+	nSel := 0
+	if proj != nil && proj.Key != "" {
+		for i, k := range keys {
+			if k == proj.Key {
+				selected[i] = true
+				nSel++
+			}
+		}
+	} else {
+		for i := range selected {
+			selected[i] = true
+		}
+		nSel = nrows
+	}
+
+	cols := make([]*lazyCol, ncols) // parsed lazily, shared by preds and projection
+	getCol := func(j int) (*lazyCol, error) {
+		if cols[j] == nil {
+			c, err := parseColSection(sects[j], nrows, blockRows)
+			if err != nil {
+				return nil, err
+			}
+			cols[j] = c
+		}
+		return cols[j], nil
+	}
+
+	for pi, p := range preds {
+		if nSel == 0 {
+			break
+		}
+		c, err := getCol(predIdx[pi])
+		if err != nil {
+			return nil, err
+		}
+		for b := range c.blocks {
+			lo, hi := c.blockRange(b)
+			any := false
+			for i := lo; i < hi; i++ {
+				if selected[i] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			m := &c.blocks[b]
+			// Block fully outside the range: every row fails. NaN
+			// bounds fail both comparisons, forcing the slow path.
+			if m.max < p.Min || m.min > p.Max {
+				for i := lo; i < hi; i++ {
+					if selected[i] {
+						selected[i] = false
+						nSel--
+					}
+				}
+				if stats != nil {
+					stats.blocksSkipped++
+				}
+				continue
+			}
+			// Block fully inside: every row passes, nothing to decode.
+			if m.min >= p.Min && m.max <= p.Max {
+				if stats != nil {
+					stats.blocksSkipped++
+				}
+				continue
+			}
+			if err := c.ensure(b, stats); err != nil {
+				return nil, err
+			}
+			for i := lo; i < hi; i++ {
+				if selected[i] && !p.matches(c.vals[i]) {
+					selected[i] = false
+					nSel--
+				}
+			}
+		}
+	}
+
+	if nSel == 0 {
+		return out, nil
+	}
+
+	// Materialize: decode only the blocks of projected columns that
+	// still hold selected rows.
+	flat := make([]float64, nSel*len(colIdx))
+	out.Rows = make([]Row, 0, nSel)
+	for oi, j := range colIdx {
+		c, err := getCol(j)
+		if err != nil {
+			return nil, err
+		}
+		k := 0
+		for b := range c.blocks {
+			lo, hi := c.blockRange(b)
+			decodedBlock := false
+			for i := lo; i < hi; i++ {
+				if !selected[i] {
+					continue
+				}
+				if !decodedBlock {
+					if err := c.ensure(b, stats); err != nil {
+						return nil, err
+					}
+					decodedBlock = true
+				}
+				flat[k*len(colIdx)+oi] = c.vals[i]
+				k++
+			}
+			if !decodedBlock && stats != nil {
+				stats.blocksSkipped++
+			}
+		}
+	}
+	k := 0
+	for i := 0; i < nrows; i++ {
+		if !selected[i] {
+			continue
+		}
+		out.Rows = append(out.Rows, Row{
+			Key:    keys[i],
+			Values: flat[k*len(colIdx) : (k+1)*len(colIdx) : (k+1)*len(colIdx)],
+		})
+		k++
+	}
+	return out, nil
+}
+
+// decodeKeySection decodes the dictionary and per-row key slice. All
+// keys are substrings of one backing string, so a 30 k-row file costs
+// one allocation for key bytes, not one per key.
+func decodeKeySection(sect []byte, nrows int) ([]string, error) {
+	r := &colReader{data: sect}
+	dictN, err := r.length("dictionary count", 1)
+	if err != nil {
+		return nil, err
+	}
+	concatLen, err := r.length("dictionary bytes", 1)
+	if err != nil {
+		return nil, err
+	}
+	concat, err := r.bytes(concatLen, "dictionary bytes")
+	if err != nil {
+		return nil, err
+	}
+	backing := string(concat)
+	dict := make([]string, dictN)
+	off := 0
+	for i := 0; i < dictN; i++ {
+		l, err := r.uvarint("dictionary entry length")
+		if err != nil {
+			return nil, err
+		}
+		if l > uint64(len(backing)-off) {
+			return nil, r.fail("dictionary entry length")
+		}
+		dict[i] = backing[off : off+int(l)]
+		off += int(l)
+	}
+	if off != len(backing) {
+		return nil, r.fail("dictionary bytes not fully consumed")
+	}
+	idsPresent, err := r.byte1("ids flag")
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, nrows)
+	switch idsPresent {
+	case 0:
+		if dictN != nrows {
+			return nil, r.fail("identity ids with mismatched dictionary")
+		}
+		copy(keys, dict)
+	case 1:
+		for i := 0; i < nrows; i++ {
+			id, err := r.uvarint("row key id")
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(dictN) {
+				return nil, r.fail("row key id out of range")
+			}
+			keys[i] = dict[id]
+		}
+	default:
+		return nil, r.fail("bad ids flag")
+	}
+	if r.off != len(sect) {
+		return nil, r.fail("trailing bytes in key section")
+	}
+	return keys, nil
+}

@@ -1,0 +1,455 @@
+package tsv
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnsobservatory/internal/metrics"
+)
+
+// bothBackends runs fn against a fresh store of each backend so every
+// query-semantics test doubles as a cross-backend contract.
+func bothBackends(t *testing.T, fn func(t *testing.T, st *Store)) {
+	t.Helper()
+	for _, backend := range []string{BackendTSV, BackendColumnar} {
+		t.Run(backend, func(t *testing.T) {
+			st, err := NewStoreBackend(t.TempDir(), backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(t, st)
+		})
+	}
+}
+
+// putWindows stores n minutely windows of a fixed 3-object scenario:
+// "alpha" every window, "beta" every other window, "gamma" only in the
+// first.
+func putWindows(t *testing.T, st *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rows := []Row{{Key: "alpha", Values: []float64{100, 10.5, 300}}}
+		if i%2 == 0 {
+			rows = append(rows, Row{Key: "beta", Values: []float64{40, 2.25, 3600}})
+		}
+		if i == 0 {
+			rows = append(rows, Row{Key: "gamma", Values: []float64{900, 99, 60}})
+		}
+		snap := &Snapshot{
+			Aggregation: "srvip", Level: Minutely, Start: int64(i) * 60,
+			Columns: []string{"hits", "delay", "ttl"},
+			Kinds:   []Kind{Counter, Gauge, Mode},
+			Rows:    rows, Windows: 1, TotalBefore: 50, TotalAfter: 45,
+		}
+		if err := st.Put(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuerySingleWindowPassthrough(t *testing.T) {
+	bothBackends(t, func(t *testing.T, st *Store) {
+		putWindows(t, st, 4)
+		res, err := RunQuery(st, Query{Agg: "srvip", Level: Minutely, From: 60, To: 120})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Files != 1 || res.Windows != 1 || res.From != 60 || res.To != 60 {
+			t.Fatalf("meta = %+v", res)
+		}
+		// Window 1 (i=1) holds only alpha, bit-exact.
+		if len(res.Rows) != 1 || res.Rows[0].Key != "alpha" || res.Rows[0].Values[1] != 10.5 {
+			t.Fatalf("rows = %+v", res.Rows)
+		}
+	})
+}
+
+func TestQueryAggregatesLikeCascade(t *testing.T) {
+	bothBackends(t, func(t *testing.T, st *Store) {
+		putWindows(t, st, 10)
+		res, err := RunQuery(st, Query{Agg: "srvip", Level: Minutely})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Files != 10 || res.Windows != 10 {
+			t.Fatalf("files=%d windows=%d", res.Files, res.Windows)
+		}
+		if res.TotalBefore != 500 || res.TotalAfter != 450 {
+			t.Fatalf("totals = %d/%d", res.TotalBefore, res.TotalAfter)
+		}
+		get := func(key string) *Row {
+			for i := range res.Rows {
+				if res.Rows[i].Key == key {
+					return &res.Rows[i]
+				}
+			}
+			t.Fatalf("key %q missing from %+v", key, res.Rows)
+			return nil
+		}
+		// Counter: mean rate over ALL windows (absent = 0). Gauge: mean
+		// over present windows. Mode: window-weighted majority.
+		alpha := get("alpha")
+		if alpha.Values[0] != 100 || alpha.Values[1] != 10.5 || alpha.Values[2] != 300 {
+			t.Fatalf("alpha = %v", alpha.Values)
+		}
+		beta := get("beta") // present 5 of 10 windows
+		if beta.Values[0] != 20 || beta.Values[1] != 2.25 || beta.Values[2] != 3600 {
+			t.Fatalf("beta = %v", beta.Values)
+		}
+		gamma := get("gamma") // present 1 of 10
+		if gamma.Values[0] != 90 || gamma.Values[1] != 99 {
+			t.Fatalf("gamma = %v", gamma.Values)
+		}
+		// Report order: hits descending — alpha(100), gamma(90), beta(20).
+		if res.Rows[0].Key != "alpha" || res.Rows[1].Key != "gamma" || res.Rows[2].Key != "beta" {
+			t.Fatalf("order = %v %v %v", res.Rows[0].Key, res.Rows[1].Key, res.Rows[2].Key)
+		}
+	})
+}
+
+func TestQueryProjectionAndOrderBy(t *testing.T) {
+	bothBackends(t, func(t *testing.T, st *Store) {
+		putWindows(t, st, 6)
+		res, err := RunQuery(st, Query{
+			Agg: "srvip", Level: Minutely,
+			Columns: []string{"delay"}, OrderBy: "hits", K: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// OrderBy column is implicitly appended to the projection.
+		if len(res.Columns) != 2 || res.Columns[0] != "delay" || res.Columns[1] != "hits" {
+			t.Fatalf("columns = %v", res.Columns)
+		}
+		if res.Kinds[0] != Gauge || res.Kinds[1] != Counter {
+			t.Fatalf("kinds = %v", res.Kinds)
+		}
+		// Over 6 windows: gamma 900/6=150, alpha 100, beta 20.
+		if len(res.Rows) != 2 || res.Rows[0].Key != "gamma" || res.Rows[1].Key != "alpha" {
+			t.Fatalf("rows = %+v", res.Rows)
+		}
+	})
+}
+
+func TestQueryTopKTieOrdering(t *testing.T) {
+	bothBackends(t, func(t *testing.T, st *Store) {
+		snap := &Snapshot{
+			Aggregation: "tie", Level: Minutely, Start: 0,
+			Columns: []string{"hits"}, Kinds: []Kind{Counter}, Windows: 1,
+			Rows: []Row{
+				{Key: "zed", Values: []float64{5}},
+				{Key: "ant", Values: []float64{5}},
+				{Key: "mid", Values: []float64{5}},
+				{Key: "top", Values: []float64{9}},
+				{Key: "low", Values: []float64{1}},
+			},
+		}
+		if err := st.Put(snap); err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunQuery(st, Query{Agg: "tie", Level: Minutely, K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ties break by ascending key: top(9), then ant/mid at 5.
+		want := []string{"top", "ant", "mid"}
+		for i, k := range want {
+			if res.Rows[i].Key != k {
+				t.Fatalf("rank %d = %q, want %q (rows %+v)", i, res.Rows[i].Key, k, res.Rows)
+			}
+		}
+		// K larger than the row count returns everything, sorted.
+		res, err = RunQuery(st, Query{Agg: "tie", Level: Minutely, K: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 5 || res.Rows[4].Key != "low" {
+			t.Fatalf("rows = %+v", res.Rows)
+		}
+	})
+}
+
+func TestQueryKeyAndWhere(t *testing.T) {
+	bothBackends(t, func(t *testing.T, st *Store) {
+		putWindows(t, st, 6)
+		res, err := RunQuery(st, Query{Agg: "srvip", Level: Minutely, Key: "beta"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// beta exists in 3 of the 6 windows; missing windows contribute
+		// nothing to Files filtering (file still read) but the point
+		// lookup only aggregates windows where the key appears.
+		if len(res.Rows) != 1 || res.Rows[0].Key != "beta" {
+			t.Fatalf("rows = %+v", res.Rows)
+		}
+		if res.Files != 6 {
+			t.Fatalf("files = %d", res.Files)
+		}
+		// beta sum = 40*3 windows over 6 total = 20.
+		if res.Rows[0].Values[0] != 20 {
+			t.Fatalf("beta hits = %v", res.Rows[0].Values[0])
+		}
+
+		res, err = RunQuery(st, Query{
+			Agg: "srvip", Level: Minutely,
+			Where: []Pred{AtLeast("hits", 50)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Predicate applies per window: alpha (100 every window) and
+		// gamma (900 in window 0) pass; beta (40) never does.
+		keys := map[string]bool{}
+		for _, r := range res.Rows {
+			keys[r.Key] = true
+		}
+		if !keys["alpha"] || !keys["gamma"] || keys["beta"] {
+			t.Fatalf("rows = %+v", res.Rows)
+		}
+	})
+}
+
+func TestQueryErrors(t *testing.T) {
+	bothBackends(t, func(t *testing.T, st *Store) {
+		putWindows(t, st, 2)
+		for name, q := range map[string]Query{
+			"empty-agg":  {Level: Minutely},
+			"bad-level":  {Agg: "srvip", Level: MaxLevel + 1},
+			"neg-level":  {Agg: "srvip", Level: -1},
+			"inverted":   {Agg: "srvip", Level: Minutely, From: 500, To: 100},
+			"negative-k": {Agg: "srvip", Level: Minutely, K: -1},
+		} {
+			if _, err := RunQuery(st, q); !errors.Is(err, ErrBadQuery) {
+				t.Errorf("%s: want ErrBadQuery, got %v", name, err)
+			}
+		}
+		for name, q := range map[string]Query{
+			"unknown-agg": {Agg: "nope", Level: Minutely},
+			"empty-range": {Agg: "srvip", Level: Minutely, From: 9000},
+			"wrong-level": {Agg: "srvip", Level: Daily},
+		} {
+			if _, err := RunQuery(st, q); !errors.Is(err, ErrNoData) {
+				t.Errorf("%s: want ErrNoData, got %v", name, err)
+			}
+		}
+		for name, q := range map[string]Query{
+			"unknown-col":   {Agg: "srvip", Level: Minutely, Columns: []string{"nope"}},
+			"unknown-order": {Agg: "srvip", Level: Minutely, OrderBy: "nope"},
+			"unknown-where": {Agg: "srvip", Level: Minutely, Where: []Pred{AtLeast("nope", 1)}},
+		} {
+			if _, err := RunQuery(st, q); !errors.Is(err, ErrUnknownColumn) {
+				t.Errorf("%s: want ErrUnknownColumn, got %v", name, err)
+			}
+		}
+	})
+}
+
+func TestQuerySkipsCorruptFiles(t *testing.T) {
+	bothBackends(t, func(t *testing.T, st *Store) {
+		putWindows(t, st, 3)
+		// Corrupt the middle file on disk.
+		name := filepath.Join(st.Dir(), st.FileName(&Snapshot{Aggregation: "srvip", Level: Minutely, Start: 60}))
+		if err := os.WriteFile(name, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(st)
+		res, err := eng.Run(Query{Agg: "srvip", Level: Minutely})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Files != 2 || res.CorruptSkipped != 1 || res.Windows != 2 {
+			t.Fatalf("files=%d corrupt=%d windows=%d", res.Files, res.CorruptSkipped, res.Windows)
+		}
+		if eng.CorruptSkips() != 1 || eng.Queries() != 1 || eng.FilesScanned() != 2 {
+			t.Fatalf("engine counters: %d %d %d", eng.CorruptSkips(), eng.Queries(), eng.FilesScanned())
+		}
+	})
+}
+
+func TestEngineInstrument(t *testing.T) {
+	st, err := NewColumnarStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	putWindows(t, st, 2)
+	reg := metrics.NewRegistry()
+	eng := NewEngine(st)
+	eng.Instrument(reg)
+	if _, err := eng.Run(Query{Agg: "srvip", Level: Minutely, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dnsobs_query_total 1",
+		"dnsobs_query_files_total 2",
+		"dnsobs_query_rows_returned_total 1",
+		"dnsobs_query_seconds_count 1",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// hashResult renders a query result to a canonical text form and
+// hashes it — the golden comparison unit for backend equivalence.
+func hashResult(res *Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%v|%v|%d|%d|%d|%d|%d\n",
+		res.Agg, res.Level.Name(), res.Columns, res.Kinds,
+		res.From, res.To, res.Windows, res.TotalBefore, res.TotalAfter)
+	for _, r := range res.Rows {
+		fmt.Fprintf(h, "%s", r.Key)
+		for _, v := range r.Values {
+			fmt.Fprintf(h, "\t%x", math.Float64bits(v))
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestCrossBackendGolden is the equivalence contract from the issue:
+// identical snapshot streams ingested into a TSV store and a columnar
+// store, cascaded identically, must answer an identical query battery
+// with byte-identical results (asserted by hash) and hold identical
+// logical file contents at every level.
+func TestCrossBackendGolden(t *testing.T) {
+	tsvStore, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colStore, err := NewColumnarStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []*Store{tsvStore, colStore}
+
+	// Two aggregations, 60 minutely windows of deterministic data with
+	// churn in the key set.
+	x := xorshift(99)
+	const minutes = 60
+	for i := int64(0); i < minutes; i++ {
+		for _, agg := range []string{"srvip", "qtype"} {
+			var rows []Row
+			n := 20 + int(x.next()%30)
+			for j := 0; j < n; j++ {
+				rows = append(rows, Row{
+					Key: fmt.Sprintf("%s-obj-%d", agg, x.next()%40),
+					Values: []float64{
+						float64(x.next() % 10000),
+						x.float(),
+						[]float64{60, 300, 3600}[x.next()%3],
+					},
+				})
+			}
+			// Dedup keys within a window (stores assume unique keys per
+			// snapshot; duplicates would make Find ambiguous).
+			seen := map[string]bool{}
+			uniq := rows[:0]
+			for _, r := range rows {
+				if !seen[r.Key] {
+					seen[r.Key] = true
+					uniq = append(uniq, r)
+				}
+			}
+			snap := func() *Snapshot {
+				return &Snapshot{
+					Aggregation: agg, Level: Minutely, Start: i * 60,
+					Columns: []string{"hits", "delay", "ttl"},
+					Kinds:   []Kind{Counter, Gauge, Mode},
+					Rows:    uniq, Windows: 1,
+					TotalBefore: uint64(1000 + i), TotalAfter: uint64(900 + i),
+				}
+			}
+			for _, st := range stores {
+				if err := st.Put(snap()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, st := range stores {
+		if err := st.CascadeAll([]string{"srvip", "qtype"}, minutes*60); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every level's parsed contents must hash identically.
+	for _, agg := range []string{"srvip", "qtype"} {
+		for level := Minutely; level <= MaxLevel; level++ {
+			listA, err := tsvStore.List(agg, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			listB, err := colStore.List(agg, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(listA) != fmt.Sprint(listB) {
+				t.Fatalf("%s/%s: starts differ: %v vs %v", agg, level.Name(), listA, listB)
+			}
+			for _, s := range listA {
+				a, err := tsvStore.Get(agg, level, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := colStore.Get(agg, level, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var bufA, bufB bytes.Buffer
+				if _, err := a.WriteTo(&bufA); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.WriteTo(&bufB); err != nil {
+					t.Fatal(err)
+				}
+				ha := sha256.Sum256(bufA.Bytes())
+				hb := sha256.Sum256(bufB.Bytes())
+				if ha != hb {
+					t.Fatalf("%s/%s/%d: TSV rendering differs between backends", agg, level.Name(), s)
+				}
+			}
+		}
+	}
+
+	// Query battery: every query must hash identically on both stores.
+	battery := []Query{
+		{Agg: "srvip", Level: Minutely},
+		{Agg: "srvip", Level: Minutely, K: 10},
+		{Agg: "srvip", Level: Minutely, From: 600, To: 1800, K: 5, OrderBy: "delay"},
+		{Agg: "srvip", Level: Minutely, Columns: []string{"hits"}, K: 3},
+		{Agg: "srvip", Level: Minutely, Columns: []string{"ttl", "delay"}, OrderBy: "hits", K: 7},
+		{Agg: "srvip", Level: Minutely, Key: "srvip-obj-7"},
+		{Agg: "srvip", Level: Minutely, Where: []Pred{AtLeast("hits", 5000)}},
+		{Agg: "srvip", Level: Minutely, Where: []Pred{{Col: "ttl", Min: 3600, Max: 3600}}, K: 4},
+		{Agg: "qtype", Level: Decaminutely, K: 10},
+		{Agg: "qtype", Level: Hourly, OrderBy: "delay"},
+		{Agg: "srvip", Level: Hourly, From: 0, To: 3600},
+	}
+	for i, q := range battery {
+		ra, errA := RunQuery(tsvStore, q)
+		rb, errB := RunQuery(colStore, q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("query %d: error mismatch: %v vs %v", i, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if ha, hb := hashResult(ra), hashResult(rb); ha != hb {
+			t.Fatalf("query %d (%+v): result hash differs\n tsv: %s\n col: %s\n rows tsv=%d col=%d",
+				i, q, ha, hb, len(ra.Rows), len(rb.Rows))
+		}
+	}
+}

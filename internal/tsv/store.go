@@ -1,6 +1,7 @@
 package tsv
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,39 @@ import (
 
 	"dnsobservatory/internal/metrics"
 )
+
+// storeCodec is one on-disk snapshot representation. The store is
+// generic over it: cascade, retention, crash-safety and listing are
+// identical for every backend, only the bytes differ.
+type storeCodec struct {
+	name   string // backend name (BackendTSV, BackendColumnar)
+	ext    string // file extension, with dot
+	encode func(*Snapshot, io.Writer) (int64, error)
+	decode func(data []byte, proj *Projection, stats *colStats) (*Snapshot, error)
+}
+
+var tsvCodec = storeCodec{
+	name:   BackendTSV,
+	ext:    ".tsv",
+	encode: (*Snapshot).WriteTo,
+	decode: func(data []byte, proj *Projection, stats *colStats) (*Snapshot, error) {
+		// The row-oriented text format cannot skip anything: decode
+		// fully, then filter. The result is identical to the columnar
+		// fast path by construction.
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return applyProjection(s, proj)
+	},
+}
+
+var columnarCodec = storeCodec{
+	name:   BackendColumnar,
+	ext:    ".col",
+	encode: EncodeColumnar,
+	decode: decodeColumnar,
+}
 
 // ErrCorruptSnapshot matches (via errors.Is) any snapshot file the store
 // could open but not parse — truncated, bit-rotted, or half-written.
@@ -51,7 +85,8 @@ func (e *CorruptError) Is(target error) bool { return target == ErrCorruptSnapsh
 // orphaned by an earlier crash, and corrupt files are detected (typed
 // ErrCorruptSnapshot) and skipped with accounting rather than trusted.
 type Store struct {
-	dir string
+	dir   string
+	codec storeCodec
 	// Retain caps how many files of each level are kept; zero means
 	// unlimited. Older files beyond the cap are deleted by Retention.
 	Retain map[Level]int
@@ -77,10 +112,26 @@ type Store struct {
 	rowsWritten    atomic.Uint64
 	fsyncs         atomic.Uint64
 
+	// The per-level directory-listing cache: the read path (cascade,
+	// retention, web UI listings, range queries) used to rescan the
+	// directory on every call. listMu guards the cache maps; the hit and
+	// miss tallies are read-through metrics.
+	listMu     sync.Mutex
+	listCache  [MaxLevel + 1]map[string][]int64
+	listHits   atomic.Uint64
+	listMisses atomic.Uint64
+
+	// Selective-read accounting from the columnar codec.
+	blocksDecoded atomic.Uint64
+	blocksSkipped atomic.Uint64
+	bloomSkips    atomic.Uint64
+
 	// cascadeSeconds[level] is the per-level cascade duration histogram,
 	// populated by Instrument; nil slots are simply not observed.
 	cascadeSeconds [MaxLevel]*metrics.Histogram
 }
+
+var _ SnapshotStore = (*Store)(nil)
 
 // Instrument registers the store's counters with reg (rows written,
 // puts, fsyncs, corrupt-skips) and creates the per-level cascade
@@ -93,6 +144,11 @@ func (st *Store) Instrument(reg *metrics.Registry) {
 	reg.CounterFunc("dnsobs_store_rows_written_total", "TSV rows across committed snapshots", st.RowsWritten)
 	reg.CounterFunc("dnsobs_store_fsyncs_total", "file and directory fsyncs issued by Put", st.Fsyncs)
 	reg.CounterFunc("dnsobs_store_corrupt_skips_total", "corrupt snapshot files skipped by the cascade", st.CorruptSkipped)
+	reg.CounterFunc("dnsobs_store_list_cache_hits_total", "level listings served from the cached directory index", st.ListCacheHits)
+	reg.CounterFunc("dnsobs_store_list_cache_misses_total", "level listings that scanned the store directory", st.ListCacheMisses)
+	reg.CounterFunc("dnsobs_store_blocks_decoded_total", "columnar value blocks decoded", st.BlocksDecoded)
+	reg.CounterFunc("dnsobs_store_blocks_skipped_total", "columnar value blocks skipped by projection or predicate pushdown", st.BlocksSkipped)
+	reg.CounterFunc("dnsobs_store_bloom_skips_total", "point lookups answered negatively by the per-file key bloom", st.BloomSkips)
 	for level := Minutely; level < MaxLevel; level++ {
 		st.cascadeSeconds[level] = reg.Histogram("dnsobs_store_cascade_seconds",
 			"duration of one cascade pass per source level", metrics.DurationBuckets,
@@ -109,10 +165,36 @@ func (st *Store) RowsWritten() uint64 { return st.rowsWritten.Load() }
 // Fsyncs returns how many fsyncs (file and directory) Put has issued.
 func (st *Store) Fsyncs() uint64 { return st.fsyncs.Load() }
 
-// NewStore returns a store rooted at dir, creating it if needed and
-// deleting any .tmp-* files a crashed predecessor left behind (they
-// were never renamed into place, so they hold no committed data).
+// NewStore returns a TSV-backed store rooted at dir, creating it if
+// needed and deleting any .tmp-* files a crashed predecessor left
+// behind (they were never renamed into place, so they hold no committed
+// data).
 func NewStore(dir string) (*Store, error) {
+	return newStore(dir, tsvCodec)
+}
+
+// NewColumnarStore returns a store using the columnar snapshot format:
+// same directory layout, cascade and crash-safety as the TSV store, but
+// files decode by column with block skipping instead of row-by-row text
+// parsing.
+func NewColumnarStore(dir string) (*Store, error) {
+	return newStore(dir, columnarCodec)
+}
+
+// NewStoreBackend returns a store with the named backend: BackendTSV or
+// BackendColumnar. It is the -store flag's constructor.
+func NewStoreBackend(dir, backend string) (*Store, error) {
+	switch backend {
+	case BackendTSV:
+		return NewStore(dir)
+	case BackendColumnar:
+		return NewColumnarStore(dir)
+	}
+	return nil, fmt.Errorf("tsv: unknown store backend %q (want %q or %q)",
+		backend, BackendTSV, BackendColumnar)
+}
+
+func newStore(dir string, codec storeCodec) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -127,11 +209,19 @@ func NewStore(dir string) (*Store, error) {
 			}
 		}
 	}
-	return &Store{dir: dir, Retain: map[Level]int{}}, nil
+	return &Store{dir: dir, codec: codec, Retain: map[Level]int{}}, nil
 }
 
 // Dir returns the store's root directory.
 func (st *Store) Dir() string { return st.dir }
+
+// Backend returns the store's codec name: BackendTSV or
+// BackendColumnar.
+func (st *Store) Backend() string { return st.codec.name }
+
+// FileName returns the name Put commits s under: the canonical
+// agg-level-start stem with the backend's extension.
+func (st *Store) FileName(s *Snapshot) string { return s.fileStem() + st.codec.ext }
 
 // CorruptSkipped returns how many corrupt snapshot files Cascade has
 // skipped over the store's lifetime.
@@ -155,7 +245,7 @@ func (st *Store) Put(snap *Snapshot) error {
 	if st.WrapWriter != nil {
 		w = st.WrapWriter(w)
 	}
-	if _, err := snap.WriteTo(w); err != nil {
+	if _, err := st.codec.encode(snap, w); err != nil {
 		f.Close()
 		os.Remove(f.Name())
 		return err
@@ -172,10 +262,11 @@ func (st *Store) Put(snap *Snapshot) error {
 		os.Remove(f.Name())
 		return err
 	}
-	if err := os.Rename(f.Name(), filepath.Join(st.dir, snap.FileName())); err != nil {
+	if err := os.Rename(f.Name(), filepath.Join(st.dir, st.FileName(snap))); err != nil {
 		os.Remove(f.Name())
 		return err
 	}
+	st.notePut(snap.Aggregation, snap.Level, snap.Start)
 	st.puts.Add(1)
 	st.rowsWritten.Add(uint64(len(snap.Rows)))
 	if st.FsyncOnPut {
@@ -201,60 +292,134 @@ func syncDir(dir string) error {
 // but cannot be parsed yields a *CorruptError (matching
 // ErrCorruptSnapshot); a missing file yields the usual fs.ErrNotExist.
 func (st *Store) Get(agg string, level Level, start int64) (*Snapshot, error) {
-	name := (&Snapshot{Aggregation: agg, Level: level, Start: start}).FileName()
-	path := filepath.Join(st.dir, name)
-	f, err := os.Open(path)
+	return st.GetProjected(agg, level, start, nil)
+}
+
+// GetProjected loads the snapshot restricted to proj: only the
+// projected columns are materialized and only rows passing the key and
+// range predicates are returned. The columnar backend skips whole
+// blocks and answers negative point lookups from the bloom index; the
+// TSV backend decodes fully and filters, with identical results. A nil
+// or zero proj is a plain Get.
+func (st *Store) GetProjected(agg string, level Level, start int64, proj *Projection) (*Snapshot, error) {
+	snap := &Snapshot{Aggregation: agg, Level: level, Start: start}
+	path := filepath.Join(st.dir, st.FileName(snap))
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	s, err := Read(f)
+	var cs colStats
+	s, err := st.codec.decode(data, proj, &cs)
+	st.blocksDecoded.Add(cs.blocksDecoded)
+	st.blocksSkipped.Add(cs.blocksSkipped)
+	st.bloomSkips.Add(cs.bloomSkips)
 	if err != nil {
+		if errors.Is(err, ErrUnknownColumn) {
+			// A schema mismatch between query and file is the caller's
+			// error, not file damage.
+			return nil, err
+		}
 		return nil, &CorruptError{Path: path, Err: err}
 	}
 	s.Aggregation, s.Level, s.Start = agg, level, start
 	return s, nil
 }
 
+// BlocksDecoded, BlocksSkipped and BloomSkips report the columnar
+// codec's selective-read tallies (always zero for the TSV backend).
+func (st *Store) BlocksDecoded() uint64 { return st.blocksDecoded.Load() }
+
+// BlocksSkipped returns how many column blocks pushdown skipped.
+func (st *Store) BlocksSkipped() uint64 { return st.blocksSkipped.Load() }
+
+// BloomSkips returns how many point lookups the bloom index answered
+// negatively without decoding row data.
+func (st *Store) BloomSkips() uint64 { return st.bloomSkips.Load() }
+
 // List returns the start times of stored files for (agg, level),
-// ascending.
+// ascending. The result is the caller's to keep.
 func (st *Store) List(agg string, level Level) ([]int64, error) {
-	entries, err := os.ReadDir(st.dir)
+	byAgg, err := st.listLevel(level)
 	if err != nil {
 		return nil, err
 	}
-	var starts []int64
-	for _, e := range entries {
-		a, l, start, err := ParseFileName(e.Name())
-		if err != nil || a != agg || l != level {
-			continue
-		}
-		starts = append(starts, start)
-	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	return starts, nil
+	return byAgg[agg], nil
 }
 
+// ListCacheHits and ListCacheMisses report directory-listing cache
+// effectiveness.
+func (st *Store) ListCacheHits() uint64 { return st.listHits.Load() }
+
+// ListCacheMisses returns how many listLevel calls had to scan the
+// directory.
+func (st *Store) ListCacheMisses() uint64 { return st.listMisses.Load() }
+
 // listLevel returns the start times of every stored file at one level,
-// grouped by aggregation and ascending — one directory scan where a
-// List-per-aggregation loop would rescan the directory each time.
+// grouped by aggregation and ascending. The listing is cached per
+// level: Put inserts into it and Retention invalidates it, so the read
+// path (cascade grouping, web UI listings, query-engine ranges) stops
+// paying a full directory scan per call. The returned map is a copy the
+// caller may keep.
 func (st *Store) listLevel(level Level) (map[string][]int64, error) {
-	entries, err := os.ReadDir(st.dir)
-	if err != nil {
-		return nil, err
-	}
-	byAgg := map[string][]int64{}
-	for _, e := range entries {
-		a, l, start, err := ParseFileName(e.Name())
-		if err != nil || l != level {
-			continue
+	st.listMu.Lock()
+	defer st.listMu.Unlock()
+	cached := st.listCache[level]
+	if cached == nil {
+		st.listMisses.Add(1)
+		entries, err := os.ReadDir(st.dir)
+		if err != nil {
+			return nil, err
 		}
-		byAgg[a] = append(byAgg[a], start)
+		cached = map[string][]int64{}
+		for _, e := range entries {
+			a, l, start, ext, err := parseStoreFileName(e.Name())
+			if err != nil || l != level || ext != st.codec.ext {
+				continue
+			}
+			cached[a] = append(cached[a], start)
+		}
+		for _, starts := range cached {
+			sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		}
+		st.listCache[level] = cached
+	} else {
+		st.listHits.Add(1)
 	}
-	for _, starts := range byAgg {
-		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make(map[string][]int64, len(cached))
+	for a, starts := range cached {
+		out[a] = append([]int64(nil), starts...)
 	}
-	return byAgg, nil
+	return out, nil
+}
+
+// notePut inserts a freshly committed file into the level's cached
+// listing, keeping it warm through a cascade (which lists the level it
+// just wrote on the next pass). A cold cache stays cold: the next
+// listLevel scan will see the file.
+func (st *Store) notePut(agg string, level Level, start int64) {
+	st.listMu.Lock()
+	defer st.listMu.Unlock()
+	m := st.listCache[level]
+	if m == nil {
+		return
+	}
+	starts := m[agg]
+	i := sort.Search(len(starts), func(i int) bool { return starts[i] >= start })
+	if i < len(starts) && starts[i] == start {
+		return // overwrite of an existing window
+	}
+	starts = append(starts, 0)
+	copy(starts[i+1:], starts[i:])
+	starts[i] = start
+	m[agg] = starts
+}
+
+// invalidateLevel drops one level's cached listing (after Retention
+// deletes files).
+func (st *Store) invalidateLevel(level Level) {
+	st.listMu.Lock()
+	st.listCache[level] = nil
+	st.listMu.Unlock()
 }
 
 // Cascade aggregates complete groups of files into the next level, for
@@ -414,6 +579,7 @@ func (st *Store) Retention(agg string) error {
 				upperStarts[u] = true
 			}
 		}
+		removed := false
 		for _, s := range starts[:len(starts)-keep] {
 			if level < MaxLevel {
 				w := s - s%(level+1).Seconds()
@@ -421,10 +587,15 @@ func (st *Store) Retention(agg string) error {
 					continue // not yet aggregated; keep
 				}
 			}
-			name := (&Snapshot{Aggregation: agg, Level: level, Start: s}).FileName()
+			name := st.FileName(&Snapshot{Aggregation: agg, Level: level, Start: s})
 			if err := os.Remove(filepath.Join(st.dir, name)); err != nil {
+				st.invalidateLevel(level)
 				return err
 			}
+			removed = true
+		}
+		if removed {
+			st.invalidateLevel(level)
 		}
 	}
 	return nil

@@ -90,6 +90,13 @@ type Snapshot struct {
 	// Windows counts how many base windows were averaged into this
 	// snapshot (1 for a freshly dumped file).
 	Windows int
+
+	// keyIndex maps each key to the index of its first row, built lazily
+	// by Find so repeated point lookups stop paying a linear scan.
+	// SortByColumn drops it; callers that reorder or replace Rows by hand
+	// get the same protection from the per-hit key check in Find.
+	keyIndex     map[string]int
+	keyIndexRows int // len(Rows) when keyIndex was built
 }
 
 // Errors returned by the codec and aggregator.
@@ -100,15 +107,40 @@ var (
 	ErrMixedLevels  = errors.New("tsv: snapshots from different levels")
 )
 
-// FileName returns the canonical file name: the granularity and the
-// collection start moment are both encoded, per the paper.
-func (s *Snapshot) FileName() string {
-	return fmt.Sprintf("%s-%s-%d.tsv", s.Aggregation, s.Level.Name(), s.Start)
+// fileStem is the canonical file name without extension: the
+// granularity and the collection start moment are both encoded, per the
+// paper. The store appends its backend's extension.
+func (s *Snapshot) fileStem() string {
+	return fmt.Sprintf("%s-%s-%d", s.Aggregation, s.Level.Name(), s.Start)
 }
 
-// ParseFileName inverts FileName.
+// FileName returns the canonical TSV file name. Stores name files
+// themselves (Store.FileName) so the columnar backend can use its own
+// extension; this method remains the TSV form for compatibility.
+func (s *Snapshot) FileName() string {
+	return s.fileStem() + ".tsv"
+}
+
+// ParseFileName inverts FileName for either backend extension (.tsv or
+// .col); ext reports which (empty for neither, which is an error).
+func parseStoreFileName(name string) (agg string, level Level, start int64, ext string, err error) {
+	switch {
+	case strings.HasSuffix(name, ".tsv"):
+		ext = ".tsv"
+	case strings.HasSuffix(name, ".col"):
+		ext = ".col"
+	default:
+		return "", 0, 0, "", ErrBadFile
+	}
+	agg, level, start, err = ParseFileName(name)
+	return agg, level, start, ext, err
+}
+
+// ParseFileName inverts FileName; it accepts both the .tsv and the
+// columnar .col extensions.
 func ParseFileName(name string) (agg string, level Level, start int64, err error) {
 	name = strings.TrimSuffix(name, ".tsv")
+	name = strings.TrimSuffix(name, ".col")
 	parts := strings.Split(name, "-")
 	if len(parts) < 3 {
 		return "", 0, 0, ErrBadFile
@@ -416,14 +448,41 @@ func Aggregate(snaps []*Snapshot) (*Snapshot, error) {
 	return out, nil
 }
 
-// Find returns the row for key, or nil.
+// Find returns the first row for key, or nil. The first call builds a
+// key index, so a batch of point lookups costs one pass over the rows
+// instead of one scan per lookup. Find is not safe for concurrent use
+// (neither was the scan it replaces: callers sort and mutate snapshots
+// freely).
 func (s *Snapshot) Find(key string) *Row {
-	for i := range s.Rows {
-		if s.Rows[i].Key == key {
-			return &s.Rows[i]
+	if s.keyIndex == nil || s.keyIndexRows != len(s.Rows) {
+		// Build (or rebuild after rows were appended or truncated):
+		// first occurrence wins, matching the linear scan on duplicate
+		// keys.
+		idx := make(map[string]int, len(s.Rows))
+		for i := range s.Rows {
+			if _, dup := idx[s.Rows[i].Key]; !dup {
+				idx[s.Rows[i].Key] = i
+			}
 		}
+		s.keyIndex, s.keyIndexRows = idx, len(s.Rows)
 	}
-	return nil
+	i, ok := s.keyIndex[key]
+	if !ok || i >= len(s.Rows) {
+		return nil
+	}
+	if s.Rows[i].Key != key {
+		// Rows changed under the index (reordered or rewritten in place
+		// without going through SortByColumn); fall back to the scan
+		// once and drop the stale index so the next Find rebuilds it.
+		s.keyIndex, s.keyIndexRows = nil, 0
+		for j := range s.Rows {
+			if s.Rows[j].Key == key {
+				return &s.Rows[j]
+			}
+		}
+		return nil
+	}
+	return &s.Rows[i]
 }
 
 // Value returns row's value in the named column; ok is false when the
@@ -437,8 +496,10 @@ func (s *Snapshot) Value(r *Row, column string) (float64, bool) {
 	return 0, false
 }
 
-// SortByColumn orders rows by the named column, descending.
+// SortByColumn orders rows by the named column, descending. It drops
+// the lazy key index Find maintains, since row positions change.
 func (s *Snapshot) SortByColumn(column string) {
+	s.keyIndex, s.keyIndexRows = nil, 0
 	idx := -1
 	for i, c := range s.Columns {
 		if c == column {

@@ -2,7 +2,9 @@ package webui
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -24,7 +26,9 @@ import (
 type Server struct {
 	mu     sync.RWMutex
 	latest map[string]*tsv.Snapshot
-	store  *tsv.Store // optional
+	store  tsv.SnapshotStore // optional
+	engine *tsv.Engine       // non-nil iff store is
+	qOnce  sync.Once         // instruments engine on first Handler call
 
 	// Registry is the metrics registry served by /metrics and
 	// /api/metricsz and read by /healthz. Set before Handler;
@@ -44,9 +48,18 @@ type Server struct {
 }
 
 // NewServer returns a server; store may be nil when only live snapshots
-// are exposed.
-func NewServer(store *tsv.Store) *Server {
-	return &Server{latest: map[string]*tsv.Snapshot{}, store: store}
+// are exposed. Any SnapshotStore backend works — the server reads
+// through the interface, so TSV and columnar stores serve the same
+// endpoints.
+func NewServer(store tsv.SnapshotStore) *Server {
+	if st, ok := store.(*tsv.Store); ok && st == nil {
+		store = nil // typed nil from callers still means "no store"
+	}
+	s := &Server{latest: map[string]*tsv.Snapshot{}, store: store}
+	if store != nil {
+		s.engine = tsv.NewEngine(store)
+	}
+	return s
 }
 
 // OnSnapshot records a freshly dumped snapshot; hook it into the
@@ -74,8 +87,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /api/aggregations", s.handleAggregations)
 	mux.HandleFunc("GET /api/top/{agg}", s.handleTop)
+	mux.HandleFunc("GET /api/query", s.handleQuery)
 	mux.HandleFunc("GET /api/files/{agg}", s.handleFiles)
 	mux.HandleFunc("GET /files/{agg}/{level}/{start}", s.handleFile)
+	if s.engine != nil {
+		s.qOnce.Do(func() { s.engine.Instrument(s.registry()) })
+	}
 	if s.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -188,6 +205,134 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// parseLevel maps a level name ("minutely", "hourly", ...) to its
+// constant; ok is false for unknown names.
+func parseLevel(name string) (tsv.Level, bool) {
+	for l := tsv.Minutely; l <= tsv.MaxLevel; l++ {
+		if l.Name() == name {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// handleQuery serves GET /api/query — the read path over the snapshot
+// store. Parameters:
+//
+//	agg    aggregation name (required)
+//	level  level name (default "minutely")
+//	from   inclusive window-start lower bound, unix seconds (default 0)
+//	to     exclusive upper bound; 0 or absent means unbounded
+//	cols   CSV column projection (default: all columns)
+//	order  ranking column (default: first result column)
+//	k      top-k cap, 0 means all (default 50)
+//	key    exact-key point lookup
+//	where  repeatable predicate "col:min:max"; empty min/max mean
+//	       unbounded on that side
+//
+// Rows aggregate over the matched windows with the cascade's semantics
+// and rank by descending order-column value, ties by ascending key.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		http.Error(w, "no store attached", http.StatusNotFound)
+		return
+	}
+	qp := r.URL.Query()
+	q := tsv.Query{Agg: qp.Get("agg"), Level: tsv.Minutely, K: 50, Key: qp.Get("key"), OrderBy: qp.Get("order")}
+	if lv := qp.Get("level"); lv != "" {
+		level, ok := parseLevel(lv)
+		if !ok {
+			http.Error(w, "unknown level", http.StatusBadRequest)
+			return
+		}
+		q.Level = level
+	}
+	for name, dst := range map[string]*int64{"from": &q.From, "to": &q.To} {
+		if v := qp.Get(name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad "+name, http.StatusBadRequest)
+				return
+			}
+			*dst = n
+		}
+	}
+	if v := qp.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > 1000000 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+		q.K = n
+	}
+	if cols := qp.Get("cols"); cols != "" {
+		q.Columns = strings.Split(cols, ",")
+	}
+	for _, spec := range qp["where"] {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 || parts[0] == "" {
+			http.Error(w, "bad where (want col:min:max)", http.StatusBadRequest)
+			return
+		}
+		p := tsv.Pred{Col: parts[0], Min: math.Inf(-1), Max: math.Inf(1)}
+		if parts[1] != "" {
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				http.Error(w, "bad where min", http.StatusBadRequest)
+				return
+			}
+			p.Min = v
+		}
+		if parts[2] != "" {
+			v, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				http.Error(w, "bad where max", http.StatusBadRequest)
+				return
+			}
+			p.Max = v
+		}
+		q.Where = append(q.Where, p)
+	}
+
+	res, err := s.engine.Run(q)
+	switch {
+	case err == nil:
+	case errors.Is(err, tsv.ErrBadQuery), errors.Is(err, tsv.ErrUnknownColumn):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, tsv.ErrNoData):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := struct {
+		Aggregation    string   `json:"aggregation"`
+		Level          string   `json:"level"`
+		From           int64    `json:"from"`
+		To             int64    `json:"to"`
+		Windows        int      `json:"windows"`
+		Files          int      `json:"files"`
+		CorruptSkipped int      `json:"corrupt_skipped,omitempty"`
+		Columns        []string `json:"columns"`
+		Rows           []topRow `json:"rows"`
+	}{
+		Aggregation: res.Agg, Level: res.Level.Name(),
+		From: res.From, To: res.To,
+		Windows: res.Windows, Files: res.Files, CorruptSkipped: res.CorruptSkipped,
+		Columns: res.Columns, Rows: []topRow{},
+	}
+	for i := range res.Rows {
+		row := topRow{Rank: i + 1, Key: res.Rows[i].Key, Values: map[string]float64{}}
+		for c, name := range res.Columns {
+			row.Values[name] = res.Rows[i].Values[c]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	writeJSON(w, out)
+}
+
 func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
 		http.Error(w, "no store attached", http.StatusNotFound)
@@ -208,7 +353,7 @@ func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, start := range starts {
 			snap := tsv.Snapshot{Aggregation: agg, Level: level, Start: start}
-			files = append(files, fileInfo{Level: level.Name(), Start: start, Name: snap.FileName()})
+			files = append(files, fileInfo{Level: level.Name(), Start: start, Name: s.store.FileName(&snap)})
 		}
 	}
 	writeJSON(w, files)
