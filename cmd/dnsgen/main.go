@@ -10,14 +10,34 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"dnsobservatory/internal/chaos"
+	"dnsobservatory/internal/fleet"
 	"dnsobservatory/internal/scenario"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/simnet"
 	"dnsobservatory/internal/transport"
 )
+
+// parseConnect splits a -connect value: one bare address is a single
+// collector; a comma-separated list of name=addr pairs is a fleet.
+func parseConnect(s string) (names, addrs []string, isFleet bool, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) == 1 && !strings.Contains(parts[0], "=") {
+		return nil, []string{strings.TrimSpace(parts[0])}, false, nil
+	}
+	for _, p := range parts {
+		name, addr, ok := strings.Cut(strings.TrimSpace(p), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, nil, false, fmt.Errorf("bad -connect fleet entry %q (want name=addr)", p)
+		}
+		names = append(names, name)
+		addrs = append(addrs, addr)
+	}
+	return names, addrs, true, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stderr); err != nil {
@@ -37,8 +57,9 @@ func run(args []string, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		out        = fs.String("o", "-", "output file ('-' for stdout)")
-		connect    = fs.String("connect", "", "stream to a dnsobs collector at this address (host:port, tcp:host:port or unix:/path) instead of writing a file")
+		connect    = fs.String("connect", "", "stream to a dnsobs collector (host:port, tcp:host:port or unix:/path) instead of writing a file; a comma-separated list of name=addr pairs addresses a fleet, routed by consistent hash of the sensor name")
 		sensorName = fs.String("sensor", "dnsgen", "sensor name sent in the transport handshake (with -connect)")
+		sensorWAL  = fs.String("wal", "", "with -connect: spill the unacknowledged batch to a write-ahead log in this directory, so a restarted dnsgen retransmits what was never confirmed")
 		duration   = fs.Float64("duration", 300, "simulated seconds")
 		qps        = fs.Float64("qps", 2000, "client query events per second")
 		resolvers  = fs.Int("resolvers", 200, "recursive resolvers")
@@ -95,10 +116,25 @@ func run(args []string, stderr io.Writer) error {
 	var emit func(*sie.Transaction)
 	var finish func() error
 	if *connect != "" {
-		sensor := transport.NewSensor(transport.SensorConfig{
-			Addr: *connect,
-			Name: *sensorName,
-		})
+		cfg := transport.SensorConfig{
+			Name:   *sensorName,
+			WALDir: *sensorWAL,
+		}
+		if names, addrs, isFleet, err := parseConnect(*connect); err != nil {
+			return err
+		} else if isFleet {
+			// A fleet: route by consistent hash of the sensor name, with
+			// automatic failover to the next ring member when the owner
+			// stops answering.
+			rt := fleet.NewRouter(fleet.RouterConfig{})
+			for i := range names {
+				rt.SetNode(names[i], addrs[i])
+			}
+			cfg.Dial = rt.DialFunc(*sensorName)
+		} else {
+			cfg.Addr = addrs[0]
+		}
+		sensor := transport.NewSensor(cfg)
 		emit = func(tx *sie.Transaction) {
 			if writeErr == nil {
 				writeErr = sensor.Write(tx)

@@ -16,16 +16,19 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"dnsobservatory/internal/fleet"
 	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/observatory"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/transport"
 	"dnsobservatory/internal/tsv"
+	"dnsobservatory/internal/wal"
 	"dnsobservatory/internal/webui"
 )
 
@@ -70,6 +73,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "sharded engine: worker goroutines (0 = GOMAXPROCS, capped at 16)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the web UI (requires -http)")
 		report   = flag.Duration("report", 60*time.Second, "self-report interval for the health log line (0 disables)")
+		walDir   = flag.String("wal", "", "with -listen: journal accepted frames to a write-ahead log in this directory (durable ingest: spill instead of shed, replay after a crash)")
+		overload = flag.String("overload", "block", "with -listen: full-queue policy, block (backpressure) or shed (drop with accounting); a -wal collector spills instead")
+		fleetN   = flag.String("fleet", "", "this collector's fleet member name (with -peers)")
+		peers    = flag.String("peers", "", "fleet membership as name=addr,name=addr,... including this member (with -fleet)")
+		absorb   = flag.String("absorb", "", "comma-separated WAL directories of dead fleet peers to absorb before serving (frames past their last checkpoint re-enter ingest; with -fleet, filtered to sensors this member now owns)")
 	)
 	flag.Parse()
 	if *pprofOn && *httpAddr == "" {
@@ -77,6 +85,25 @@ func main() {
 	}
 	if *listen != "" && *in != "-" {
 		fatal(errors.New("-listen and -i are mutually exclusive"))
+	}
+	if *listen == "" {
+		for name, v := range map[string]string{"-wal": *walDir, "-fleet": *fleetN, "-peers": *peers, "-absorb": *absorb} {
+			if v != "" {
+				fatal(errors.New(name + " requires -listen"))
+			}
+		}
+	}
+	if (*fleetN == "") != (*peers == "") {
+		fatal(errors.New("-fleet and -peers go together"))
+	}
+	var shedPolicy transport.OverloadPolicy
+	switch *overload {
+	case "block":
+		shedPolicy = transport.Block
+	case "shed":
+		shedPolicy = transport.Shed
+	default:
+		fatal(fmt.Errorf("unknown -overload policy %q (block or shed)", *overload))
 	}
 
 	inFile := os.Stdin
@@ -115,10 +142,13 @@ func main() {
 	ui.EnablePprof = *pprofOn
 
 	// The parallel and sharded engines call onSnapshot from their own
-	// goroutines, so store state is mutex-guarded.
+	// goroutines, so store state is mutex-guarded. checkpoint, when set
+	// (serial engine over a -wal collector), advances the journal's
+	// consumer checkpoint after each snapshot lands.
 	var mu sync.Mutex
 	var snapErr error
 	var lastStart int64 = -1
+	var checkpoint func()
 	onSnapshot := func(s *tsv.Snapshot) {
 		ui.OnSnapshot(s)
 		mu.Lock()
@@ -131,6 +161,9 @@ func main() {
 			return
 		}
 		lastStart = s.Start
+		if checkpoint != nil {
+			checkpoint()
+		}
 	}
 	failed := func() error {
 		mu.Lock()
@@ -194,27 +227,124 @@ func main() {
 	// drains its queue, then closes the channel) for the listen path.
 	var src txSource
 	var stop func()
+	var finalize func()
 	if *listen != "" {
 		ln, err := transport.Listen(*listen)
 		if err != nil {
 			fatal(err)
 		}
 		coll := transport.NewCollector(transport.CollectorConfig{
-			Metrics: reg,
+			Metrics:  reg,
+			Overload: shedPolicy,
 			// A frame that is not a transaction is accounted exactly
 			// like an unparsable record from a stream file; the engine
 			// counters are atomic, so collector goroutines may call
 			// this concurrently with the ingest loop.
 			OnReject: func(error) { reject() },
 		})
+		if *walDir != "" {
+			if err := coll.OpenWAL(*walDir, wal.Options{}); err != nil {
+				fatal(err)
+			}
+			if ws, ok := coll.WALStatus(); ok && ws.Recovered > 0 {
+				fmt.Fprintf(os.Stderr, "dnsobs: wal: replaying %d unconfirmed transactions from %s\n", ws.Recovered, *walDir)
+			}
+			ui.WAL = func() any { ws, _ := coll.WALStatus(); return ws }
+		}
+
+		// Fleet membership: the ring tells this member which sensors it
+		// owns — both for /healthz and for filtering absorbed journals.
+		var keep func(sensor string) bool
+		if *fleetN != "" {
+			rt := fleet.NewRouter(fleet.RouterConfig{})
+			ring := fleet.NewRing(0)
+			self := false
+			for _, kv := range strings.Split(*peers, ",") {
+				name, addr, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok || name == "" || addr == "" {
+					fatal(fmt.Errorf("bad -peers entry %q (want name=addr)", kv))
+				}
+				rt.SetNode(name, addr)
+				ring.Add(name)
+				self = self || name == *fleetN
+			}
+			if !self {
+				fatal(fmt.Errorf("-fleet member %q is not in -peers", *fleetN))
+			}
+			ui.Fleet = func() any { return rt.Status() }
+			keep = func(sensor string) bool {
+				owner, ok := ring.Owner(sensor)
+				return ok && owner == *fleetN
+			}
+			fmt.Fprintf(os.Stderr, "dnsobs: fleet member %q of %d\n", *fleetN, len(ring.Nodes()))
+		}
+
+		// Absorb dead peers' journals before accepting connections, so
+		// their unconfirmed work re-enters ingest ahead of the displaced
+		// sensors' retransmissions (which then dedup cleanly).
+		if *absorb != "" {
+			if *walDir == "" {
+				// Without a journal of our own the absorbed backlog has
+				// nowhere to spill and could deadlock a full queue.
+				fatal(errors.New("-absorb requires -wal"))
+			}
+			for _, dir := range strings.Split(*absorb, ",") {
+				dir = strings.TrimSpace(dir)
+				if dir == "" {
+					continue
+				}
+				peerLog, err := wal.Open(dir, wal.Options{})
+				if err != nil {
+					fatal(fmt.Errorf("absorb %s: %w", dir, err))
+				}
+				absorbed, deduped, err := coll.AbsorbLog(peerLog, keep)
+				closeErr := peerLog.Close()
+				if err != nil {
+					fatal(fmt.Errorf("absorb %s: %w", dir, err))
+				}
+				if closeErr != nil {
+					fatal(closeErr)
+				}
+				fmt.Fprintf(os.Stderr, "dnsobs: absorbed %d transactions (%d duplicate) from %s\n", absorbed, deduped, dir)
+			}
+		}
+
 		go func() {
 			if err := coll.Serve(ln); err != nil {
 				fmt.Fprintln(os.Stderr, "dnsobs: listen:", err)
 			}
 		}()
 		ui.Sensors = func() any { return coll.Sensors() }
-		src = &collectorSource{c: coll.C()}
+		csrc := &collectorSource{c: coll.C()}
+		src = csrc
 		stop = func() { coll.Close() }
+		if *walDir != "" {
+			serial := !*parallel && !*sharded && *shards == 0 && *workers == 0
+			if serial {
+				// Snapshot n lands when transaction n+1 opens the next
+				// window, so everything before the current read is
+				// durably applied. Parallel engines apply out of order;
+				// they only checkpoint at shutdown.
+				ckptBroken := false
+				checkpoint = func() {
+					if csrc.n == 0 || ckptBroken {
+						return
+					}
+					if err := coll.Checkpoint(csrc.n - 1); err != nil {
+						fmt.Fprintln(os.Stderr, "dnsobs: wal checkpoint:", err)
+						ckptBroken = true
+					}
+				}
+			}
+			finalize = func() {
+				if err := coll.Checkpoint(csrc.n); err != nil {
+					fmt.Fprintln(os.Stderr, "dnsobs: wal checkpoint:", err)
+				}
+				if err := coll.CloseWAL(); err != nil {
+					fmt.Fprintln(os.Stderr, "dnsobs: wal close:", err)
+				}
+			}
+		}
 		fmt.Fprintf(os.Stderr, "dnsobs: listening for sensors on %s\n", *listen)
 	} else {
 		src = sie.NewReader(bufio.NewReaderSize(io.Reader(inFile), 1<<20))
@@ -334,6 +464,9 @@ func main() {
 		if err := store.Retention(name); err != nil {
 			fatal(err)
 		}
+	}
+	if finalize != nil {
+		finalize() // final WAL checkpoint: a clean shutdown replays nothing
 	}
 	es := stats()
 	fmt.Fprintf(os.Stderr, "dnsobs: %d transactions (%d unparsable) -> %s in %v\n",

@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"dnsobservatory/internal/tsv"
+)
+
+// MergeStores merges per-collector snapshot stores into one global
+// store: for every aggregation and minute window present in any
+// source, the per-collector partial snapshots are united with
+// tsv.MergeParts (rows joined, statistics summed, canonical order
+// restored) and written to dst. Sensors are sharded by name, so the
+// parts of one window are key-disjoint and the union is exact — the
+// merged store is what a single collector seeing the whole fleet's
+// traffic would have written. topK 0 keeps every row; a positive topK
+// truncates the merged window like a single-node aggregation would.
+//
+// Only the minute level is merged: coarser levels derive from it, so
+// run Store.CascadeAll on dst afterwards rather than merging derived
+// files.
+func MergeStores(dst *tsv.Store, topK int, aggs []string, srcs ...*tsv.Store) error {
+	for _, agg := range aggs {
+		byStart := map[int64][]*tsv.Snapshot{}
+		for _, src := range srcs {
+			starts, err := src.List(agg, tsv.Minutely)
+			if err != nil {
+				return fmt.Errorf("fleet: list %s: %w", agg, err)
+			}
+			for _, start := range starts {
+				snap, err := src.Get(agg, tsv.Minutely, start)
+				if err != nil {
+					return fmt.Errorf("fleet: read %s@%d: %w", agg, start, err)
+				}
+				byStart[start] = append(byStart[start], snap)
+			}
+		}
+		starts := make([]int64, 0, len(byStart))
+		for start := range byStart {
+			starts = append(starts, start)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		for _, start := range starts {
+			merged, err := tsv.MergeParts(topK, byStart[start]...)
+			if err != nil {
+				return fmt.Errorf("fleet: merge %s@%d: %w", agg, start, err)
+			}
+			if err := dst.Put(merged); err != nil {
+				return fmt.Errorf("fleet: put %s@%d: %w", agg, start, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per member: enough that
+// removing one collector scatters its sensors roughly evenly across the
+// survivors, small enough that rebuilding the ring is trivial.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring assigning sensor names to collector
+// nodes. Assignment is deterministic across processes and runs — both
+// ends of the fleet (dnsgen picking a collector, an operator predicting
+// placement) compute the same owner from the same member set. A member
+// join or leave moves only the keys in the vnode arcs it gains or
+// loses; everything else stays put, so a rebalance redials a fraction
+// of the sensors, not all of them.
+//
+// Ring is not goroutine-safe; Router wraps it with a lock.
+type Ring struct {
+	vnodes int
+	nodes  map[string]struct{}
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (DefaultVnodes when <= 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]struct{}{}}
+}
+
+// fnv64a is FNV-1a followed by a 64-bit avalanche finalizer. Raw FNV-1a
+// is nearly linear in the last byte, so "node#0".."node#63" hash to one
+// contiguous run and the ring degenerates into a few giant arcs; the
+// finalizer (splitmix64's mixer) spreads the vnodes uniformly.
+func fnv64a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add inserts a member; adding an existing member is a no-op.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: fnv64a(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes a member; its arcs fall to the next vnode clockwise.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports membership.
+func (r *Ring) Has(node string) bool {
+	_, ok := r.nodes[node]
+	return ok
+}
+
+// Nodes returns the members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the member owning key: the first vnode clockwise from
+// the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	return r.OwnerAvoiding(key, nil)
+}
+
+// OwnerAvoiding is Owner skipping members the filter rejects — the
+// failover walk: the next vnode clockwise belonging to an acceptable
+// member takes the key. ok is false when no member is acceptable.
+func (r *Ring) OwnerAvoiding(key string, avoid func(node string) bool) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := fnv64a(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if avoid == nil || !avoid(p.node) {
+			return p.node, true
+		}
+	}
+	return "", false
+}

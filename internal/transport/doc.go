@@ -4,21 +4,47 @@
 // a real network protocol instead of an in-process function call.
 //
 // The wire format is a sequence of typed, length-prefixed frames over
-// TCP or a Unix socket: a Hello handshake naming the sensor, then Data
-// frames each carrying one serialized sie.Transaction, then an
-// optional Bye. Sensor is the client: it batches frames, writes with
-// deadlines, and reconnects with jittered exponential backoff,
-// retransmitting the unacknowledged batch so a connection torn
-// mid-frame always resumes on a frame boundary (at-least-once
-// delivery). Collector is the server: it accepts many concurrent
-// sensor connections and fans their streams into one ordered ingest
-// channel with a bounded queue under the Block/Shed overload policy,
-// mirroring the sharded engine one layer up.
+// TCP or a Unix socket: a Hello handshake naming the sensor and its
+// epoch, then Data or SeqData frames each carrying one serialized
+// sie.Transaction, then an optional Bye. SeqData prefixes the payload
+// with a per-sensor sequence number; the collector acknowledges the
+// highest contiguous sequence with Ack frames (every AckEvery frames
+// and at Bye), so both ends agree on exactly which prefix of the
+// stream is durably accepted.
+//
+// Sensor is the client: it batches frames, writes with deadlines, and
+// reconnects with jittered exponential backoff, retransmitting the
+// unacknowledged suffix so a connection torn mid-frame always resumes
+// on a frame boundary. With SensorConfig.WALDir set, that suffix also
+// lives in a write-ahead log (internal/wal), so a sensor process crash
+// retransmits it too — the unacked window survives restarts.
+//
+// Collector is the server: it accepts many concurrent sensor
+// connections and fans their streams into one ordered ingest channel
+// with a bounded queue under the Block/Shed overload policy, mirroring
+// the sharded engine one layer up. Retransmission makes delivery
+// at-least-once on the wire; the collector turns it into
+// effectively-once at the channel by deduplicating on (sensor, epoch,
+// seq) — a frame at or below the highest sequence already accepted
+// from that sensor epoch is counted in Deduped and dropped. The epoch
+// (chosen by the sensor, normally its start time) scopes the sequence
+// space: a sensor that restarts without its WAL starts a fresh epoch
+// and is not misjudged against the old one's watermark.
+//
+// A collector can itself journal: OpenWAL attaches a write-ahead log
+// that absorbs bursts the bounded queue cannot (frames spill to disk
+// and a tailer replays them in order), persists accepted-but-unconsumed
+// frames across a crash, and is the unit of hand-off between fleet
+// members — AbsorbLog replays a dead peer's journal through the same
+// dedup gate, so a surviving collector adopts the dead one's sensors
+// without loss or double counting (see internal/fleet).
 //
 // Concurrency contract: a Sensor is owned by one goroutine (Stats is
 // the exception). A Collector runs one goroutine per connection plus
-// one per Serve call; Close stops accepting, cuts the connections,
-// waits for the handlers and closes the ingest channel, so the
-// consumer drains by ranging until the channel closes. Both ends
-// publish dnsobs_transport_* metric families when given a registry.
+// one per Serve call, plus one WAL tailer when a journal is attached;
+// Close stops accepting, cuts the connections, waits for the handlers
+// and the tailer and closes the ingest channel, so the consumer drains
+// by ranging until the channel closes. Both ends publish
+// dnsobs_transport_* (and dnsobs_wal_*) metric families when given a
+// registry.
 package transport

@@ -16,17 +16,35 @@ import (
 // sie.Transaction) and optionally ends with a Bye. A clean EOF on a
 // frame boundary is equivalent to a Bye.
 const (
-	// FrameHello opens a connection: payload is [version byte][sensor
-	// name]. The collector rejects unknown versions.
+	// FrameHello opens a connection. A version-1 payload is [1][sensor
+	// name]; a version-2 payload is [2][epoch: uvarint][sensor name],
+	// where the epoch identifies the sensor incarnation for
+	// effectively-once dedup. The collector rejects unknown versions.
 	FrameHello = 0x01
-	// FrameData carries one serialized sie.Transaction.
+	// FrameData carries one serialized sie.Transaction with no sequence
+	// number (version-1 sensors; at-least-once only).
 	FrameData = 0x02
 	// FrameBye marks a clean end of stream; its payload is empty.
 	FrameBye = 0x03
+	// FrameSeqData carries [seq: uvarint][serialized sie.Transaction].
+	// seq starts at 1 and increases by 1 per transaction within one
+	// (sensor, epoch); the collector dedups replays and retransmits on
+	// it and acknowledges delivery with Ack frames.
+	FrameSeqData = 0x04
+	// FrameAck flows collector→sensor: [seq: uvarint] acknowledges
+	// every sequenced frame with seq' <= seq as durably accepted
+	// (journaled and synced when the collector runs a WAL, enqueued
+	// otherwise). The sensor prunes its retransmit buffer on it.
+	FrameAck = 0x05
 )
 
-// ProtocolVersion is the hello version this implementation speaks.
-const ProtocolVersion = 1
+// ProtocolVersion is the baseline hello version (name only).
+// ProtocolVersionSeq is the sequenced-delivery version carrying the
+// sensor epoch. The collector accepts both.
+const (
+	ProtocolVersion    = 1
+	ProtocolVersionSeq = 2
+)
 
 // MaxFramePayload bounds a single frame payload. It matches
 // sie.MaxFrameLen — a Data payload is exactly one sie transaction
@@ -65,7 +83,8 @@ func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
-// AppendHello appends a Hello frame carrying the sensor name.
+// AppendHello appends a version-1 Hello frame carrying the sensor
+// name only.
 func AppendHello(dst []byte, name string) []byte {
 	payload := make([]byte, 0, 1+len(name))
 	payload = append(payload, ProtocolVersion)
@@ -73,15 +92,98 @@ func AppendHello(dst []byte, name string) []byte {
 	return AppendFrame(dst, FrameHello, payload)
 }
 
-// ParseHello decodes a Hello payload into the sensor name.
-func ParseHello(payload []byte) (string, error) {
-	if len(payload) < 2 || len(payload) > 1+MaxHelloName {
-		return "", ErrBadHello
+// AppendHelloEpoch appends a version-2 Hello frame carrying the sensor
+// name and its incarnation epoch.
+func AppendHelloEpoch(dst []byte, name string, epoch uint64) []byte {
+	payload := make([]byte, 0, 1+10+len(name))
+	payload = append(payload, ProtocolVersionSeq)
+	payload = appendUvarint(payload, epoch)
+	payload = append(payload, name...)
+	return AppendFrame(dst, FrameHello, payload)
+}
+
+// ParseHello decodes a Hello payload into the sensor name and epoch.
+// Version-1 hellos have no epoch; they report 0, which disables dedup.
+func ParseHello(payload []byte) (name string, epoch uint64, err error) {
+	if len(payload) < 2 {
+		return "", 0, ErrBadHello
 	}
-	if payload[0] != ProtocolVersion {
-		return "", ErrBadVersion
+	switch payload[0] {
+	case ProtocolVersion:
+		payload = payload[1:]
+	case ProtocolVersionSeq:
+		var n int
+		epoch, n = uvarint(payload[1:])
+		if n <= 0 {
+			return "", 0, ErrBadHello
+		}
+		payload = payload[1+n:]
+		if len(payload) == 0 {
+			return "", 0, ErrBadHello
+		}
+	default:
+		return "", 0, ErrBadVersion
 	}
-	return string(payload[1:]), nil
+	if len(payload) > MaxHelloName {
+		return "", 0, ErrBadHello
+	}
+	return string(payload), epoch, nil
+}
+
+// AppendSeqData appends a sequenced Data frame: seq, then the
+// serialized transaction bytes.
+func AppendSeqData(dst []byte, seq uint64, tx []byte) []byte {
+	dst = append(dst, FrameSeqData)
+	var pre [10]byte
+	n := len(appendUvarint(pre[:0], seq))
+	dst = appendUvarint(dst, uint64(n+len(tx)))
+	dst = append(dst, pre[:n]...)
+	return append(dst, tx...)
+}
+
+// ParseSeqData splits a SeqData payload into the sequence number and
+// the transaction bytes.
+func ParseSeqData(payload []byte) (seq uint64, tx []byte, err error) {
+	seq, n := uvarint(payload)
+	if n <= 0 {
+		return 0, nil, ErrVarintOverflow
+	}
+	return seq, payload[n:], nil
+}
+
+// AppendAck appends an Ack frame for the cumulative sequence number.
+func AppendAck(dst []byte, seq uint64) []byte {
+	var pre [10]byte
+	return AppendFrame(dst, FrameAck, appendUvarint(pre[:0], seq))
+}
+
+// ParseAck decodes an Ack payload.
+func ParseAck(payload []byte) (seq uint64, err error) {
+	seq, n := uvarint(payload)
+	if n <= 0 || n != len(payload) {
+		return 0, ErrVarintOverflow
+	}
+	return seq, nil
+}
+
+// uvarint decodes a base-128 varint from the head of b, returning the
+// value and the bytes consumed (<= 0 on truncated or overflowing
+// input) — the slice-based twin of FrameReader.readUvarint.
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if shift >= 64 || (shift == 63 && c > 1) {
+			return 0, -1
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, 0
 }
 
 // FrameReader decodes frames from a stream through one per-connection
@@ -97,6 +199,11 @@ func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{br: bufio.NewReaderSize(r, 64<<10)}
 }
 
+// Buffered reports the bytes already read from the connection but not
+// yet consumed as frames — 0 means the next Next would hit the wire.
+// The collector uses it to flush pending acks before blocking.
+func (fr *FrameReader) Buffered() int { return fr.br.Buffered() }
+
 // Next returns the next frame. It returns io.EOF at a clean end of
 // stream (between frames) and io.ErrUnexpectedEOF when the stream ends
 // inside a frame; all other malformed input returns one of the typed
@@ -109,7 +216,7 @@ func (fr *FrameReader) Next() (typ byte, payload []byte, err error) {
 		}
 		return 0, nil, err
 	}
-	if typ != FrameHello && typ != FrameData && typ != FrameBye {
+	if typ < FrameHello || typ > FrameAck {
 		return 0, nil, ErrUnknownFrameType
 	}
 	n, err := fr.readUvarint()

@@ -23,6 +23,8 @@ func FuzzReadFrame(f *testing.F) {
 	tx := &sie.Transaction{QueryPacket: []byte("q"), QueryTime: time.Unix(1, 0)}
 	f.Add(AppendFrame(AppendHello(nil, "s"), FrameData, tx.Append(nil)))
 	f.Add(AppendFrame(nil, FrameBye, nil))
+	f.Add(AppendSeqData(AppendHelloEpoch(nil, "s2", 77), 9, tx.Append(nil)))
+	f.Add(AppendAck(nil, 1<<40))
 	// Malformed seeds steering the fuzzer at each error path.
 	f.Add([]byte{FrameData})                               // missing length
 	f.Add([]byte{FrameData, 0x80})                         // truncated varint
@@ -52,14 +54,25 @@ func FuzzReadFrame(f *testing.F) {
 			if len(payload) > MaxFramePayload {
 				t.Fatalf("decoder over-allocated: %d-byte payload", len(payload))
 			}
-			if typ != FrameHello && typ != FrameData && typ != FrameBye {
+			if typ < FrameHello || typ > FrameAck {
 				t.Fatalf("decoder returned unknown type %#x without error", typ)
 			}
-			// Hello payloads must parse or fail with a typed error too.
-			if typ == FrameHello {
-				if _, err := ParseHello(payload); err != nil &&
+			// Payload parsers must succeed or fail with typed errors too.
+			switch typ {
+			case FrameHello:
+				if _, _, err := ParseHello(payload); err != nil &&
 					!errors.Is(err, ErrBadHello) && !errors.Is(err, ErrBadVersion) {
 					t.Fatalf("untyped hello error: %v", err)
+				}
+			case FrameSeqData:
+				if _, _, err := ParseSeqData(payload); err != nil &&
+					!errors.Is(err, ErrVarintOverflow) {
+					t.Fatalf("untyped seq-data error: %v", err)
+				}
+			case FrameAck:
+				if _, err := ParseAck(payload); err != nil &&
+					!errors.Is(err, ErrVarintOverflow) {
+					t.Fatalf("untyped ack error: %v", err)
 				}
 			}
 			consumed++

@@ -32,6 +32,32 @@ const (
 	// deadline cuts of stalled senders), "protocol" (handshake or
 	// unexpected frame).
 	MetricDisconnects = "dnsobs_transport_disconnects_total"
+	// MetricUnacked is a sensor's unacknowledged-batch depth:
+	// transactions written but not yet confirmed by the collector,
+	// sampled at scrape time and labeled by sensor name.
+	MetricUnacked = "dnsobs_transport_unacked"
+	// MetricDeduped counts sequenced frames the collector dropped as
+	// already-seen (sensor, epoch, seq) replays.
+	MetricDeduped = "dnsobs_transport_deduped_total"
+	// MetricAcks counts acknowledgement frames the collector sent.
+	MetricAcks = "dnsobs_transport_acks_total"
+	// MetricEnqueued counts transactions the collector put on its
+	// ingest channel, from the live stream or the journal.
+	MetricEnqueued = "dnsobs_transport_enqueued_total"
+	// MetricWALSpilled counts journaled transactions deferred to the
+	// spill tailer because the ingest queue was full.
+	MetricWALSpilled = "dnsobs_wal_spilled_total"
+	// MetricWALReplayed counts transactions enqueued from the journal:
+	// spill drains, restart recovery, absorbed peer logs.
+	MetricWALReplayed = "dnsobs_wal_replayed_total"
+	// MetricWALAppends counts journal record appends.
+	MetricWALAppends = "dnsobs_wal_appends_total"
+	// MetricWALSize is the journal's on-disk size in bytes.
+	MetricWALSize = "dnsobs_wal_size_bytes"
+	// MetricWALSegments is the journal's segment-file count.
+	MetricWALSegments = "dnsobs_wal_segments"
+	// MetricWALCheckpoint is the highest checkpointed journal position.
+	MetricWALCheckpoint = "dnsobs_wal_checkpoint_position"
 )
 
 // collectorMetrics is the collector's counter set. Like the engines'
@@ -47,6 +73,11 @@ type collectorMetrics struct {
 	disconnectEOF  *metrics.Counter
 	disconnectErr  *metrics.Counter
 	disconnectProt *metrics.Counter
+	deduped        *metrics.Counter
+	acks           *metrics.Counter
+	enqueued       *metrics.Counter
+	spilled        *metrics.Counter
+	replayed       *metrics.Counter
 }
 
 func newCollectorMetrics(reg *metrics.Registry) *collectorMetrics {
@@ -59,6 +90,11 @@ func newCollectorMetrics(reg *metrics.Registry) *collectorMetrics {
 			disconnectEOF:  metrics.NewCounter(),
 			disconnectErr:  metrics.NewCounter(),
 			disconnectProt: metrics.NewCounter(),
+			deduped:        metrics.NewCounter(),
+			acks:           metrics.NewCounter(),
+			enqueued:       metrics.NewCounter(),
+			spilled:        metrics.NewCounter(),
+			replayed:       metrics.NewCounter(),
 		}
 	}
 	return &collectorMetrics{
@@ -69,6 +105,11 @@ func newCollectorMetrics(reg *metrics.Registry) *collectorMetrics {
 		disconnectEOF:  reg.Counter(MetricDisconnects, "connection ends by reason", "role", "collector", "reason", "eof"),
 		disconnectErr:  reg.Counter(MetricDisconnects, "connection ends by reason", "role", "collector", "reason", "error"),
 		disconnectProt: reg.Counter(MetricDisconnects, "connection ends by reason", "role", "collector", "reason", "protocol"),
+		deduped:        reg.Counter(MetricDeduped, "sequenced frames dropped as already-seen replays", "role", "collector"),
+		acks:           reg.Counter(MetricAcks, "acknowledgement frames sent to sensors", "role", "collector"),
+		enqueued:       reg.Counter(MetricEnqueued, "transactions put on the ingest channel", "role", "collector"),
+		spilled:        reg.Counter(MetricWALSpilled, "journaled transactions deferred to the spill tailer", "role", "collector"),
+		replayed:       reg.Counter(MetricWALReplayed, "transactions enqueued from the journal", "role", "collector"),
 	}
 }
 

@@ -40,9 +40,9 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil || typ != FrameHello {
 		t.Fatalf("hello: typ=%d err=%v", typ, err)
 	}
-	name, err := ParseHello(p)
-	if err != nil || name != "s1" {
-		t.Fatalf("hello name=%q err=%v", name, err)
+	name, epoch, err := ParseHello(p)
+	if err != nil || name != "s1" || epoch != 0 {
+		t.Fatalf("hello name=%q epoch=%d err=%v", name, epoch, err)
 	}
 	for i, want := range payloads {
 		typ, p, err = fr.Next()
@@ -85,18 +85,28 @@ func TestFrameDecoderTypedErrors(t *testing.T) {
 }
 
 func TestParseHelloErrors(t *testing.T) {
-	if _, err := ParseHello(nil); !errors.Is(err, ErrBadHello) {
+	if _, _, err := ParseHello(nil); !errors.Is(err, ErrBadHello) {
 		t.Errorf("empty hello: %v", err)
 	}
-	if _, err := ParseHello([]byte{ProtocolVersion}); !errors.Is(err, ErrBadHello) {
+	if _, _, err := ParseHello([]byte{ProtocolVersion}); !errors.Is(err, ErrBadHello) {
 		t.Errorf("nameless hello: %v", err)
 	}
-	if _, err := ParseHello(append([]byte{99}, "x"...)); !errors.Is(err, ErrBadVersion) {
+	if _, _, err := ParseHello(append([]byte{99}, "x"...)); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("bad version: %v", err)
 	}
 	long := append([]byte{ProtocolVersion}, bytes.Repeat([]byte("n"), MaxHelloName+1)...)
-	if _, err := ParseHello(long); !errors.Is(err, ErrBadHello) {
+	if _, _, err := ParseHello(long); !errors.Is(err, ErrBadHello) {
 		t.Errorf("oversized name: %v", err)
+	}
+	if _, _, err := ParseHello([]byte{ProtocolVersionSeq, 0x80}); !errors.Is(err, ErrBadHello) {
+		t.Errorf("truncated epoch: %v", err)
+	}
+	if _, _, err := ParseHello([]byte{ProtocolVersionSeq, 0x07}); !errors.Is(err, ErrBadHello) {
+		t.Errorf("nameless v2 hello: %v", err)
+	}
+	name, epoch, err := ParseHello(AppendHelloEpoch(nil, "s9", 1<<40)[2:])
+	if err != nil || name != "s9" || epoch != 1<<40 {
+		t.Errorf("v2 hello round trip: name=%q epoch=%d err=%v", name, epoch, err)
 	}
 }
 
@@ -232,8 +242,9 @@ func TestSensorReconnectResumesExactly(t *testing.T) {
 	go func() { got <- drain(coll) }()
 
 	// Fail the 4th write outright (nothing delivered): the sensor must
-	// redial and retransmit the batch, with no loss and — because the
-	// failed write delivered nothing — no duplicates either.
+	// redial and retransmit the unacknowledged batch; the collector
+	// dedups whatever overlap the retransmission carries, so delivery
+	// is exactly-once with no gaps and no reordering.
 	failAt := 4
 	s := NewSensor(SensorConfig{
 		Addr: addr, Name: "flaky", FlushBytes: 256,
@@ -249,7 +260,7 @@ func TestSensorReconnectResumesExactly(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return coll.Stats().Frames == n })
+	waitFor(t, func() bool { return coll.Stats().Enqueued == n })
 	coll.Close()
 	txs := <-got
 	if len(txs) != n {
@@ -260,9 +271,16 @@ func TestSensorReconnectResumesExactly(t *testing.T) {
 			t.Fatalf("transaction %d out of order after reconnect", i)
 		}
 	}
+	cst := coll.Stats()
+	if cst.Frames != cst.Deduped+cst.Enqueued {
+		t.Errorf("frame accounting: frames=%d deduped=%d enqueued=%d", cst.Frames, cst.Deduped, cst.Enqueued)
+	}
 	st := s.Stats()
 	if st.Connects != 2 || st.Reconnects != 1 {
 		t.Errorf("stats after one cut: %+v", st)
+	}
+	if st.Acked != n {
+		t.Errorf("acked = %d, want %d", st.Acked, n)
 	}
 }
 

@@ -1,0 +1,616 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Segment files are named by the position of their first record, so
+// positions stay stable when old segments are garbage-collected:
+//
+//	wal-0000000000000001.seg
+//
+// Every segment starts with an 8-byte magic and holds length-prefixed,
+// checksummed records:
+//
+//	[body length: u32 LE][crc32(body): u32 LE][body]
+//	body = [kind: 1 byte][epoch: uvarint][len(sensor): uvarint][sensor]
+//	       [seq: uvarint][payload: rest]
+//
+// Positions are 1-based and strictly increasing across segments,
+// rotations and Reset, within the lifetime of one directory.
+const (
+	segMagic   = "DOBSWAL1"
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	recHeader  = 8 // length + checksum
+	baseDigits = 16
+)
+
+// MaxRecordBody bounds one record body: comfortably above the largest
+// transport frame payload plus the sensor-name and varint overhead, and
+// the cap on what recovery will ever allocate for one record, whatever
+// the length prefix claims.
+const MaxRecordBody = 1<<17 + 512
+
+// MaxSensorName bounds the sensor name carried in a record. It matches
+// the transport hello limit.
+const MaxSensorName = 256
+
+// Kind tags what a record means to the layer that wrote it.
+type Kind uint8
+
+const (
+	// KindData carries one spilled frame payload (a serialized
+	// transaction) under the writer's (sensor, epoch, seq) identity.
+	KindData Kind = 1
+	// KindAck marks every data record with Seq' <= Seq as delivered
+	// (sensor-side write-ahead logs).
+	KindAck Kind = 2
+	// KindCheckpoint marks every record with position <= Seq as consumed
+	// and durably snapshotted (collector-side journals); replay after a
+	// restart starts past it.
+	KindCheckpoint Kind = 3
+)
+
+// Errors returned by the log. Recovery maps every malformed byte
+// sequence to one of these (or io.ErrUnexpectedEOF for a record torn by
+// a crash mid-write) — it never panics and never allocates more than
+// MaxRecordBody for one record.
+var (
+	// ErrBadSegment reports corruption in a sealed segment — unlike a
+	// torn active tail, which recovery truncates, a sealed segment was
+	// fully written and synced, so damage there is data loss the caller
+	// must decide about.
+	ErrBadSegment = errors.New("wal: corrupt sealed segment")
+	// ErrBadRecord reports a record that is structurally malformed: a
+	// zero or oversized length prefix, a checksum mismatch, or an
+	// undecodable body.
+	ErrBadRecord = errors.New("wal: malformed record")
+	// ErrRecordTooLarge is returned by Append for a record exceeding
+	// MaxRecordBody or MaxSensorName.
+	ErrRecordTooLarge = errors.New("wal: record exceeds size limit")
+	// ErrClosed is returned by every method after Close.
+	ErrClosed = errors.New("wal: log is closed")
+)
+
+// Record is one log entry.
+type Record struct {
+	Kind   Kind
+	Sensor string
+	Epoch  uint64
+	Seq    uint64
+	// Payload is the record body tail. Decoded records alias the read
+	// buffer: valid until the next record is read; copy to retain.
+	Payload []byte
+}
+
+// Options tunes a Log. The zero value is usable.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 8 MiB): an append
+	// that would grow the active segment past it seals the segment and
+	// starts a new one.
+	SegmentBytes int
+	// SyncEvery fsyncs the active segment after every N appends. 0 (the
+	// default) leaves syncing to explicit Sync calls — the writing layer
+	// aligns durability barriers with its own batching — plus the
+	// implicit sync on rotation and Close.
+	SyncEvery int
+}
+
+// Stats is a snapshot of a log's counters.
+type Stats struct {
+	// Appends counts records appended in this process.
+	Appends uint64
+	// Syncs counts fsyncs of the active segment.
+	Syncs uint64
+	// Resets counts whole-log resets.
+	Resets uint64
+	// Trims counts sealed segments garbage-collected by TrimTo.
+	Trims uint64
+	// Recovered counts records found on disk at Open.
+	Recovered uint64
+	// TruncatedBytes counts bytes of torn active tail discarded at Open.
+	TruncatedBytes uint64
+}
+
+// segment is one on-disk file of the log.
+type segment struct {
+	base    uint64 // position of its first record
+	path    string
+	records uint64
+	size    int64 // committed bytes, magic included
+}
+
+// Log is a crash-safe, segment-based append log. All methods are safe
+// for concurrent use; Cursor gives a reader that tails the log while
+// appends continue.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	segs    []*segment
+	active  *os.File // append handle for the last segment
+	nextPos uint64
+	dirty   int // appends since the last fsync
+	scratch []byte
+	closed  bool
+
+	appends   atomic.Uint64
+	syncs     atomic.Uint64
+	resets    atomic.Uint64
+	trims     atomic.Uint64
+	recovered uint64
+	truncated uint64
+}
+
+// Open opens (creating if needed) the log in dir and recovers its
+// state: every segment is scanned and checksummed, a torn tail on the
+// active segment is truncated at the first bad record, and corruption
+// in a sealed segment fails with ErrBadSegment.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 8 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	names, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		base, ok := parseSegName(filepath.Base(path))
+		if !ok {
+			continue // foreign file; leave it alone
+		}
+		l.segs = append(l.segs, &segment{base: base, path: path})
+	}
+	if len(l.segs) == 0 {
+		if err := l.addSegment(1); err != nil {
+			return nil, err
+		}
+		l.nextPos = 1
+		return l, nil
+	}
+	for i, s := range l.segs {
+		if i > 0 {
+			prev := l.segs[i-1]
+			if s.base != prev.base+prev.records {
+				return nil, fmt.Errorf("%w: %s: first position %d does not follow %s (%d records from %d)",
+					ErrBadSegment, s.path, s.base, prev.path, prev.records, prev.base)
+			}
+		}
+		if err := l.scanSegment(s, i == len(l.segs)-1); err != nil {
+			return nil, err
+		}
+	}
+	last := l.segs[len(l.segs)-1]
+	l.nextPos = last.base + last.records
+	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.active = f
+	return l, nil
+}
+
+// parseSegName extracts the base position from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if len(name) != len(segPrefix)+baseDigits+len(segSuffix) ||
+		name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+		return 0, false
+	}
+	var base uint64
+	for _, c := range []byte(name[len(segPrefix) : len(segPrefix)+baseDigits]) {
+		switch {
+		case c >= '0' && c <= '9':
+			base = base<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			base = base<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return base, base > 0
+}
+
+// segName renders the file name for a segment starting at pos.
+func segName(pos uint64) string {
+	return fmt.Sprintf("%s%0*x%s", segPrefix, baseDigits, pos, segSuffix)
+}
+
+// scanSegment validates one segment and counts its records. On the
+// active (last) segment a torn or corrupt tail is truncated at the
+// first bad record; on a sealed segment it is ErrBadSegment.
+func (l *Log) scanSegment(s *segment, last bool) error {
+	b, err := os.ReadFile(s.path)
+	if err != nil {
+		return err
+	}
+	if len(b) < len(segMagic) || string(b[:len(segMagic)]) != segMagic {
+		if !last {
+			return fmt.Errorf("%w: %s: bad segment header", ErrBadSegment, s.path)
+		}
+		// A crash between creating the file and writing the magic leaves
+		// a short header; rewrite the segment as empty.
+		l.truncated += uint64(len(b))
+		if err := os.WriteFile(s.path, []byte(segMagic), 0o644); err != nil {
+			return err
+		}
+		s.size = int64(len(segMagic))
+		return nil
+	}
+	off := len(segMagic)
+	for off < len(b) {
+		_, n, err := parseRecord(b[off:])
+		if err != nil {
+			if !last {
+				return fmt.Errorf("%w: %s: offset %d: %v", ErrBadSegment, s.path, off, err)
+			}
+			l.truncated += uint64(len(b) - off)
+			if err := os.Truncate(s.path, int64(off)); err != nil {
+				return err
+			}
+			break
+		}
+		s.records++
+		l.recovered++
+		off += n
+	}
+	s.size = int64(off)
+	return nil
+}
+
+// parseRecord decodes one record from the head of b. It returns the
+// record and its encoded length, io.EOF on empty input,
+// io.ErrUnexpectedEOF when b ends inside the record, and ErrBadRecord
+// for structural damage. The payload aliases b.
+func parseRecord(b []byte) (Record, int, error) {
+	var rec Record
+	if len(b) == 0 {
+		return rec, 0, io.EOF
+	}
+	if len(b) < recHeader {
+		return rec, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > MaxRecordBody {
+		return rec, 0, ErrBadRecord
+	}
+	if len(b) < recHeader+int(n) {
+		return rec, 0, io.ErrUnexpectedEOF
+	}
+	body := b[recHeader : recHeader+int(n)]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(b[4:]) {
+		return rec, 0, ErrBadRecord
+	}
+	if err := decodeBody(body, &rec); err != nil {
+		return rec, 0, err
+	}
+	return rec, recHeader + int(n), nil
+}
+
+// decodeBody parses a record body into rec. The payload aliases body.
+func decodeBody(body []byte, rec *Record) error {
+	if len(body) < 1 {
+		return ErrBadRecord
+	}
+	kind := Kind(body[0])
+	if kind != KindData && kind != KindAck && kind != KindCheckpoint {
+		return ErrBadRecord
+	}
+	b := body[1:]
+	epoch, n := binary.Uvarint(b)
+	if n <= 0 {
+		return ErrBadRecord
+	}
+	b = b[n:]
+	nameLen, n := binary.Uvarint(b)
+	if n <= 0 || nameLen > MaxSensorName || nameLen > uint64(len(b)-n) {
+		return ErrBadRecord
+	}
+	name := b[n : n+int(nameLen)]
+	b = b[n+int(nameLen):]
+	seq, n := binary.Uvarint(b)
+	if n <= 0 {
+		return ErrBadRecord
+	}
+	rec.Kind = kind
+	rec.Sensor = string(name)
+	rec.Epoch = epoch
+	rec.Seq = seq
+	rec.Payload = b[n:]
+	return nil
+}
+
+// appendUvarint appends v in base-128 varint encoding.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// addSegment creates a fresh segment starting at pos and makes it the
+// active one. Caller holds l.mu (or is Open, single-threaded).
+func (l *Log) addSegment(pos uint64) error {
+	path := filepath.Join(l.dir, segName(pos))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	syncDir(l.dir)
+	l.segs = append(l.segs, &segment{base: pos, path: path, size: int64(len(segMagic))})
+	l.active = f
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-removed segment
+// file survives a crash. Best-effort: some filesystems reject it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Append writes one record and returns its position. Durability
+// follows the sync policy: the record is in the OS page cache on
+// return, on stable storage after the next Sync (or immediately when
+// SyncEvery batches fill).
+func (l *Log) Append(r Record) (uint64, error) {
+	if len(r.Sensor) > MaxSensorName {
+		return 0, ErrRecordTooLarge
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.scratch = append(l.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	l.scratch = append(l.scratch, byte(r.Kind))
+	l.scratch = appendUvarint(l.scratch, r.Epoch)
+	l.scratch = appendUvarint(l.scratch, uint64(len(r.Sensor)))
+	l.scratch = append(l.scratch, r.Sensor...)
+	l.scratch = appendUvarint(l.scratch, r.Seq)
+	l.scratch = append(l.scratch, r.Payload...)
+	body := l.scratch[recHeader:]
+	if len(body) > MaxRecordBody {
+		return 0, ErrRecordTooLarge
+	}
+	binary.LittleEndian.PutUint32(l.scratch, uint32(len(body)))
+	binary.LittleEndian.PutUint32(l.scratch[4:], crc32.ChecksumIEEE(body))
+
+	s := l.segs[len(l.segs)-1]
+	if s.records > 0 && s.size+int64(len(l.scratch)) > int64(l.opts.SegmentBytes) {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+		if err := l.active.Close(); err != nil {
+			return 0, err
+		}
+		if err := l.addSegment(l.nextPos); err != nil {
+			return 0, err
+		}
+		s = l.segs[len(l.segs)-1]
+	}
+	if _, err := l.active.Write(l.scratch); err != nil {
+		return 0, err
+	}
+	s.size += int64(len(l.scratch))
+	s.records++
+	pos := l.nextPos
+	l.nextPos++
+	l.dirty++
+	l.appends.Add(1)
+	if l.opts.SyncEvery > 0 && l.dirty >= l.opts.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return pos, nil
+}
+
+// Sync fsyncs the active segment if it has unsynced appends.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.dirty == 0 {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	l.dirty = 0
+	l.syncs.Add(1)
+	return nil
+}
+
+// Close syncs and closes the log. The directory can be re-Opened.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// Replay calls fn for every record currently in the log, in position
+// order, holding the log's lock (appends wait). A decode failure —
+// possible only for corruption that appeared after Open — returns
+// ErrBadSegment. fn errors abort the replay. The record payload is
+// valid only during the call.
+func (l *Log) Replay(fn func(pos uint64, r Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for _, s := range l.segs {
+		b, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		if int64(len(b)) > s.size {
+			b = b[:s.size] // never read past the committed bytes
+		}
+		if len(b) < len(segMagic) || string(b[:len(segMagic)]) != segMagic {
+			return fmt.Errorf("%w: %s: bad segment header", ErrBadSegment, s.path)
+		}
+		off := len(segMagic)
+		pos := s.base
+		for off < len(b) {
+			rec, n, err := parseRecord(b[off:])
+			if err != nil {
+				return fmt.Errorf("%w: %s: offset %d: %v", ErrBadSegment, s.path, off, err)
+			}
+			if err := fn(pos, rec); err != nil {
+				return err
+			}
+			pos++
+			off += n
+		}
+	}
+	return nil
+}
+
+// TrimTo garbage-collects sealed segments whose records all have
+// positions <= pos — the caller's durable checkpoint. The active
+// segment is never removed, so positions keep increasing.
+func (l *Log) TrimTo(pos uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	kept := l.segs[:0]
+	removed := false
+	for i, s := range l.segs {
+		if i < len(l.segs)-1 && s.base+s.records <= pos+1 {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+			l.trims.Add(1)
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	if removed {
+		syncDir(l.dir)
+	}
+	return nil
+}
+
+// Reset discards every record and starts an empty segment. Positions
+// continue from where they were — a log reset at position N hands out
+// N+1 next, so readers never see a position reused.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	for _, s := range l.segs {
+		if err := os.Remove(s.path); err != nil {
+			return err
+		}
+	}
+	l.segs = l.segs[:0]
+	if err := l.addSegment(l.nextPos); err != nil {
+		return err
+	}
+	l.dirty = 0
+	l.resets.Add(1)
+	return nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastPos returns the position of the newest record, 0 when the log
+// has never held one.
+func (l *Log) LastPos() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextPos - 1
+}
+
+// FirstPos returns the position of the oldest retained record, or
+// LastPos+1 when the log is empty.
+func (l *Log) FirstPos() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].base
+}
+
+// Size returns the total committed bytes across segments.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, s := range l.segs {
+		n += s.size
+	}
+	return n
+}
+
+// Segments returns the number of on-disk segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	recovered, truncated := l.recovered, l.truncated
+	l.mu.Unlock()
+	return Stats{
+		Appends:        l.appends.Load(),
+		Syncs:          l.syncs.Load(),
+		Resets:         l.resets.Load(),
+		Trims:          l.trims.Load(),
+		Recovered:      recovered,
+		TruncatedBytes: truncated,
+	}
+}

@@ -43,6 +43,14 @@ type Server struct {
 	// liveness so operators see which feeds are up. Declared as func()
 	// any to keep webui decoupled from the transport package.
 	Sensors func() any
+	// WAL, when set, adds its result under the "wal" key in /healthz —
+	// dnsobs wires it to the collector's journal status (size, lag,
+	// last checkpoint). Same decoupling convention as Sensors.
+	WAL func() any
+	// Fleet, when set, adds its result under the "fleet" key in
+	// /healthz — dnsobs wires it to the fleet router's member list so
+	// operators see placement and cooldowns.
+	Fleet func() any
 
 	windows atomic.Uint64
 }
@@ -111,6 +119,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Sensors != nil {
 		health["sensors"] = s.Sensors()
+	}
+	if s.WAL != nil {
+		health["wal"] = s.WAL()
+	}
+	if s.Fleet != nil {
+		health["fleet"] = s.Fleet()
 	}
 	writeJSON(w, health)
 }
