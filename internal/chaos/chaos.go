@@ -28,6 +28,9 @@ var (
 	// the bytes, the sender does not know it, and its retransmit after
 	// reconnecting produces duplicates downstream.
 	ErrInjectedAckLoss = errors.New("chaos: injected ack loss")
+	// ErrInjectedLoss is returned by a wrapped exchanger whose reply was
+	// dropped — the probe engine sees a timeout.
+	ErrInjectedLoss = errors.New("chaos: injected reply loss")
 )
 
 // Config sets per-fault injection probabilities (0..1). The zero value
@@ -58,6 +61,17 @@ type Config struct {
 	// StallDuration is how long a stalled read sleeps (default 100ms
 	// when a stall fires with it unset).
 	StallDuration time.Duration
+
+	// Probe-path faults, applied by WrapExchanger-wrapped exchangers
+	// (at most one per exchange, rolled in this order).
+	ProbeLossRate     float64 // drop the reply: the engine times out and retries
+	ProbeDelayRate    float64 // inflate the modeled rtt by ProbeDelay (late reply)
+	ProbeServFailRate float64 // rewrite the reply into a SERVFAIL
+	ProbeTruncateRate float64 // set TC on a UDP reply, forcing the TCP retry
+	// ProbeDelay is the extra modeled delay a delayed reply carries
+	// (default 2s when a delay fires with it unset) — set it above the
+	// probe engine's timeout to turn delays into retries.
+	ProbeDelay time.Duration
 }
 
 // Uniform returns a Config injecting every stream fault at the given
@@ -90,6 +104,11 @@ type Stats struct {
 	ConnResets  uint64
 	DupWrites   uint64
 	StalledRds  uint64
+
+	ProbeLost      uint64
+	ProbeDelayed   uint64
+	ProbeServFails uint64
+	ProbeTruncated uint64
 }
 
 // Total returns the number of injected faults across all kinds.
@@ -97,7 +116,8 @@ func (s Stats) Total() uint64 {
 	return s.Corrupted + s.Truncated + s.Duplicated + s.Reordered +
 		s.ZeroTime + s.BackTime + s.Oversized + s.Panics +
 		s.WriteErrs + s.ShortWrites +
-		s.ConnResets + s.DupWrites + s.StalledRds
+		s.ConnResets + s.DupWrites + s.StalledRds +
+		s.ProbeLost + s.ProbeDelayed + s.ProbeServFails + s.ProbeTruncated
 }
 
 // heldTx is a reordered transaction waiting out its delay.
@@ -152,6 +172,10 @@ func (inj *Injector) Instrument(reg *metrics.Registry) {
 		{"conn_resets", func(s Stats) uint64 { return s.ConnResets }},
 		{"dup_writes", func(s Stats) uint64 { return s.DupWrites }},
 		{"stalled_reads", func(s Stats) uint64 { return s.StalledRds }},
+		{"probe_lost", func(s Stats) uint64 { return s.ProbeLost }},
+		{"probe_delayed", func(s Stats) uint64 { return s.ProbeDelayed }},
+		{"probe_servfails", func(s Stats) uint64 { return s.ProbeServFails }},
+		{"probe_truncated", func(s Stats) uint64 { return s.ProbeTruncated }},
 	}
 	for _, k := range kinds {
 		read := k.read

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+)
+
+// Exchanger matches probe.Exchanger structurally, so a wrapped
+// exchanger plugs straight into a probe engine without chaos importing
+// the probe package.
+type Exchanger interface {
+	Exchange(query []byte) (resp []byte, rtt time.Duration, err error)
+}
+
+// WrapExchanger wraps x with the probe-path faults: replies get lost
+// (the engine times out), delayed past the engine's timeout, rewritten
+// into SERVFAIL, or truncated over UDP to force the TCP retry. At most
+// one fault fires per exchange.
+func (inj *Injector) WrapExchanger(x Exchanger) Exchanger {
+	return &faultExchanger{inj: inj, x: x}
+}
+
+type faultExchanger struct {
+	inj *Injector
+	x   Exchanger
+}
+
+func (fe *faultExchanger) Exchange(query []byte) ([]byte, time.Duration, error) {
+	inj := fe.inj
+	inj.mu.Lock()
+	lose := inj.roll(inj.cfg.ProbeLossRate)
+	delay := !lose && inj.roll(inj.cfg.ProbeDelayRate)
+	servfail := !lose && !delay && inj.roll(inj.cfg.ProbeServFailRate)
+	trunc := !lose && !delay && !servfail && inj.roll(inj.cfg.ProbeTruncateRate)
+	if lose {
+		inj.stats.ProbeLost++
+	}
+	d := inj.cfg.ProbeDelay
+	inj.mu.Unlock()
+	if lose {
+		return nil, 0, ErrInjectedLoss
+	}
+
+	resp, rtt, err := fe.x.Exchange(query)
+	if err != nil {
+		return resp, rtt, err
+	}
+	switch {
+	case delay:
+		if d <= 0 {
+			d = 2 * time.Second
+		}
+		inj.count(&inj.stats.ProbeDelayed)
+		return resp, rtt + d, nil
+	case servfail:
+		if mangled, ok := rewriteResponse(resp, func(m *dnswire.Message) {
+			m.Answers = nil
+			m.Authority = nil
+			m.Additional = nil
+			m.Flags.RCode = dnswire.RCodeServFail
+		}, true); ok {
+			inj.count(&inj.stats.ProbeServFails)
+			return mangled, rtt, nil
+		}
+	case trunc:
+		// Only UDP replies truncate; a TCP retry must come back whole
+		// or the engine would loop.
+		if _, isTCP, err := ipwire.DecodeAny(resp); err == nil && !isTCP {
+			if mangled, ok := rewriteResponse(resp, func(m *dnswire.Message) {
+				m.Answers = nil
+				m.Authority = nil
+				m.Additional = nil
+				m.Flags.Truncated = true
+			}, false); ok {
+				inj.count(&inj.stats.ProbeTruncated)
+				return mangled, rtt, nil
+			}
+		}
+	}
+	return resp, rtt, nil
+}
+
+// count bumps one stats counter under the injector lock.
+func (inj *Injector) count(c *uint64) {
+	inj.mu.Lock()
+	*c++
+	inj.mu.Unlock()
+}
+
+// rewriteResponse decodes an ipwire-framed DNS response, applies mutate
+// to the message, and reframes it with the original addresses and
+// framing. tcpOK controls whether TCP frames are rewritten too.
+func rewriteResponse(resp []byte, mutate func(*dnswire.Message), tcpOK bool) ([]byte, bool) {
+	pkt, isTCP, err := ipwire.DecodeAny(resp)
+	if err != nil || (isTCP && !tcpOK) {
+		return nil, false
+	}
+	var m dnswire.Message
+	if err := m.Unpack(pkt.Payload); err != nil {
+		return nil, false
+	}
+	mutate(&m)
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return nil, false
+	}
+	v6 := pkt.Src.Is6()
+	switch {
+	case isTCP && v6:
+		return ipwire.AppendIPv6TCPDNS(nil, pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.TTL, 1, wire), true
+	case isTCP:
+		return ipwire.AppendIPv4TCPDNS(nil, pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.TTL, 1, wire), true
+	case v6:
+		return ipwire.AppendIPv6UDP(nil, pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.TTL, wire), true
+	default:
+		return ipwire.AppendIPv4UDP(nil, pkt.Src, pkt.Dst, pkt.SrcPort, pkt.DstPort, pkt.TTL, wire), true
+	}
+}

@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+)
+
+// echoExchanger answers every query with a fixed A record, counting
+// calls, framed to match the query (UDP or TCP).
+type echoExchanger struct {
+	calls int
+}
+
+func (ee *echoExchanger) Exchange(query []byte) ([]byte, time.Duration, error) {
+	ee.calls++
+	pkt, isTCP, err := ipwire.DecodeAny(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	var q dnswire.Message
+	if err := q.Unpack(pkt.Payload); err != nil {
+		return nil, 0, err
+	}
+	m := dnswire.Message{
+		ID:        q.ID,
+		Flags:     dnswire.Flags{Response: true, Authoritative: true},
+		Questions: []dnswire.Question{q.Question()},
+		Answers: []dnswire.RR{{
+			Name: q.Question().Name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 60,
+			Data: dnswire.ARData{Addr: netip.MustParseAddr("192.0.2.99")},
+		}},
+	}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if isTCP {
+		return ipwire.AppendIPv4TCPDNS(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, 64, 1, wire), 3 * time.Millisecond, nil
+	}
+	return ipwire.AppendIPv4UDP(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, 64, wire), 3 * time.Millisecond, nil
+}
+
+// probeQuery frames one A question for the fake server.
+func probeQuery(t *testing.T, tcp bool) []byte {
+	t.Helper()
+	var q dnswire.Message
+	q.ID = 42
+	q.Questions = append(q.Questions, dnswire.Question{
+		Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET})
+	w, err := q.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("198.51.100.7")
+	dst := netip.MustParseAddr("192.0.2.53")
+	if tcp {
+		return ipwire.AppendIPv4TCPDNS(nil, src, dst, 4242, ipwire.DNSPort, 64, 7, w)
+	}
+	return ipwire.AppendIPv4UDP(nil, src, dst, 4242, ipwire.DNSPort, 64, w)
+}
+
+// unpackResp decodes a framed exchanger response.
+func unpackResp(t *testing.T, resp []byte) (*dnswire.Message, bool) {
+	t.Helper()
+	pkt, isTCP, err := ipwire.DecodeAny(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m dnswire.Message
+	if err := m.Unpack(pkt.Payload); err != nil {
+		t.Fatal(err)
+	}
+	return &m, isTCP
+}
+
+func TestWrapExchangerLoss(t *testing.T) {
+	inner := &echoExchanger{}
+	x := New(Config{ProbeLossRate: 1}).WrapExchanger(inner)
+	_, _, err := x.Exchange(probeQuery(t, false))
+	if !errors.Is(err, ErrInjectedLoss) {
+		t.Fatalf("err = %v, want ErrInjectedLoss", err)
+	}
+	if inner.calls != 0 {
+		t.Fatal("lost query still reached the server")
+	}
+}
+
+func TestWrapExchangerDelay(t *testing.T) {
+	inj := New(Config{ProbeDelayRate: 1, ProbeDelay: 9 * time.Second})
+	resp, rtt, err := inj.WrapExchanger(&echoExchanger{}).Exchange(probeQuery(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 9*time.Second {
+		t.Fatalf("delayed rtt = %v", rtt)
+	}
+	if m, _ := unpackResp(t, resp); len(m.Answers) != 1 {
+		t.Fatal("delay mangled the answer")
+	}
+	if inj.Stats().ProbeDelayed != 1 {
+		t.Fatalf("stats: %+v", inj.Stats())
+	}
+}
+
+func TestWrapExchangerDelayDefault(t *testing.T) {
+	_, rtt, err := New(Config{ProbeDelayRate: 1}).WrapExchanger(&echoExchanger{}).Exchange(probeQuery(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 2*time.Second {
+		t.Fatalf("default delay rtt = %v, want >= 2s", rtt)
+	}
+}
+
+func TestWrapExchangerServFail(t *testing.T) {
+	inj := New(Config{ProbeServFailRate: 1})
+	resp, _, err := inj.WrapExchanger(&echoExchanger{}).Exchange(probeQuery(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, isTCP := unpackResp(t, resp)
+	if !isTCP {
+		t.Fatal("framing changed")
+	}
+	if m.Flags.RCode != dnswire.RCodeServFail || len(m.Answers) != 0 {
+		t.Fatalf("rcode=%s answers=%d", m.Flags.RCode, len(m.Answers))
+	}
+	if inj.Stats().ProbeServFails != 1 {
+		t.Fatalf("stats: %+v", inj.Stats())
+	}
+}
+
+func TestWrapExchangerTruncate(t *testing.T) {
+	inj := New(Config{ProbeTruncateRate: 1})
+	x := inj.WrapExchanger(&echoExchanger{})
+
+	resp, _, err := x.Exchange(probeQuery(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := unpackResp(t, resp); !m.Flags.Truncated || len(m.Answers) != 0 {
+		t.Fatalf("UDP reply not truncated: tc=%v answers=%d", m.Flags.Truncated, len(m.Answers))
+	}
+
+	// TCP replies must come back whole or the engine's TC retry loops.
+	resp, _, err = x.Exchange(probeQuery(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := unpackResp(t, resp); m.Flags.Truncated || len(m.Answers) != 1 {
+		t.Fatalf("TCP reply mangled: tc=%v answers=%d", m.Flags.Truncated, len(m.Answers))
+	}
+	if st := inj.Stats(); st.ProbeTruncated != 1 || st.Total() != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestWrapExchangerCleanPath(t *testing.T) {
+	inner := &echoExchanger{}
+	resp, rtt, err := New(Config{}).WrapExchanger(inner).Exchange(probeQuery(t, false))
+	if err != nil || rtt != 3*time.Millisecond {
+		t.Fatalf("clean exchange: rtt=%v err=%v", rtt, err)
+	}
+	if m, _ := unpackResp(t, resp); len(m.Answers) != 1 {
+		t.Fatal("clean exchange mangled the answer")
+	}
+}

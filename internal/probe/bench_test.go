@@ -1,0 +1,180 @@
+package probe
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/simnet"
+)
+
+// benchPop is the shared benchmark population: built once, reused by
+// every sub-benchmark invocation (the go test harness re-runs each
+// benchmark with growing b.N).
+var benchPop struct {
+	once  sync.Once
+	auth  *simnet.Authority
+	names []string
+}
+
+func benchPopulation(b *testing.B) (*simnet.Authority, []string) {
+	b.Helper()
+	benchPop.once.Do(func() {
+		cfg := simnet.DefaultConfig()
+		cfg.SLDs = 2500
+		cfg.Resolvers = 1
+		cfg.Sensors = 1
+		cfg.QPS = 1
+		cfg.Duration = 1
+		cfg.ColdCaches = true
+		sim := simnet.New(cfg)
+		benchPop.auth = simnet.NewAuthority(sim, simnet.AuthorityConfig{})
+		for _, zone := range sim.Universe.SLDs {
+			for i, f := range zone.FQDNs {
+				if i >= 2 {
+					break
+				}
+				benchPop.names = append(benchPop.names, f.Name)
+			}
+		}
+	})
+	return benchPop.auth, benchPop.names
+}
+
+// waitResults spins until n results have been observed.
+func waitResults(done *atomic.Uint64, n uint64) {
+	for done.Load() < n {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// BenchmarkProbeThroughput measures end-to-end probes/sec through the
+// full engine (cache + singleflight + polite rate limits) against the
+// frozen population at the paper-relevant concurrency ladder. The cache
+// is prewarmed with one pass over the target list, so the figure is the
+// steady-state closed-loop rate, not the cold-start hierarchy walk.
+func BenchmarkProbeThroughput(b *testing.B) {
+	auth, names := benchPopulation(b)
+	for _, workers := range []int{1, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var done atomic.Uint64
+			e := New(Config{
+				Exchanger:   auth,
+				Roots:       auth.RootAddrs(),
+				Workers:     workers,
+				QueueDepth:  8192,
+				Timeout:     5 * time.Second,
+				MaxRateWait: 10 * time.Second, // wait politely, never drop
+				Seed:        1,
+				OnResult:    func(*Result) { done.Add(1) },
+			})
+			defer e.Close()
+			for _, name := range names {
+				if err := e.Submit(Target{QName: name, QType: dnswire.TypeA}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			waitResults(&done, uint64(len(names)))
+			done.Store(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Submit(Target{QName: names[i%len(names)], QType: dnswire.TypeA}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			waitResults(&done, uint64(b.N))
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+		})
+	}
+}
+
+// BenchmarkProbeCacheWins quantifies what the shared NS cache buys: the
+// cold-cacheless baseline walks root→TLD→leaf for every probe and is
+// bounded by the hierarchy politeness rate, while the warm engine rides
+// cached delegations straight to the leaf.
+func BenchmarkProbeCacheWins(b *testing.B) {
+	auth, names := benchPopulation(b)
+	run := func(b *testing.B, warm bool) {
+		var done atomic.Uint64
+		cfg := Config{
+			Exchanger:   auth,
+			Roots:       auth.RootAddrs(),
+			Workers:     512,
+			QueueDepth:  8192,
+			Timeout:     5 * time.Second,
+			MaxRateWait: 10 * time.Second,
+			Seed:        1,
+			OnResult:    func(*Result) { done.Add(1) },
+		}
+		if !warm {
+			cfg.DisableCache = true
+			cfg.DisableSingleflight = true
+		}
+		e := New(cfg)
+		defer e.Close()
+		if warm {
+			for _, name := range names {
+				if err := e.Submit(Target{QName: name, QType: dnswire.TypeA}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			waitResults(&done, uint64(len(names)))
+			done.Store(0)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.Submit(Target{QName: names[i%len(names)], QType: dnswire.TypeA}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		waitResults(&done, uint64(b.N))
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+		st := e.Status()
+		if st.Issued > 0 {
+			b.ReportMetric(float64(st.WireQueries)/float64(st.Issued), "wire/probe")
+		}
+	}
+	b.Run("cold-cacheless", func(b *testing.B) { run(b, false) })
+	b.Run("warm-cached", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkProbeSingleflightDedup measures how much of a duplicate-heavy
+// feed the singleflight table collapses: 512 workers hammer 8 hot names
+// whose authoritatives hold each exchange open 2ms, so duplicates pile
+// onto in-flight leaders instead of the wire.
+func BenchmarkProbeSingleflightDedup(b *testing.B) {
+	auth, names := benchPopulation(b)
+	hot := names[:8]
+	var done atomic.Uint64
+	e := New(Config{
+		Exchanger:     &holdExchanger{hold: 2 * time.Millisecond, x: auth},
+		Roots:         auth.RootAddrs(),
+		Workers:       512,
+		QueueDepth:    8192,
+		Timeout:       5 * time.Second,
+		AuthRate:      -1,
+		HierarchyRate: -1,
+		Seed:          1,
+		OnResult:      func(*Result) { done.Add(1) },
+	})
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Submit(Target{QName: hot[i%len(hot)], QType: dnswire.TypeA}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitResults(&done, uint64(b.N))
+	b.StopTimer()
+	st := e.Status()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+	if st.Issued > 0 {
+		b.ReportMetric(float64(st.Merged)/float64(st.Issued)*100, "collapse%")
+	}
+}

@@ -1,0 +1,121 @@
+package probe
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+)
+
+// nsCacheShards must be a power of two; 64 keeps shard-lock contention
+// negligible at 4096-way concurrency while the whole cache stays a few
+// hundred KB for paper-scale populations.
+const nsCacheShards = 64
+
+// nsCache is the shared NS/infrastructure cache: referrals keyed by the
+// zone apex they delegate, plus RFC 2308 negative entries keyed by the
+// denied name. Lookup walks a qname's suffixes deepest-first, so a
+// cached "example.com." entry short-circuits the root and TLD hops for
+// every name under it, and a cached "com." entry still saves the root.
+type nsCache struct {
+	shards [nsCacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	servers  []netip.Addr
+	expires  time.Time
+	negative bool
+}
+
+func newNSCache() *nsCache {
+	c := &nsCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry)
+	}
+	return c
+}
+
+// fnv1a hashes a zone name for shard selection.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func (c *nsCache) shard(zone string) *cacheShard {
+	return &c.shards[fnv1a(zone)&(nsCacheShards-1)]
+}
+
+// Put stores a positive referral: zone is served by servers for ttl
+// seconds from now.
+func (c *nsCache) Put(zone string, servers []netip.Addr, ttl uint32, now time.Time) {
+	if len(servers) == 0 {
+		return
+	}
+	sh := c.shard(zone)
+	sh.mu.Lock()
+	sh.m[zone] = cacheEntry{
+		servers: append([]netip.Addr(nil), servers...),
+		expires: now.Add(time.Duration(ttl) * time.Second),
+	}
+	sh.mu.Unlock()
+}
+
+// PutNegative stores an RFC 2308 denial: name does not exist, cached
+// for the SOA-minimum ttl.
+func (c *nsCache) PutNegative(name string, ttl uint32, now time.Time) {
+	sh := c.shard(name)
+	sh.mu.Lock()
+	sh.m[name] = cacheEntry{
+		expires:  now.Add(time.Duration(ttl) * time.Second),
+		negative: true,
+	}
+	sh.mu.Unlock()
+}
+
+// Lookup returns the deepest unexpired entry whose key is qname itself
+// or one of its parent suffixes. A negative hit means the name is
+// known-nonexistent; a positive hit returns the zone apex and its
+// nameserver addresses. The returned slice is shared and must not be
+// mutated.
+func (c *nsCache) Lookup(qname string, now time.Time) (zone string, servers []netip.Addr, negative, ok bool) {
+	for n := qname; n != "" && n != "."; {
+		sh := c.shard(n)
+		sh.mu.Lock()
+		e, hit := sh.m[n]
+		if hit && now.After(e.expires) {
+			delete(sh.m, n) // expired: evict on the way past
+			hit = false
+		}
+		sh.mu.Unlock()
+		if hit {
+			return n, e.servers, e.negative, true
+		}
+		dot := strings.IndexByte(n, '.')
+		if dot < 0 || dot+1 >= len(n) {
+			break
+		}
+		n = n[dot+1:]
+	}
+	return "", nil, false, false
+}
+
+// Len counts live entries (expired ones still resident included; they
+// are evicted lazily on lookup).
+func (c *nsCache) Len() int {
+	var n int
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

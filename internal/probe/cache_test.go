@@ -1,0 +1,153 @@
+package probe
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func addrs(bs ...byte) []netip.Addr {
+	var out []netip.Addr
+	for _, b := range bs {
+		out = append(out, netip.AddrFrom4([4]byte{192, 0, 2, b}))
+	}
+	return out
+}
+
+func TestNSCacheTTLExpiry(t *testing.T) {
+	c := newNSCache()
+	t0 := time.Unix(1000, 0)
+	c.Put("example.com.", addrs(1, 2), 300, t0)
+
+	zone, srvs, neg, ok := c.Lookup("www.example.com.", t0.Add(299*time.Second))
+	if !ok || neg || zone != "example.com." || len(srvs) != 2 {
+		t.Fatalf("live entry: ok=%v neg=%v zone=%q srvs=%v", ok, neg, zone, srvs)
+	}
+	// The boundary instant is still valid; one second past is not.
+	if _, _, _, ok := c.Lookup("www.example.com.", t0.Add(300*time.Second)); !ok {
+		t.Fatal("entry expired at exactly TTL")
+	}
+	if _, _, _, ok := c.Lookup("www.example.com.", t0.Add(301*time.Second)); ok {
+		t.Fatal("entry survived past TTL")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry not evicted: Len=%d", c.Len())
+	}
+}
+
+func TestNSCacheDeepestSuffixWins(t *testing.T) {
+	c := newNSCache()
+	t0 := time.Unix(1000, 0)
+	c.Put("com.", addrs(1), 1000, t0)
+	c.Put("example.com.", addrs(2), 1000, t0)
+
+	zone, srvs, _, ok := c.Lookup("www.example.com.", t0)
+	if !ok || zone != "example.com." || srvs[0] != addrs(2)[0] {
+		t.Fatalf("wanted the deeper zone, got %q %v", zone, srvs)
+	}
+	// A name in another zone falls back to the TLD entry.
+	zone, _, _, ok = c.Lookup("www.other.com.", t0)
+	if !ok || zone != "com." {
+		t.Fatalf("wanted TLD fallback, got ok=%v zone=%q", ok, zone)
+	}
+	// An exact-match lookup works too.
+	zone, _, _, ok = c.Lookup("example.com.", t0)
+	if !ok || zone != "example.com." {
+		t.Fatalf("exact lookup: ok=%v zone=%q", ok, zone)
+	}
+}
+
+func TestNSCacheNegative(t *testing.T) {
+	c := newNSCache()
+	t0 := time.Unix(1000, 0)
+	c.PutNegative("gone.com.", 60, t0)
+
+	// The denial covers the name and everything under it (the
+	// registered domain does not exist, so no child can).
+	for _, q := range []string{"gone.com.", "www.gone.com.", "a.b.gone.com."} {
+		zone, _, neg, ok := c.Lookup(q, t0)
+		if !ok || !neg || zone != "gone.com." {
+			t.Fatalf("lookup %q: ok=%v neg=%v zone=%q", q, ok, neg, zone)
+		}
+	}
+	if _, _, _, ok := c.Lookup("alive.com.", t0); ok {
+		t.Fatal("negative entry leaked to a sibling")
+	}
+	// RFC 2308: denials expire like anything else.
+	if _, _, _, ok := c.Lookup("www.gone.com.", t0.Add(61*time.Second)); ok {
+		t.Fatal("negative entry survived past the SOA minimum")
+	}
+}
+
+func TestNSCachePutCopiesServers(t *testing.T) {
+	c := newNSCache()
+	t0 := time.Unix(1000, 0)
+	src := addrs(1, 2)
+	c.Put("x.com.", src, 100, t0)
+	src[0] = netip.AddrFrom4([4]byte{10, 0, 0, 1}) // caller reuses its slice
+	_, srvs, _, _ := c.Lookup("x.com.", t0)
+	if srvs[0] != addrs(1)[0] {
+		t.Fatal("cache aliases the caller's slice")
+	}
+}
+
+func TestRateLimiterReservations(t *testing.T) {
+	rl := newRateLimiter()
+	addr := netip.AddrFrom4([4]byte{192, 0, 2, 1})
+	t0 := time.Unix(1000, 0)
+	near := func(got, want time.Duration) bool {
+		d := got - want
+		return d > -time.Millisecond && d < time.Millisecond
+	}
+
+	// Burst tokens are free; the next reservation must wait 1/rate.
+	for i := 0; i < 4; i++ {
+		if wait, ok := rl.acquire(addr, 10, 4, time.Second, t0); !ok || wait != 0 {
+			t.Fatalf("burst token %d: wait=%v ok=%v", i, wait, ok)
+		}
+	}
+	wait, ok := rl.acquire(addr, 10, 4, time.Second, t0)
+	if !ok || !near(wait, 100*time.Millisecond) {
+		t.Fatalf("first reservation: wait=%v ok=%v", wait, ok)
+	}
+	// Beyond the caller's patience the token is refused — and returned,
+	// so the next caller waits no longer than this one would have.
+	if _, ok := rl.acquire(addr, 10, 4, 150*time.Millisecond, t0); ok {
+		t.Fatal("over-patience reservation granted")
+	}
+	wait, ok = rl.acquire(addr, 10, 4, time.Second, t0)
+	if !ok || !near(wait, 200*time.Millisecond) {
+		t.Fatalf("token not returned on refusal: wait=%v ok=%v", wait, ok)
+	}
+	// Refill: after a second the bucket is full again.
+	if wait, ok := rl.acquire(addr, 10, 4, time.Second, t0.Add(time.Second)); !ok || wait != 0 {
+		t.Fatalf("refill: wait=%v ok=%v", wait, ok)
+	}
+	// Unlimited rate never waits.
+	if wait, ok := rl.acquire(addr, -1, 0, 0, t0); !ok || wait != 0 {
+		t.Fatalf("unlimited: wait=%v ok=%v", wait, ok)
+	}
+}
+
+func TestProbeQueuePriorityAndClose(t *testing.T) {
+	q := newProbeQueue(16)
+	q.push(Target{QName: "low.", Priority: 2})
+	q.push(Target{QName: "mid.", Priority: 1})
+	q.push(Target{QName: "high.", Priority: 0})
+	q.push(Target{QName: "clamped.", Priority: 99}) // clamps to band 2
+
+	want := []string{"high.", "mid.", "low.", "clamped."}
+	for _, w := range want {
+		tgt, ok := q.pop()
+		if !ok || tgt.QName != w {
+			t.Fatalf("pop: got %q ok=%v, want %q", tgt.QName, ok, w)
+		}
+	}
+	q.close()
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop succeeded on a closed empty queue")
+	}
+	if q.push(Target{QName: "late."}) {
+		t.Fatal("push succeeded after close")
+	}
+}

@@ -1,0 +1,134 @@
+package probe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/chaos"
+	"dnsobservatory/internal/dnswire"
+)
+
+// holdExchanger adds a small wall-clock hold in front of an exchanger
+// so singleflight leaders stay in flight long enough for duplicates to
+// pile onto them even on a fast machine.
+type holdExchanger struct {
+	hold time.Duration
+	x    Exchanger
+}
+
+func (h *holdExchanger) Exchange(query []byte) ([]byte, time.Duration, error) {
+	time.Sleep(h.hold)
+	return h.x.Exchange(query)
+}
+
+// TestProbeChaosSoak drives the engine through a faulty probe path —
+// lost, late, SERVFAIL'd and truncated replies all at once — and then
+// holds the engine to its own accounting: every submitted probe ends in
+// exactly one outcome bucket, and the retry/backoff machinery visibly
+// absorbed the injected faults. Run under -race in CI, this is also the
+// concurrency soak for the cache, singleflight and limiter shards.
+func TestProbeChaosSoak(t *testing.T) {
+	sim, auth := testAuthority(t, 150)
+	inj := chaos.New(chaos.Config{
+		Seed:              7,
+		ProbeLossRate:     0.04,
+		ProbeDelayRate:    0.03,
+		ProbeServFailRate: 0.03,
+		ProbeTruncateRate: 0.05,
+		ProbeDelay:        10 * time.Second, // past Timeout: delays become retries
+	})
+	var mu sync.Mutex
+	outcomes := map[Outcome]int{}
+	e := New(Config{
+		Exchanger:     inj.WrapExchanger(&holdExchanger{hold: 100 * time.Microsecond, x: auth}),
+		Roots:         auth.RootAddrs(),
+		Workers:       64,
+		Timeout:       5 * time.Second,
+		Retries:       2,
+		BackoffMin:    time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+		AuthRate:      -1,
+		HierarchyRate: -1,
+		Seed:          7,
+		OnResult: func(r *Result) {
+			mu.Lock()
+			outcomes[r.Outcome]++
+			mu.Unlock()
+		},
+	})
+
+	submitted := 0
+	submit := func(qname string) {
+		t.Helper()
+		if err := e.Submit(Target{QName: qname, QType: dnswire.TypeA, Priority: submitted % 3}); err != nil {
+			t.Fatal(err)
+		}
+		submitted++
+	}
+	// Real hostnames, twice each so duplicates race their originals.
+	for _, zone := range sim.Universe.SLDs {
+		for _, f := range zone.FQDNs {
+			submit(f.Name)
+			submit(f.Name)
+		}
+	}
+	// Bursts of one hot name: guaranteed singleflight pressure.
+	rounds := 0
+	for _, zone := range sim.Universe.SLDs {
+		if len(zone.FQDNs) == 0 {
+			continue
+		}
+		for i := 0; i < 64; i++ {
+			submit(zone.FQDNs[0].Name)
+		}
+		if rounds++; rounds == 4 {
+			break
+		}
+	}
+	// Nonexistent domains exercise the negative-cache path under fire.
+	for i := 0; i < 100; i++ {
+		submit(fmt.Sprintf("soak-ghost-%d.com.", i%25))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Status()
+	checkIdentity(t, st)
+	if st.Issued != uint64(submitted) {
+		t.Fatalf("issued %d != submitted %d", st.Issued, submitted)
+	}
+	mu.Lock()
+	observed := outcomes[OutcomeAnswered] + outcomes[OutcomeTimeout] +
+		outcomes[OutcomeRateLimited] + outcomes[OutcomeMerged]
+	mu.Unlock()
+	if observed != submitted {
+		t.Fatalf("observer saw %d results for %d probes", observed, submitted)
+	}
+
+	// The faults must have left visible marks in the accounting.
+	if st.Answered == 0 {
+		t.Fatal("nothing answered under chaos")
+	}
+	if st.Retries == 0 {
+		t.Fatal("no retries despite lost and late replies")
+	}
+	if st.TCPRetries == 0 {
+		t.Fatal("no TCP retries despite truncated replies")
+	}
+	if st.Merged == 0 {
+		t.Fatal("no singleflight merges despite duplicate bursts")
+	}
+	if st.ServFailRetries == 0 {
+		t.Fatal("no SERVFAIL retries despite injected SERVFAILs")
+	}
+	if st.CacheHits == 0 || st.NegativeHits == 0 {
+		t.Fatalf("cache idle under soak: hits=%d neg=%d", st.CacheHits, st.NegativeHits)
+	}
+	cs := inj.Stats()
+	if cs.ProbeLost == 0 || cs.ProbeDelayed == 0 || cs.ProbeServFails == 0 || cs.ProbeTruncated == 0 {
+		t.Fatalf("injector idle: %+v", cs)
+	}
+}

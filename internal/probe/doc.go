@@ -1,0 +1,43 @@
+// Package probe is the active measurement plane: a ZDNS-style
+// high-concurrency iterative resolver that drives thousands of DNS
+// lookups against an authoritative population and emits every wire
+// exchange as an SIE transaction, so probe traffic merges into the same
+// pipeline as the passive feed.
+//
+// The engine decomposes the classic way — iterator, cache, dedup:
+//
+//   - A bounded worker pool drains a prioritized probe queue
+//     (Submit blocks when the queue is full; band 0 drains first).
+//   - A sharded, TTL-aware NS cache remembers referrals by zone apex,
+//     including RFC 2308 negative entries, so repeated probes into a
+//     zone skip the root/TLD walk.
+//   - Singleflight collapses identical in-flight questions: one worker
+//     resolves, the rest wait and share the answer (Outcome Merged).
+//   - Per-nameserver token buckets rate-limit the wire, with stricter
+//     defaults for root/TLD servers; timeouts and SERVFAILs retry with
+//     jittered exponential backoff on a rotated server.
+//
+// # Concurrency contract
+//
+// An Engine is safe for concurrent Submit from any number of
+// goroutines. Internally Config.Workers goroutines resolve probes in
+// parallel, but the two callbacks — Config.OnResult and
+// Config.OnTransaction — are always invoked serially under one
+// mutex, so a transport.Sensor (which is not concurrency-safe) can be
+// written from OnTransaction directly. The *sie.Transaction passed to
+// OnTransaction aliases per-worker scratch buffers and is valid only
+// for the duration of the call; copy it (or hand it to a writer that
+// does) before returning. The *Result passed to OnResult is owned by
+// the callee, except that Addrs may be shared between a singleflight
+// leader and its merged followers and must not be mutated.
+//
+// Close stops intake, drains the queue, waits for every in-flight
+// probe, and only then returns; after Close the accounting identity
+//
+//	Issued = Answered + Timeouts + RateLimited + Merged
+//
+// holds exactly (resolution chains that exceed the referral-depth
+// limit count as Timeouts). Config.Exchanger must be safe for
+// concurrent use; simnet.Authority and the chaos probe-fault wrapper
+// both are.
+package probe

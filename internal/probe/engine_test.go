@@ -1,0 +1,506 @@
+package probe
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/metrics"
+	"dnsobservatory/internal/simnet"
+)
+
+// testAuthority builds a small frozen population for probing.
+func testAuthority(tb testing.TB, slds int) (*simnet.Sim, *simnet.Authority) {
+	tb.Helper()
+	cfg := simnet.DefaultConfig()
+	cfg.SLDs = slds
+	cfg.Resolvers = 1
+	cfg.Sensors = 1
+	cfg.QPS = 1
+	cfg.Duration = 1
+	cfg.ColdCaches = true
+	sim := simnet.New(cfg)
+	return sim, simnet.NewAuthority(sim, simnet.AuthorityConfig{})
+}
+
+// stubAddr is the answer the stub exchanger hands out for every name.
+var stubAddr = netip.AddrFrom4([4]byte{203, 0, 113, 7})
+
+// stubExchanger is a single fake authoritative: it answers every
+// question with one A record, optionally truncating UDP replies to
+// force the TCP retry, optionally holding each exchange open so
+// singleflight leaders stay in flight.
+type stubExchanger struct {
+	hold     time.Duration // wall-clock sleep per exchange
+	rtt      time.Duration // modeled rtt reported (default 1ms)
+	truncUDP bool          // UDP gets TC+empty, TCP gets the answer
+
+	mu   sync.Mutex
+	wire map[string]int // qname -> wire queries seen
+}
+
+func (st *stubExchanger) wireCount(name string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.wire[name]
+}
+
+func (st *stubExchanger) Exchange(query []byte) ([]byte, time.Duration, error) {
+	pkt, isTCP, err := ipwire.DecodeAny(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	var q dnswire.Message
+	if err := q.Unpack(pkt.Payload); err != nil {
+		return nil, 0, err
+	}
+	question := q.Question()
+	st.mu.Lock()
+	if st.wire == nil {
+		st.wire = map[string]int{}
+	}
+	st.wire[question.Name]++
+	st.mu.Unlock()
+	if st.hold > 0 {
+		time.Sleep(st.hold)
+	}
+
+	m := dnswire.Message{
+		ID:        q.ID,
+		Flags:     dnswire.Flags{Response: true, Authoritative: true},
+		Questions: []dnswire.Question{question},
+	}
+	if st.truncUDP && !isTCP {
+		m.Flags.Truncated = true
+	} else {
+		m.Answers = append(m.Answers, dnswire.RR{
+			Name: question.Name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 60,
+			Data: dnswire.ARData{Addr: stubAddr},
+		})
+	}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp []byte
+	if isTCP {
+		resp = ipwire.AppendIPv4TCPDNS(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, 64, 1, wire)
+	} else {
+		resp = ipwire.AppendIPv4UDP(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, 64, wire)
+	}
+	rtt := st.rtt
+	if rtt == 0 {
+		rtt = time.Millisecond
+	}
+	return resp, rtt, nil
+}
+
+// stubRoots is the priming set stub-exchanger engines use.
+func stubRoots() []netip.Addr {
+	return []netip.Addr{netip.AddrFrom4([4]byte{192, 0, 2, 53})}
+}
+
+// checkIdentity asserts the outcome accounting identity after Close.
+func checkIdentity(t *testing.T, st Status) {
+	t.Helper()
+	if st.Issued != st.Answered+st.Timeouts+st.RateLimited+st.Merged {
+		t.Fatalf("accounting identity broken: issued=%d answered=%d timeouts=%d rate_limited=%d merged=%d",
+			st.Issued, st.Answered, st.Timeouts, st.RateLimited, st.Merged)
+	}
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("engine not drained: inflight=%d queued=%d", st.Inflight, st.Queued)
+	}
+}
+
+func TestProbeEndToEnd(t *testing.T) {
+	sim, auth := testAuthority(t, 120)
+
+	type expect struct {
+		qname string
+		addr  netip.Addr
+	}
+	var targets []expect
+	for _, zone := range sim.Universe.SLDs {
+		if len(targets) >= 200 {
+			break
+		}
+		for i, f := range zone.FQDNs {
+			if i >= 2 {
+				break
+			}
+			targets = append(targets, expect{f.Name, zone.AddrFor(f, false)})
+		}
+	}
+	if len(targets) < 100 {
+		t.Fatalf("population too small: %d targets", len(targets))
+	}
+
+	reg := metrics.NewRegistry()
+	var mu sync.Mutex
+	got := map[string]Result{}
+	e := New(Config{
+		Exchanger:     auth,
+		Roots:         auth.RootAddrs(),
+		Workers:       32,
+		Timeout:       5 * time.Second,
+		AuthRate:      -1,
+		HierarchyRate: -1,
+		Seed:          1,
+		Metrics:       reg,
+		OnResult: func(r *Result) {
+			mu.Lock()
+			got[r.QName] = *r
+			mu.Unlock()
+		},
+	})
+	for _, tgt := range targets {
+		if err := e.Submit(Target{QName: tgt.qname, QType: dnswire.TypeA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Status()
+	checkIdentity(t, st)
+	if st.Answered != uint64(len(targets)) {
+		t.Fatalf("answered %d of %d: %+v", st.Answered, len(targets), st)
+	}
+	for _, tgt := range targets {
+		r, ok := got[tgt.qname]
+		if !ok {
+			t.Fatalf("no result for %s", tgt.qname)
+		}
+		if r.Outcome != OutcomeAnswered || r.RCode != dnswire.RCodeNoError {
+			t.Fatalf("%s: outcome=%s rcode=%s", tgt.qname, r.Outcome, r.RCode)
+		}
+		if len(r.Addrs) != 1 || r.Addrs[0] != tgt.addr {
+			t.Fatalf("%s: addrs=%v want %v", tgt.qname, r.Addrs, tgt.addr)
+		}
+		if r.Latency <= 0 {
+			t.Fatalf("%s: no modeled latency", tgt.qname)
+		}
+	}
+	// Two hostnames per zone means the second ride the cached
+	// delegation: strictly fewer wire queries than a full cold walk.
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits across sibling hostnames")
+	}
+	if st.WireQueries >= 3*st.Issued {
+		t.Fatalf("cache saved nothing: %d wire queries for %d probes", st.WireQueries, st.Issued)
+	}
+	// The read-through metrics see the same counters.
+	if n := reg.SumCounter(MetricWireQueries); n != st.WireQueries {
+		t.Fatalf("metrics wire queries %d != status %d", n, st.WireQueries)
+	}
+	if n := reg.SumCounter(MetricProbes); n != st.Issued+st.Answered {
+		t.Fatalf("metrics probes %d != issued+answered %d", n, st.Issued+st.Answered)
+	}
+}
+
+func TestProbeSingleflight(t *testing.T) {
+	st := &stubExchanger{hold: 100 * time.Millisecond}
+	var mu sync.Mutex
+	var results []Result
+	e := New(Config{
+		Exchanger:     st,
+		Roots:         stubRoots(),
+		Workers:       16,
+		AuthRate:      -1,
+		HierarchyRate: -1,
+		Seed:          1,
+		OnResult: func(r *Result) {
+			mu.Lock()
+			results = append(results, *r)
+			mu.Unlock()
+		},
+	})
+	const dups = 16
+	for i := 0; i < dups; i++ {
+		if err := e.Submit(Target{QName: "dup.example.com.", QType: dnswire.TypeA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	status := e.Status()
+	checkIdentity(t, status)
+	// All 16 workers pop immediately and the leader holds the wire for
+	// 100ms, so exactly one wire query happens and the rest merge.
+	if n := st.wireCount("dup.example.com."); n != 1 {
+		t.Fatalf("%d wire queries for %d identical probes", n, dups)
+	}
+	if status.Answered != 1 || status.Merged != dups-1 {
+		t.Fatalf("answered=%d merged=%d, want 1/%d", status.Answered, status.Merged, dups-1)
+	}
+	if len(results) != dups {
+		t.Fatalf("observer saw %d results", len(results))
+	}
+	for _, r := range results {
+		if len(r.Addrs) != 1 || r.Addrs[0] != stubAddr {
+			t.Fatalf("follower answer diverged: %v", r.Addrs)
+		}
+		if r.Outcome == OutcomeMerged && r.WireQueries != 0 {
+			t.Fatalf("merged result claims %d wire queries", r.WireQueries)
+		}
+	}
+}
+
+func TestProbeSingleflightDisabled(t *testing.T) {
+	st := &stubExchanger{hold: 10 * time.Millisecond}
+	e := New(Config{
+		Exchanger:           st,
+		Roots:               stubRoots(),
+		Workers:             8,
+		AuthRate:            -1,
+		HierarchyRate:       -1,
+		DisableCache:        true,
+		DisableSingleflight: true,
+		Seed:                1,
+	})
+	for i := 0; i < 8; i++ {
+		if err := e.Submit(Target{QName: "dup.example.com.", QType: dnswire.TypeA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	status := e.Status()
+	checkIdentity(t, status)
+	if status.Merged != 0 || st.wireCount("dup.example.com.") != 8 {
+		t.Fatalf("dedup ran while disabled: merged=%d wire=%d",
+			status.Merged, st.wireCount("dup.example.com."))
+	}
+}
+
+func TestProbeRateLimited(t *testing.T) {
+	st := &stubExchanger{}
+	e := New(Config{
+		Exchanger:           st,
+		Roots:               stubRoots(),
+		Workers:             4,
+		Retries:             -1,
+		HierarchyRate:       0.001, // burst of 4, then ~1000s per token
+		AuthRate:            -1,
+		MaxRateWait:         time.Millisecond,
+		DisableCache:        true,
+		DisableSingleflight: true,
+		Seed:                1,
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := e.Submit(Target{QName: "h" + string(rune('a'+i%26)) + ".example.com.", QType: dnswire.TypeA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	status := e.Status()
+	checkIdentity(t, status)
+	// The burst admits 4 probes; every later token is ~1s away, far past
+	// the 1ms patience, so the rest drop as rate-limited.
+	if status.Answered != 4 || status.RateLimited != n-4 {
+		t.Fatalf("answered=%d rate_limited=%d, want 4/%d", status.Answered, status.RateLimited, n-4)
+	}
+}
+
+func TestProbeTCPRetryOnTruncation(t *testing.T) {
+	st := &stubExchanger{truncUDP: true}
+	var res Result
+	e := New(Config{
+		Exchanger:     st,
+		Roots:         stubRoots(),
+		Workers:       1,
+		AuthRate:      -1,
+		HierarchyRate: -1,
+		Seed:          1,
+		OnResult:      func(r *Result) { res = *r },
+	})
+	if err := e.Submit(Target{QName: "big.example.com.", QType: dnswire.TypeA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	status := e.Status()
+	checkIdentity(t, status)
+	if res.Outcome != OutcomeAnswered || !res.TCPRetried {
+		t.Fatalf("outcome=%s tcpRetried=%v", res.Outcome, res.TCPRetried)
+	}
+	if len(res.Addrs) != 1 || res.Addrs[0] != stubAddr {
+		t.Fatalf("TCP retry lost the answer: %v", res.Addrs)
+	}
+	if status.TCPRetries != 1 || status.WireQueries != 2 {
+		t.Fatalf("tcp_retries=%d wire=%d, want 1 and 2", status.TCPRetries, status.WireQueries)
+	}
+	if status.Retries != 0 {
+		t.Fatalf("TCP retry consumed a backoff attempt: retries=%d", status.Retries)
+	}
+}
+
+// probeOne submits one target on a single-worker engine and waits for
+// its result, so wire-query deltas are attributable per probe.
+func probeOne(t *testing.T, e *Engine, ch <-chan Result, qname string, qtype dnswire.Type) Result {
+	t.Helper()
+	if err := e.Submit(Target{QName: qname, QType: qtype}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(30 * time.Second):
+		t.Fatalf("probe %s never finished", qname)
+		return Result{}
+	}
+}
+
+func TestProbeNegativeCacheEndToEnd(t *testing.T) {
+	sim, auth := testAuthority(t, 80)
+	ch := make(chan Result, 1)
+	e := New(Config{
+		Exchanger:     auth,
+		Roots:         auth.RootAddrs(),
+		Workers:       1,
+		Timeout:       5 * time.Second,
+		AuthRate:      -1,
+		HierarchyRate: -1,
+		Seed:          1,
+		OnResult:      func(r *Result) { ch <- *r },
+	})
+	defer e.Close()
+
+	// A hierarchy denial: the registered domain does not exist, so the
+	// gTLD's NXDOMAIN covers the whole domain, not just this hostname.
+	const ghost = "no-such-zone-dnsobs-test.com."
+	if auth.Zone(ghost) != nil {
+		t.Fatalf("%s unexpectedly exists in the population", ghost)
+	}
+	r := probeOne(t, e, ch, "www."+ghost, dnswire.TypeA)
+	if r.Outcome != OutcomeAnswered || r.RCode != dnswire.RCodeNXDomain || r.NegCacheHit {
+		t.Fatalf("first ghost probe: %+v", r)
+	}
+	wireAfterFirst := e.Status().WireQueries
+
+	r = probeOne(t, e, ch, "mail."+ghost, dnswire.TypeA)
+	if r.Outcome != OutcomeAnswered || r.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("second ghost probe: %+v", r)
+	}
+	if !r.NegCacheHit || !r.CacheHit {
+		t.Fatalf("sibling under denied domain missed the negative cache: %+v", r)
+	}
+	if d := e.Status().WireQueries - wireAfterFirst; d != 0 {
+		t.Fatalf("negative hit still sent %d wire queries", d)
+	}
+
+	// A leaf denial: the zone exists, the hostname does not. The denial
+	// is cached for the qname only — a sibling hostname still probes.
+	zone := sim.Universe.SLDs[0]
+	missing := "definitely-not-a-host." + zone.Name
+	r = probeOne(t, e, ch, missing, dnswire.TypeA)
+	if r.Outcome != OutcomeAnswered || r.RCode != dnswire.RCodeNXDomain || r.NegCacheHit {
+		t.Fatalf("first leaf-denial probe: %+v", r)
+	}
+	wireAfterFirst = e.Status().WireQueries
+	r = probeOne(t, e, ch, missing, dnswire.TypeA)
+	if !r.NegCacheHit || r.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("repeat leaf denial missed the cache: %+v", r)
+	}
+	if d := e.Status().WireQueries - wireAfterFirst; d != 0 {
+		t.Fatalf("cached leaf denial sent %d wire queries", d)
+	}
+	if len(zone.FQDNs) > 0 {
+		if r = probeOne(t, e, ch, zone.FQDNs[0].Name, dnswire.TypeA); r.NegCacheHit || r.RCode != dnswire.RCodeNoError {
+			t.Fatalf("leaf denial leaked onto a live sibling: %+v", r)
+		}
+	}
+
+	status := e.Status()
+	if status.NegativeHits != 2 {
+		t.Fatalf("negative hits = %d, want 2", status.NegativeHits)
+	}
+}
+
+func TestProbeCacheTTLExpiryEndToEnd(t *testing.T) {
+	sim, auth := testAuthority(t, 80)
+	zone := sim.Universe.SLDs[1]
+	if len(zone.FQDNs) == 0 {
+		t.Skip("zone without hostnames")
+	}
+	qname := zone.FQDNs[0].Name
+
+	var clockMu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+	ch := make(chan Result, 1)
+	e := New(Config{
+		Exchanger:     auth,
+		Roots:         auth.RootAddrs(),
+		Workers:       1,
+		Timeout:       5 * time.Second,
+		AuthRate:      -1,
+		HierarchyRate: -1,
+		Seed:          1,
+		OnResult:      func(r *Result) { ch <- *r },
+		Now: func() time.Time {
+			clockMu.Lock()
+			defer clockMu.Unlock()
+			return now
+		},
+	})
+	defer e.Close()
+
+	wires := func() uint64 { return e.Status().WireQueries }
+
+	// Cold: root referral, TLD referral, authoritative answer.
+	w0 := wires()
+	if r := probeOne(t, e, ch, qname, dnswire.TypeA); r.CacheHit {
+		t.Fatalf("cold probe claims a cache hit: %+v", r)
+	}
+	if d := wires() - w0; d != 3 {
+		t.Fatalf("cold walk took %d wire queries, want 3", d)
+	}
+
+	// Warm: the zone delegation is cached, one query to the leaf.
+	w1 := wires()
+	if r := probeOne(t, e, ch, qname, dnswire.TypeA); !r.CacheHit {
+		t.Fatalf("warm probe missed the cache: %+v", r)
+	}
+	if d := wires() - w1; d != 1 {
+		t.Fatalf("warm probe took %d wire queries, want 1", d)
+	}
+
+	// Past the 172800s delegation TTL everything expires: full rewalk.
+	advance(172801 * time.Second)
+	w2 := wires()
+	if r := probeOne(t, e, ch, qname, dnswire.TypeA); r.CacheHit {
+		t.Fatalf("post-expiry probe claims a cache hit: %+v", r)
+	}
+	if d := wires() - w2; d != 3 {
+		t.Fatalf("post-expiry walk took %d wire queries, want 3", d)
+	}
+}
+
+func TestProbeSubmitAfterClose(t *testing.T) {
+	e := New(Config{Exchanger: &stubExchanger{}, Roots: stubRoots(), Workers: 1, Seed: 1})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(Target{QName: "late.example.com.", QType: dnswire.TypeA}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if st := e.Status(); st.Issued != 0 {
+		t.Fatalf("rejected submit still counted: issued=%d", st.Issued)
+	}
+}

@@ -1,0 +1,66 @@
+package probe
+
+import "dnsobservatory/internal/metrics"
+
+// Metric family names the engine publishes. Counters are registered
+// read-through (collect reads the engine atomics, the probe hot path
+// pays nothing extra); only the latency histogram records eagerly.
+const (
+	MetricProbes      = "dnsobs_probe_probes_total"
+	MetricCacheHits   = "dnsobs_probe_cache_hits_total"
+	MetricCacheMisses = "dnsobs_probe_cache_misses_total"
+	MetricMerged      = "dnsobs_probe_singleflight_merged_total"
+	MetricRetries     = "dnsobs_probe_retries_total"
+	MetricWireQueries = "dnsobs_probe_wire_queries_total"
+	MetricTCPRetries  = "dnsobs_probe_tcp_retries_total"
+	MetricInflight    = "dnsobs_probe_inflight"
+	MetricSeconds     = "dnsobs_probe_seconds"
+)
+
+// probeLatencyBounds bucket the modeled resolution latency: sub-ms
+// cache hits through multi-second retry chains.
+var probeLatencyBounds = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5,
+}
+
+// instrument registers the dnsobs_probe_* families, labeled with the
+// engine name so several engines (tests, probe + verify planes) can
+// share a registry. Re-instrumenting under the same name replaces the
+// previous engine's slots.
+func (e *Engine) instrument(reg *metrics.Registry) {
+	n := e.cfg.Name
+	outcomes := []struct {
+		outcome string
+		read    func() uint64
+	}{
+		{"issued", e.issued.Load},
+		{"answered", e.answered.Load},
+		{"timeout", e.timeouts.Load},
+		{"rate_limited", e.rateLimited.Load},
+		{"merged", e.merged.Load},
+	}
+	for _, o := range outcomes {
+		reg.CounterFunc(MetricProbes, "probes by final outcome (issued counts submissions)",
+			o.read, "engine", n, "outcome", o.outcome)
+	}
+	reg.CounterFunc(MetricCacheHits, "probes served from the NS cache",
+		e.cacheHits.Load, "engine", n, "kind", "positive")
+	reg.CounterFunc(MetricCacheHits, "probes served from the NS cache",
+		e.negHits.Load, "engine", n, "kind", "negative")
+	reg.CounterFunc(MetricCacheMisses, "probes that walked the hierarchy",
+		e.cacheMisses.Load, "engine", n)
+	reg.CounterFunc(MetricMerged, "duplicate in-flight probes collapsed by singleflight",
+		e.merged.Load, "engine", n)
+	reg.CounterFunc(MetricRetries, "retry attempts after timeout or SERVFAIL",
+		e.retries.Load, "engine", n, "reason", "all")
+	reg.CounterFunc(MetricRetries, "retry attempts after timeout or SERVFAIL",
+		e.sfRetries.Load, "engine", n, "reason", "servfail")
+	reg.CounterFunc(MetricWireQueries, "DNS queries put on the wire",
+		e.wireQueries.Load, "engine", n)
+	reg.CounterFunc(MetricTCPRetries, "truncated UDP answers retried over TCP",
+		e.tcpRetries.Load, "engine", n)
+	reg.GaugeFunc(MetricInflight, "probes currently being resolved",
+		func() float64 { return float64(e.inflight.Load()) }, "engine", n)
+	e.seconds = reg.Histogram(MetricSeconds, "modeled resolution latency of answered probes",
+		probeLatencyBounds, "engine", n)
+}

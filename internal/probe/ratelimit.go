@@ -1,0 +1,89 @@
+package probe
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// rlShards spreads the per-nameserver buckets; 16 suffices because
+// each shard holds many buckets and the critical section is a few
+// float operations.
+const rlShards = 16
+
+// rateLimiter holds one token bucket per nameserver address. Buckets
+// are created on first use with the rate the caller passes — the
+// resolver passes the hierarchy rate for root/TLD servers and the
+// (higher) leaf rate for zone authoritatives, mirroring ZDNS's
+// politeness toward shared infrastructure.
+type rateLimiter struct {
+	shards [rlShards]rlShard
+}
+
+type rlShard struct {
+	mu sync.Mutex
+	m  map[netip.Addr]*bucket
+}
+
+// bucket is a reservation-style token bucket: acquire always consumes a
+// token and reports how long the caller must wait for it, unless the
+// wait would exceed the caller's patience, in which case the token is
+// returned and the probe is dropped as rate-limited.
+type bucket struct {
+	tokens float64 // may go negative: reserved ahead
+	last   time.Time
+	rate   float64 // tokens per second
+	burst  float64
+}
+
+// hashAddr hashes an address without allocating.
+func hashAddr(addr netip.Addr) uint64 {
+	a := addr.As16()
+	h := uint64(14695981039346656037)
+	for _, b := range a {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+func newRateLimiter() *rateLimiter {
+	rl := &rateLimiter{}
+	for i := range rl.shards {
+		rl.shards[i].m = make(map[netip.Addr]*bucket)
+	}
+	return rl
+}
+
+// acquire reserves one query slot at addr. It returns the time the
+// caller must sleep before sending (0 when a token is free), or
+// ok=false when the next slot is further than maxWait away.
+func (rl *rateLimiter) acquire(addr netip.Addr, rate, burst float64, maxWait time.Duration, now time.Time) (wait time.Duration, ok bool) {
+	if rate <= 0 {
+		return 0, true
+	}
+	sh := &rl.shards[hashAddr(addr)&(rlShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, exists := sh.m[addr]
+	if !exists {
+		b = &bucket{tokens: burst, last: now, rate: rate, burst: burst}
+		sh.m[addr] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0, true
+	}
+	wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
+	if wait > maxWait {
+		b.tokens++ // give the reservation back
+		return 0, false
+	}
+	return wait, true
+}

@@ -1,0 +1,281 @@
+package probe
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+	"dnsobservatory/internal/sie"
+)
+
+// Sentinel errors threaded through the exchange path.
+var (
+	errRateLimited = errors.New("probe: rate limited")
+	errLateReply   = errors.New("probe: reply after timeout")
+)
+
+// resolve runs one full iterative resolution: cache lookup, then a
+// root→TLD→authoritative referral walk, querying with per-exchange
+// retries and recording everything it learns back into the cache.
+func (e *Engine) resolve(w *worker, t Target) *Result {
+	res := &Result{QName: t.QName, QType: t.QType}
+	now := e.cfg.Now()
+
+	// Start from the deepest cached delegation; the roots otherwise.
+	servers := e.cfg.Roots
+	curZone := "" // "" = the root zone
+	if !e.cfg.DisableCache {
+		if zone, srvs, neg, ok := e.cache.Lookup(t.QName, now); ok {
+			if neg {
+				e.cacheHits.Add(1)
+				e.negHits.Add(1)
+				res.Outcome = OutcomeAnswered
+				res.RCode = dnswire.RCodeNXDomain
+				res.CacheHit = true
+				res.NegCacheHit = true
+				return res
+			}
+			servers, curZone = srvs, zone
+			// A hit below the public-suffix level skips the whole
+			// hierarchy walk; a TLD-level entry only saves the root and
+			// counts as a miss for the hit-rate accounting.
+			if !e.isHierZone(zone) {
+				e.cacheHits.Add(1)
+				res.CacheHit = true
+			} else {
+				e.cacheMisses.Add(1)
+			}
+		} else {
+			e.cacheMisses.Add(1)
+		}
+	} else {
+		e.cacheMisses.Add(1)
+	}
+
+	for depth := 0; depth < maxReferralDepth; depth++ {
+		m, srv, err := e.query(w, res, servers, t.QName, t.QType, e.isHierZone(curZone))
+		if err != nil {
+			if errors.Is(err, errRateLimited) {
+				res.Outcome = OutcomeRateLimited
+			} else {
+				res.Outcome = OutcomeTimeout
+			}
+			return res
+		}
+
+		if zone, glue, ttl, ok := referral(m); ok {
+			if !e.cfg.DisableCache {
+				e.cache.Put(zone, glue, ttl, e.cfg.Now())
+			}
+			servers, curZone = glue, zone
+			continue
+		}
+
+		// Terminal response: fill the result from it.
+		res.Outcome = OutcomeAnswered
+		res.Server = srv
+		res.RCode = m.Flags.RCode
+		if m.Flags.RCode == dnswire.RCodeNXDomain {
+			if ttl, ok := soaMinimum(m); ok && !e.cfg.DisableCache {
+				// RFC 2308: cache the denial. A hierarchy server
+				// denying the name means the whole registered domain is
+				// unregistered; a leaf denial covers just this qname.
+				key := t.QName
+				if e.isHierZone(curZone) {
+					key = e.cfg.Suffixes.ESLD(t.QName)
+				}
+				if key != "" {
+					e.cache.PutNegative(key, ttl, e.cfg.Now())
+				}
+			}
+			return res
+		}
+		for _, rr := range m.Answers {
+			switch data := rr.Data.(type) {
+			case dnswire.ARData:
+				res.Addrs = append(res.Addrs, data.Addr)
+			case dnswire.AAAARData:
+				res.Addrs = append(res.Addrs, data.Addr)
+			}
+			if res.TTL == 0 {
+				res.TTL = rr.TTL
+			}
+		}
+		return res
+	}
+	// Referral loop without a terminal answer: account it with the
+	// timeouts so the outcome identity stays exact.
+	res.Outcome = OutcomeTimeout
+	return res
+}
+
+// isHierZone reports whether zone is the root or a public suffix —
+// i.e. whether its servers are shared infrastructure that gets the
+// stricter rate limit.
+func (e *Engine) isHierZone(zone string) bool {
+	return zone == "" || zone == "." || e.cfg.Suffixes.ETLD(zone) == zone
+}
+
+// referral recognizes a delegation response: no answers, not
+// authoritative, NS records in AUTHORITY. It returns the delegated
+// zone apex, the glue addresses, and the NS TTL.
+func referral(m *dnswire.Message) (zone string, glue []netip.Addr, ttl uint32, ok bool) {
+	if m.Flags.Authoritative || m.Flags.RCode != dnswire.RCodeNoError || len(m.Answers) != 0 {
+		return "", nil, 0, false
+	}
+	for _, rr := range m.Authority {
+		if rr.Type == dnswire.TypeNS {
+			zone = rr.Name
+			ttl = rr.TTL
+			break
+		}
+	}
+	if zone == "" {
+		return "", nil, 0, false
+	}
+	for _, rr := range m.Additional {
+		if data, isA := rr.Data.(dnswire.ARData); isA {
+			glue = append(glue, data.Addr)
+		}
+	}
+	if len(glue) == 0 {
+		return "", nil, 0, false
+	}
+	return zone, glue, ttl, true
+}
+
+// soaMinimum extracts the negative-caching TTL from the AUTHORITY SOA.
+func soaMinimum(m *dnswire.Message) (uint32, bool) {
+	for _, rr := range m.Authority {
+		if rr.Type == dnswire.TypeSOA {
+			if soa, ok := rr.Data.(dnswire.SOARData); ok {
+				return soa.Minimum, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// query asks one question with the engine's retry policy: up to
+// 1+Retries attempts, each against a rotated server, with jittered
+// exponential backoff between attempts. A truncated UDP reply retries
+// immediately over TCP without consuming an attempt.
+func (e *Engine) query(w *worker, res *Result, servers []netip.Addr, qname string, qtype dnswire.Type, hier bool) (*dnswire.Message, netip.Addr, error) {
+	rate, burst := e.cfg.AuthRate, e.cfg.AuthRate/50
+	if hier {
+		rate, burst = e.cfg.HierarchyRate, e.cfg.HierarchyRate/50
+	}
+	if burst < 4 {
+		burst = 4
+	}
+	attempts := 1 + e.cfg.Retries
+	start := w.rng.Intn(len(servers))
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		srv := servers[(start+i)%len(servers)]
+		if wait, ok := e.rl.acquire(srv, rate, burst, e.cfg.MaxRateWait, e.cfg.Now()); !ok {
+			return nil, srv, errRateLimited
+		} else if wait > 0 {
+			time.Sleep(wait)
+		}
+		if i > 0 {
+			e.retries.Add(1)
+			res.Retries++
+			e.backoff(w, i)
+		}
+		m, rtt, err := w.exchange(srv, qname, qtype, false)
+		if err != nil {
+			res.Latency += e.cfg.Timeout
+			lastErr = err
+			continue
+		}
+		res.Latency += rtt
+		if m.Flags.Truncated {
+			// Oversize answer: the server wants TCP. One immediate
+			// retry over a TCP frame, same server, no backoff.
+			e.tcpRetries.Add(1)
+			res.TCPRetried = true
+			if m, rtt, err = w.exchange(srv, qname, qtype, true); err != nil {
+				res.Latency += e.cfg.Timeout
+				lastErr = err
+				continue
+			}
+			res.Latency += rtt
+		}
+		if m.Flags.RCode == dnswire.RCodeServFail && i+1 < attempts {
+			e.sfRetries.Add(1)
+			lastErr = nil
+			continue
+		}
+		return m, srv, nil
+	}
+	if lastErr == nil {
+		lastErr = errLateReply
+	}
+	return nil, netip.Addr{}, lastErr
+}
+
+// backoff sleeps the jittered exponential delay before retry i (1-based).
+func (e *Engine) backoff(w *worker, i int) {
+	d := e.cfg.BackoffMin << (i - 1)
+	if d > e.cfg.BackoffMax {
+		d = e.cfg.BackoffMax
+	}
+	// ±50 % jitter decorrelates retry storms across workers.
+	d = d/2 + time.Duration(w.rng.Int63n(int64(d)))
+	time.Sleep(d)
+}
+
+// exchange puts one query on the wire: build, frame, exchange, emit the
+// transaction, parse the reply. The returned message aliases w's
+// scratch buffers — the caller must extract what it needs before the
+// worker's next exchange.
+func (w *worker) exchange(srv netip.Addr, qname string, qtype dnswire.Type, tcp bool) (*dnswire.Message, time.Duration, error) {
+	e := w.e
+	w.q.Reset()
+	w.q.ID = uint16(w.rng.Intn(1 << 16))
+	w.q.Questions = append(w.q.Questions, dnswire.Question{
+		Name: qname, Type: qtype, Class: dnswire.ClassINET})
+	w.q.SetEDNS(4096, false)
+	var err error
+	if w.qbuf, err = w.q.Pack(w.qbuf[:0]); err != nil {
+		return nil, 0, err
+	}
+	sport := uint16(1024 + w.rng.Intn(60000))
+	if tcp {
+		w.pbuf = ipwire.AppendIPv4TCPDNS(w.pbuf[:0], e.cfg.LocalAddr, srv, sport, ipwire.DNSPort, 64, w.rng.Uint32(), w.qbuf)
+	} else {
+		w.pbuf = ipwire.AppendIPv4UDP(w.pbuf[:0], e.cfg.LocalAddr, srv, sport, ipwire.DNSPort, 64, w.qbuf)
+	}
+	qt := e.cfg.Now()
+	e.wireQueries.Add(1)
+	resp, rtt, err := e.cfg.Exchanger.Exchange(w.pbuf)
+	if err != nil || rtt > e.cfg.Timeout {
+		// Lost or late: what a sensor sees is an unanswered query.
+		w.tx = sie.Transaction{QueryPacket: w.pbuf, QueryTime: qt, SensorID: e.cfg.SensorID}
+		e.emitTx(&w.tx)
+		if err == nil {
+			err = errLateReply
+		}
+		return nil, 0, err
+	}
+	w.tx = sie.Transaction{
+		QueryPacket:    w.pbuf,
+		ResponsePacket: resp,
+		QueryTime:      qt,
+		ResponseTime:   qt.Add(rtt),
+		SensorID:       e.cfg.SensorID,
+	}
+	e.emitTx(&w.tx)
+	pkt, _, err := ipwire.DecodeAny(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	w.r.Reset()
+	if err := w.r.Unpack(pkt.Payload); err != nil {
+		return nil, 0, err
+	}
+	return &w.r, rtt, nil
+}

@@ -1,0 +1,55 @@
+package probe
+
+import "sync"
+
+// singleflight collapses identical in-flight probes: the first worker
+// to take a key becomes the leader and resolves it on the wire; every
+// worker that arrives while the leader is still out waits on the call
+// and shares the leader's result. Unlike a read-through cache this
+// holds nothing after the call completes — dedup applies only to
+// concurrent duplicates, which is exactly the window where a second
+// wire query would be pure waste.
+type singleflight struct {
+	mu sync.Mutex
+	m  map[string]*sfCall
+}
+
+type sfCall struct {
+	done chan struct{}
+	res  *Result
+}
+
+func newSingleflight() *singleflight {
+	return &singleflight{m: make(map[string]*sfCall)}
+}
+
+// begin either registers the caller as leader for key (leader=true;
+// call finish with the result when done) or returns the in-flight call
+// to wait on.
+func (s *singleflight) begin(key string) (c *sfCall, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.m[key]; ok {
+		return c, false
+	}
+	c = &sfCall{done: make(chan struct{})}
+	s.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and releases the followers. The
+// key is dropped before done closes, so a probe submitted after this
+// point starts a fresh wire query instead of reading a stale answer.
+func (s *singleflight) finish(key string, c *sfCall, res *Result) {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	c.res = res
+	close(c.done)
+}
+
+// wait blocks until the leader finishes and returns the shared result.
+func (c *sfCall) wait() *Result {
+	<-c.done
+	return c.res
+}

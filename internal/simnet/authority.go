@@ -1,0 +1,410 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/ipwire"
+)
+
+// Authority is the scenario's authoritative server side, frozen for
+// concurrent use: a read-only index of every root, TLD and zone
+// nameserver that answers ipwire-framed DNS queries the way the live
+// simulation would, minus the passive-path randomness (drops, cookies,
+// per-response TTL rolls). It exists for the active probe plane, where
+// thousands of goroutines resolve against the population at once —
+// Sim itself mutates shared state per query and must stay
+// single-threaded.
+//
+// Build one with NewAuthority after simnet.New; the constructor mints
+// every lazily-created ccTLD server up front (Infra.CCTLDServer mutates
+// the Infra maps, so it must never run inside Exchange) and from then
+// on the Authority only reads.
+type Authority struct {
+	cfg    AuthorityConfig
+	byAddr map[netip.Addr]*authServer
+	zones  map[string]*SLD
+	fqdns  map[string]*FQDN
+	roots  []*Server
+	tlds   map[string]tldDelegation
+}
+
+// AuthorityConfig tunes the frozen authoritative plane.
+type AuthorityConfig struct {
+	// DelayScale is the fraction of each server's modeled response
+	// delay that Exchange actually sleeps. The modeled delay is always
+	// reported in full as the returned rtt — DelayScale only throttles
+	// wall-clock time, so 0 (the default) gives a CPU-bound loopback
+	// population whose latency histograms still look like the paper's.
+	DelayScale float64
+}
+
+// tldDelegation is the referral a root server hands out for one TLD:
+// NS owner names parallel to the real registry servers they resolve to.
+// Unlike the passive path (which fabricates glue addresses because the
+// resolver model never dials them), these glue records point at the
+// actual TLD servers, so an iterative prober can follow them.
+type tldDelegation struct {
+	names   []string
+	servers []*Server
+}
+
+// authServer is one nameserver address with its role in the hierarchy.
+type authServer struct {
+	srv  *Server
+	role authRole
+	// tlds is the set of public suffixes a registry server answers for
+	// (the gTLD fleet serves both com. and net.).
+	tlds map[string]bool
+	// zones maps the zone apexes a leaf authoritative serves.
+	zones map[string]*SLD
+}
+
+type authRole uint8
+
+const (
+	roleRoot authRole = iota
+	roleTLD
+	roleAuth
+)
+
+// Errors returned by Exchange for queries the population cannot route.
+var (
+	// ErrNoServer means the destination address is not an authoritative
+	// nameserver of this scenario.
+	ErrNoServer = errors.New("simnet: no authoritative server at address")
+	// ErrBadQuery means the query packet or DNS payload did not parse.
+	ErrBadQuery = errors.New("simnet: malformed query")
+)
+
+// NewAuthority freezes sim's server side for concurrent probing.
+func NewAuthority(s *Sim, cfg AuthorityConfig) *Authority {
+	a := &Authority{
+		cfg:    cfg,
+		byAddr: map[netip.Addr]*authServer{},
+		zones:  map[string]*SLD{},
+		fqdns:  map[string]*FQDN{},
+		roots:  s.Infra.RootServers,
+		tlds:   map[string]tldDelegation{},
+	}
+	for _, srv := range s.Infra.RootServers {
+		a.index(srv, roleRoot)
+	}
+	var all []*SLD
+	all = append(all, s.Universe.SLDs...)
+	all = append(all, s.Universe.PTRZones...)
+	all = append(all, s.AVZones...)
+	for _, zone := range all {
+		a.zones[zone.Name] = zone
+		for _, f := range zone.FQDNs {
+			a.fqdns[f.Name] = f
+		}
+		tld := dnswire.TLD(zone.Name)
+		if _, ok := a.tlds[tld]; !ok {
+			a.tlds[tld] = s.tldDelegation(tld)
+		}
+		for _, srv := range zone.NS {
+			as := a.index(srv, roleAuth)
+			as.zones[zone.Name] = zone
+		}
+	}
+	for tld, deleg := range a.tlds {
+		for _, srv := range deleg.servers {
+			as := a.index(srv, roleTLD)
+			as.tlds[tld] = true
+		}
+	}
+	return a
+}
+
+// tldDelegation builds the real-glue referral set for one TLD, minting
+// the registry server if the passive path never touched this suffix.
+func (s *Sim) tldDelegation(tld string) tldDelegation {
+	if tld == "com." || tld == "net." {
+		d := tldDelegation{servers: s.Infra.GTLDServers}
+		for i := range d.servers {
+			d.names = append(d.names, fmt.Sprintf("%c.gtld-servers.net.", 'a'+i))
+		}
+		return d
+	}
+	return tldDelegation{
+		names:   []string{"a.nic." + tld},
+		servers: []*Server{s.Infra.CCTLDServer(tld)},
+	}
+}
+
+// index registers srv's addresses under role, keeping the first role a
+// shared address was registered with (hierarchy wins over leaf).
+func (a *Authority) index(srv *Server, role authRole) *authServer {
+	if as, ok := a.byAddr[srv.Addr]; ok {
+		return as
+	}
+	as := &authServer{srv: srv, role: role}
+	switch role {
+	case roleTLD:
+		as.tlds = map[string]bool{}
+	case roleAuth:
+		as.zones = map[string]*SLD{}
+	}
+	a.byAddr[srv.Addr] = as
+	if srv.Addr6.IsValid() {
+		a.byAddr[srv.Addr6] = as
+	}
+	return as
+}
+
+// RootAddrs returns the 13 root server addresses — the priming set an
+// iterative prober starts from.
+func (a *Authority) RootAddrs() []netip.Addr {
+	addrs := make([]netip.Addr, len(a.roots))
+	for i, srv := range a.roots {
+		addrs[i] = srv.Addr
+	}
+	return addrs
+}
+
+// Zone returns the zone serving name (longest-suffix match), or nil.
+func (a *Authority) Zone(name string) *SLD { return a.zoneFor(name) }
+
+// Servers reports how many distinct nameserver addresses the frozen
+// plane answers on.
+func (a *Authority) Servers() int { return len(a.byAddr) }
+
+// Exchange answers one ipwire-framed DNS query (UDP or TCP framing,
+// detected from the packet) addressed to a nameserver of the
+// population. It returns the framed response and the server's modeled
+// response delay. Responses over 1232 bytes are truncated over UDP
+// (TC set, sections emptied) — retry the same question in a TCP frame
+// for the full answer. Safe for concurrent use; the returned slice is
+// freshly allocated.
+func (a *Authority) Exchange(query []byte) (resp []byte, rtt time.Duration, err error) {
+	pkt, isTCP, err := ipwire.DecodeAny(query)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	as, ok := a.byAddr[pkt.Dst]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNoServer, pkt.Dst)
+	}
+	var q dnswire.Message
+	if err := q.Unpack(pkt.Payload); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	question := q.Question()
+	if question.Name == "" {
+		return nil, 0, fmt.Errorf("%w: empty question", ErrBadQuery)
+	}
+
+	m := dnswire.Message{
+		ID:        q.ID,
+		Flags:     dnswire.Flags{Response: true},
+		Questions: []dnswire.Question{question},
+	}
+	switch as.role {
+	case roleRoot:
+		a.answerRoot(&m, question)
+	case roleTLD:
+		a.answerTLD(&m, as, question)
+	case roleAuth:
+		a.answerAuth(&m, as, question)
+	}
+	if q.OPT() != nil {
+		m.SetEDNS(maxUDPPayload, false)
+	}
+
+	rtt = a.delay(as.srv, q.ID, question.Name)
+	wire, err := m.Pack(make([]byte, 0, 512))
+	if err != nil {
+		return nil, 0, err
+	}
+	if !isTCP && len(wire) > maxUDPPayload {
+		trunc := dnswire.Message{
+			ID:        m.ID,
+			Flags:     m.Flags,
+			Questions: m.Questions,
+		}
+		trunc.Flags.Truncated = true
+		if q.OPT() != nil {
+			trunc.SetEDNS(maxUDPPayload, false)
+		}
+		if wire, err = trunc.Pack(wire[:0]); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	srv := as.srv
+	hops := srv.Hops
+	if hops > 254 {
+		hops = 254
+	}
+	rttl := uint8(255 - hops)
+	v6 := pkt.Dst.Is6()
+	switch {
+	case isTCP && v6:
+		resp = ipwire.AppendIPv6TCPDNS(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, rttl, 1, wire)
+	case isTCP:
+		resp = ipwire.AppendIPv4TCPDNS(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, rttl, 1, wire)
+	case v6:
+		resp = ipwire.AppendIPv6UDP(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, rttl, wire)
+	default:
+		resp = ipwire.AppendIPv4UDP(nil, pkt.Dst, pkt.Src, pkt.DstPort, pkt.SrcPort, rttl, wire)
+	}
+	if a.cfg.DelayScale > 0 {
+		time.Sleep(time.Duration(float64(rtt) * a.cfg.DelayScale))
+	}
+	return resp, rtt, nil
+}
+
+// delay is the server's modeled response time for this query: the base
+// delay with a deterministic ±15 % per-query jitter, so repeated probes
+// see realistic spread without any shared rng state.
+func (a *Authority) delay(srv *Server, id uint16, qname string) time.Duration {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(qname); i++ {
+		h = (h ^ uint64(qname[i])) * 1099511628211
+	}
+	h = (h ^ uint64(id)) * 1099511628211
+	factor := 0.85 + 0.3*float64(h%1024)/1024
+	return time.Duration(srv.BaseDelayMs * factor * float64(time.Millisecond))
+}
+
+// zoneFor finds the deepest zone whose apex is a suffix of name.
+func (a *Authority) zoneFor(name string) *SLD {
+	for n := name; n != "" && n != "."; {
+		if z, ok := a.zones[n]; ok {
+			return z
+		}
+		dot := strings.IndexByte(n, '.')
+		if dot < 0 || dot+1 >= len(n) {
+			break
+		}
+		n = n[dot+1:]
+	}
+	return nil
+}
+
+// answerRoot builds a root server's response: a referral to the TLD's
+// registry servers with real glue, or NXDOMAIN with the root SOA.
+func (a *Authority) answerRoot(m *dnswire.Message, q dnswire.Question) {
+	tld := dnswire.TLD(q.Name)
+	deleg, ok := a.tlds[tld]
+	if !ok {
+		m.Flags.Authoritative = true
+		m.Flags.RCode = dnswire.RCodeNXDomain
+		addAuthoritySOA(m, ".", 86400)
+		return
+	}
+	for i, name := range deleg.names {
+		m.Authority = append(m.Authority, dnswire.RR{
+			Name: tld, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.NSRData{NS: name},
+		})
+		m.Additional = append(m.Additional, dnswire.RR{
+			Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.ARData{Addr: deleg.servers[i].Addr},
+		})
+	}
+}
+
+// answerTLD builds a registry server's response: a referral into the
+// delegated zone, NXDOMAIN with the TLD SOA for unregistered names, or
+// REFUSED for suffixes this registry does not run.
+func (a *Authority) answerTLD(m *dnswire.Message, as *authServer, q dnswire.Question) {
+	tld := dnswire.TLD(q.Name)
+	if !as.tlds[tld] {
+		m.Flags.RCode = dnswire.RCodeRefused
+		return
+	}
+	zone := a.zoneFor(q.Name)
+	if zone == nil {
+		m.Flags.Authoritative = true
+		m.Flags.RCode = dnswire.RCodeNXDomain
+		addAuthoritySOA(m, tld, 900)
+		return
+	}
+	for i, nsName := range zone.NSNames {
+		m.Authority = append(m.Authority, dnswire.RR{
+			Name: zone.Name, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.NSRData{NS: nsName},
+		})
+		m.Additional = append(m.Additional, dnswire.RR{
+			Name: nsName, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.ARData{Addr: zone.NS[i].Addr},
+		})
+	}
+}
+
+// answerAuth builds a leaf authoritative's response: the answer RRset
+// for names it serves, NODATA or NXDOMAIN with the zone SOA otherwise,
+// REFUSED when the zone is not on this server.
+func (a *Authority) answerAuth(m *dnswire.Message, as *authServer, q dnswire.Question) {
+	zone := a.zoneFor(q.Name)
+	if zone == nil || as.zones[zone.Name] == nil {
+		m.Flags.RCode = dnswire.RCodeRefused
+		return
+	}
+	m.Flags.Authoritative = true
+	in := dnswire.ClassINET
+
+	// Zone-apex RRsets answer regardless of whether the apex is also a
+	// hostname of the population.
+	if q.Name == zone.Name {
+		switch q.Type {
+		case dnswire.TypeNS:
+			for i, nsName := range zone.NSNames {
+				m.Answers = append(m.Answers, dnswire.RR{Name: zone.Name, Type: q.Type, Class: in,
+					TTL: zone.NSTTL, Data: dnswire.NSRData{NS: nsName}})
+				m.Additional = append(m.Additional, dnswire.RR{Name: nsName, Type: dnswire.TypeA,
+					Class: in, TTL: zone.NSTTL, Data: dnswire.ARData{Addr: zone.NS[i].Addr}})
+			}
+			return
+		case dnswire.TypeSOA:
+			m.Answers = append(m.Answers, dnswire.RR{Name: zone.Name, Type: q.Type, Class: in, TTL: 3600,
+				Data: dnswire.SOARData{MName: zone.NSNames[0], RName: "hostmaster." + zone.Name,
+					Serial: zone.Serial, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: zone.NegTTL}})
+			return
+		case dnswire.TypeMX:
+			m.Answers = append(m.Answers, dnswire.RR{Name: zone.Name, Type: q.Type, Class: in, TTL: 3600,
+				Data: dnswire.MXRData{Preference: 10, MX: "mail." + zone.Name}})
+			return
+		}
+	}
+
+	f, ok := a.fqdns[q.Name]
+	if !ok || f.SLD != zone {
+		m.Flags.RCode = dnswire.RCodeNXDomain
+		addAuthoritySOA(m, zone.Name, zone.NegTTL)
+		return
+	}
+	switch q.Type {
+	case dnswire.TypeA:
+		m.Answers = append(m.Answers, dnswire.RR{Name: q.Name, Type: q.Type, Class: in, TTL: zone.ATTL,
+			Data: dnswire.ARData{Addr: zone.AddrFor(f, false)}})
+	case dnswire.TypeAAAA:
+		if !f.HasV6() {
+			addAuthoritySOA(m, zone.Name, zone.NegTTL) // NODATA
+			return
+		}
+		m.Answers = append(m.Answers, dnswire.RR{Name: q.Name, Type: q.Type, Class: in, TTL: zone.ATTL,
+			Data: dnswire.AAAARData{Addr: zone.AddrFor(f, true)}})
+	default:
+		addAuthoritySOA(m, zone.Name, zone.NegTTL) // NODATA for other types
+	}
+}
+
+// addAuthoritySOA appends the RFC 2308 negative-answer SOA.
+func addAuthoritySOA(m *dnswire.Message, zone string, negTTL uint32) {
+	mname := "ns1." + zone
+	if zone == "." {
+		mname = "a.root-servers.net."
+	}
+	m.Authority = append(m.Authority, dnswire.RR{
+		Name: zone, Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: negTTL,
+		Data: dnswire.SOARData{MName: mname, RName: "hostmaster." + zone,
+			Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: negTTL},
+	})
+}

@@ -51,6 +51,11 @@ type Server struct {
 	// /healthz — dnsobs wires it to the fleet router's member list so
 	// operators see placement and cooldowns.
 	Fleet func() any
+	// Probe, when set, adds its result under the "probe" key in
+	// /healthz — dnsprobe wires it to the probe engine's Status so
+	// operators see queue depth, in-flight probes and the outcome
+	// counters. Same decoupling convention as Sensors.
+	Probe func() any
 
 	windows atomic.Uint64
 }
@@ -125,6 +130,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Fleet != nil {
 		health["fleet"] = s.Fleet()
+	}
+	if s.Probe != nil {
+		health["probe"] = s.Probe()
 	}
 	writeJSON(w, health)
 }

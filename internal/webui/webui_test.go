@@ -107,6 +107,28 @@ func TestHealthzSensors(t *testing.T) {
 	}
 }
 
+func TestHealthzProbe(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	type status struct {
+		Issued   uint64 `json:"issued"`
+		Answered uint64 `json:"answered"`
+	}
+	s.Probe = func() any { return status{Issued: 42, Answered: 40} }
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	var h struct {
+		Probe *status `json:"probe"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Probe == nil || h.Probe.Issued != 42 || h.Probe.Answered != 40 {
+		t.Errorf("probe = %+v", h.Probe)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, false)
 	s.Registry.Counter(observatoryIngested, "transactions", "engine", "sharded").Add(7)

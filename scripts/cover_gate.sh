@@ -3,7 +3,8 @@
 # frame decoder, the transport state machines (reconnect, overload,
 # drain, WAL spill/dedup), the write-ahead log with its crash-recovery
 # scan, the fleet ring/router/merge, the snapshot store with its binary
-# columnar codec, and the query HTTP surface are exactly the code that
+# columnar codec, the query HTTP surface, and the active probe engine
+# (cache, singleflight, rate limits, retry ladder) are exactly the code that
 # fails in production in ways unit demos never hit, so CI refuses any
 # change that drops their statement coverage below the floor.
 #
@@ -13,7 +14,7 @@ set -eu
 FLOOR=80
 
 fail=0
-for pkg in ./internal/transport/ ./internal/wal/ ./internal/fleet/ ./internal/sie/ ./internal/tsv/ ./internal/webui/; do
+for pkg in ./internal/transport/ ./internal/wal/ ./internal/fleet/ ./internal/sie/ ./internal/tsv/ ./internal/webui/ ./internal/probe/; do
     out=$("$(command -v go)" test -count=1 -cover "$pkg" 2>&1) || {
         printf '%s\n' "$out" >&2
         echo "cover gate: tests failed in $pkg" >&2
