@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"dnsobservatory/internal/bloom"
+	"dnsobservatory/internal/detect"
 	"dnsobservatory/internal/dnswire"
 	"dnsobservatory/internal/experiments"
 	"dnsobservatory/internal/features"
@@ -173,6 +174,45 @@ func BenchmarkParallelIngest(b *testing.B) {
 		b.StopTimer()
 		eng.Close()
 	})
+}
+
+// BenchmarkDetectIngest measures the detection layer's ingest overhead
+// on the standard 8-aggregation load: the serial and sharded engines
+// with detection off vs on. The detect-on delta is the per-transaction
+// price of eSLD extraction, information-content folding, and the
+// rotating NOD seen-set; BENCH_9.json records the budget (≤ 10 %).
+func BenchmarkDetectIngest(b *testing.B) {
+	sums := parallelBenchSummaries()
+	run := func(b *testing.B, detectOn bool, sharded bool) {
+		cfg := observatory.DefaultConfig()
+		if detectOn {
+			dc := detect.DefaultConfig()
+			cfg.Detect = &dc
+		}
+		b.ReportAllocs()
+		if sharded {
+			eng := observatory.NewSharded(observatory.ShardedConfig{Config: cfg},
+				observatory.StandardAggregations(0.01), nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Ingest(&sums[i%len(sums)], float64(i)/2000)
+			}
+			b.StopTimer()
+			eng.Close()
+			return
+		}
+		pipe := observatory.New(cfg, observatory.StandardAggregations(0.01), nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe.Ingest(&sums[i%len(sums)], float64(i)/2000)
+		}
+		b.StopTimer()
+		pipe.Flush()
+	}
+	b.Run("serial-off", func(b *testing.B) { run(b, false, false) })
+	b.Run("serial-on", func(b *testing.B) { run(b, true, false) })
+	b.Run("sharded-off", func(b *testing.B) { run(b, false, true) })
+	b.Run("sharded-on", func(b *testing.B) { run(b, true, true) })
 }
 
 // snapshotBenchSets builds a corpus of feature sets populated with a

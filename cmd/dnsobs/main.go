@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"dnsobservatory/internal/detect"
 	"dnsobservatory/internal/fleet"
 	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/observatory"
@@ -68,6 +69,7 @@ func main() {
 		retain   = flag.Int("retain-min", 0, "minutely files to retain (0 = all)")
 		httpAddr = flag.String("http", "", "serve the live web UI on this address (e.g. :8053)")
 		parallel = flag.Bool("parallel", false, "run each aggregation on its own goroutine (legacy fan-out)")
+		detectOn = flag.Bool("detect", false, "enable the streaming detection layer (information-content heavy hitters + newly-observed domains; snapshots under detect_esld/detect_nod, live view at /api/detect)")
 		sharded  = flag.Bool("sharded", false, "use the key-hash-sharded engine (implied by -shards/-workers)")
 		shards   = flag.Int("shards", 0, "sharded engine: key-hash shards per aggregation (0 = one per worker)")
 		workers  = flag.Int("workers", 0, "sharded engine: worker goroutines (0 = GOMAXPROCS, capped at 16)")
@@ -136,6 +138,13 @@ func main() {
 	for _, a := range aggs {
 		aggNames = append(aggNames, a.Name)
 	}
+	if *detectOn {
+		if *parallel {
+			fatal(errors.New("-detect is not supported with -parallel (the legacy fan-out would duplicate the detection layer per aggregation); use the serial or sharded engine"))
+		}
+		// Detection snapshots persist and cascade like any aggregation.
+		aggNames = append(aggNames, "detect_esld", "detect_nod")
+	}
 
 	ui := webui.NewServer(store)
 	ui.Registry = reg
@@ -185,6 +194,10 @@ func main() {
 	)
 	engineCfg := observatory.DefaultConfig()
 	engineCfg.Metrics = reg
+	if *detectOn {
+		dc := detect.DefaultConfig()
+		engineCfg.Detect = &dc
+	}
 	switch {
 	case *sharded || *shards > 0 || *workers > 0:
 		eng := observatory.NewSharded(observatory.ShardedConfig{

@@ -13,6 +13,8 @@ type Filter struct {
 	mask  uint64 // len(bits)*64 - 1; size is a power of two
 	k     int
 	seed  maphash.Seed
+	det   bool   // deterministic hashing (NewSeeded)
+	dseed uint64 // seed for the deterministic hash
 	count uint64 // insertions, for saturation tracking
 }
 
@@ -20,19 +22,45 @@ type Filter struct {
 // false-positive rate (0 < fp < 1). The bit array is rounded up to a
 // power of two so hashing can mask instead of mod.
 func New(n int, fp float64) *Filter {
+	f := sized(n, fp)
+	f.seed = maphash.MakeSeed()
+	return f
+}
+
+// NewSeeded is New with a caller-supplied deterministic hash seed: two
+// filters built with identical parameters map identical keys to
+// identical bit patterns, in this process or any other. The detection
+// layer depends on this — its serial and sharded deployments must reach
+// byte-identical admission and seen-set state, which maphash's
+// per-filter random seed would break probabilistically.
+func NewSeeded(n int, fp float64, seed uint64) *Filter {
+	f := sized(n, fp)
+	f.det = true
+	f.dseed = seed
+	return f
+}
+
+// sized allocates a filter for n expected elements at false-positive
+// rate fp, with optimal m = -n ln(fp) / (ln 2)^2 and k = m/n ln 2.
+func sized(n int, fp float64) *Filter {
 	if n < 1 {
 		n = 1
 	}
 	if fp <= 0 || fp >= 1 {
 		fp = 0.01
 	}
-	// Optimal m = -n ln(fp) / (ln 2)^2, k = m/n ln 2.
 	m := int(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
 	size := uint64(64)
 	for size < uint64(m) {
 		size <<= 1
 	}
 	k := int(math.Round(float64(size) / float64(n) * math.Ln2))
+	// The power-of-two rounding inflates m/n and with it the m/n-optimal
+	// k, but ceil(log2(1/fp)) hash functions already achieve the target
+	// rate at the optimal size — more probes past that only cost time.
+	if kfp := int(math.Ceil(-math.Log2(fp))); k > kfp {
+		k = kfp
+	}
 	if k < 1 {
 		k = 1
 	}
@@ -43,27 +71,95 @@ func New(n int, fp float64) *Filter {
 		bits: make([]uint64, size/64),
 		mask: size - 1,
 		k:    k,
-		seed: maphash.MakeSeed(),
 	}
 }
 
 // hash2 derives two independent 64-bit hashes of s; the k index
 // functions are Kirsch–Mitzenmacher combinations h1 + i*h2.
 func (f *Filter) hash2(s string) (uint64, uint64) {
+	if f.det {
+		h := f.dseed ^ 14695981039346656037
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		return f.spread(mix64(h))
+	}
 	return f.spread(maphash.String(f.seed, s))
 }
 
-// hash2Bytes is hash2 over a byte slice; maphash guarantees
-// Bytes(seed, b) == String(seed, string(b)), so the two views of one key
-// always agree.
+// hash2Bytes is hash2 over a byte slice; both hash functions guarantee
+// identical output for the string and byte views of one key, so
+// Contains(string(b)) == ContainsBytes(b) always holds.
 func (f *Filter) hash2Bytes(b []byte) (uint64, uint64) {
+	if f.det {
+		h := f.dseed ^ 14695981039346656037
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+		return f.spread(mix64(h))
+	}
 	return f.spread(maphash.Bytes(f.seed, b))
+}
+
+// mix64 is the SplitMix64 finalizer: FNV-1a concentrates key entropy in
+// the low bits, and the k index functions need it spread across all 64.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 func (f *Filter) spread(h uint64) (uint64, uint64) {
 	h2 := h>>33 | h<<31
 	h2 = h2*0x9e3779b97f4a7c15 + 1 // odd multiplier keeps h2 odd-ish spread
 	return h, h2 | 1
+}
+
+// Sum64 returns the deterministic 64-bit digest of s, for callers that
+// probe several identically-seeded filters with one key: compute the
+// digest once and reuse it via AddHash/ContainsHash. Only seeded
+// filters have a stable digest; Sum64 panics on a random-seeded one.
+func (f *Filter) Sum64(s string) uint64 {
+	if !f.det {
+		panic("bloom: Sum64 on a random-seeded filter")
+	}
+	h := f.dseed ^ 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// Sum64Bytes is Sum64 for a byte-slice view; the digests agree.
+func (f *Filter) Sum64Bytes(b []byte) uint64 {
+	if !f.det {
+		panic("bloom: Sum64Bytes on a random-seeded filter")
+	}
+	h := f.dseed ^ 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// AddHash inserts a key by its Sum64 digest. Valid only across filters
+// sharing the seed and sizing of the filter that produced the digest.
+func (f *Filter) AddHash(h uint64) {
+	h1, h2 := f.spread(h)
+	f.set(h1, h2)
+}
+
+// ContainsHash is Contains for a Sum64 digest.
+func (f *Filter) ContainsHash(h uint64) bool {
+	h1, h2 := f.spread(h)
+	return f.test(h1, h2)
 }
 
 // Add inserts s.

@@ -87,3 +87,63 @@ func TestAddedAlwaysContained(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSeededDeterministic(t *testing.T) {
+	// Two seeded filters with the same parameters must agree bit for bit:
+	// this is what makes detection snapshots reproducible across runs and
+	// across the serial/sharded engines.
+	a := NewSeeded(1024, 0.01, 42)
+	b := NewSeeded(1024, 0.01, 42)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d.example.com.", i)
+		a.Add(key)
+		b.AddBytes([]byte(key)) // string and bytes paths share the hash
+	}
+	if a.Count() != b.Count() {
+		t.Fatalf("counts diverged: %d vs %d", a.Count(), b.Count())
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d.example.com.", i)
+		if a.Contains(key) != b.Contains(key) {
+			t.Fatalf("membership diverged on %q", key)
+		}
+		if a.Contains(key) != a.ContainsBytes([]byte(key)) {
+			t.Fatalf("string/bytes view diverged on %q", key)
+		}
+	}
+}
+
+func TestSeededSeedsDiffer(t *testing.T) {
+	// Different seeds give different hash functions: false positives of
+	// one filter should not systematically repeat in the other.
+	a := NewSeeded(256, 0.05, 1)
+	b := NewSeeded(256, 0.05, 2)
+	for i := 0; i < 256; i++ {
+		a.Add(fmt.Sprintf("in-%d", i))
+		b.Add(fmt.Sprintf("in-%d", i))
+	}
+	shared := 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("out-%d", i)
+		if a.Contains(key) && b.Contains(key) {
+			shared++
+		}
+	}
+	// Independent ~5% FP rates should intersect near 0.25%; 2% is far
+	// outside any plausible run of a correct implementation.
+	if shared > 100 {
+		t.Fatalf("%d/5000 shared false positives: seeds not independent", shared)
+	}
+}
+
+func TestSeededNoFalseNegatives(t *testing.T) {
+	f := NewSeeded(1000, 0.01, 7)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("item-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains(fmt.Sprintf("item-%d", i)) {
+			t.Fatalf("false negative on item-%d", i)
+		}
+	}
+}

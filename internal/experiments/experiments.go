@@ -104,6 +104,7 @@ var Registry = []Experiment{
 	{"fig9", "Fig. 9: negative-caching TTLs vs. empty AAAA responses", (*Context).Fig9},
 	{"v6on", "§5.3: effect of enabling IPv6", (*Context).V6On},
 	{"ablate", "ablations: admission guard, rate decay, HLL precision", (*Context).Ablate},
+	{"detect", "detection: information-content heavy hitters and newly-observed domains vs ground truth", (*Context).Detect},
 }
 
 // Find returns the experiment with the given id, or nil.

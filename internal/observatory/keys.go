@@ -71,6 +71,11 @@ func ESLDKeyFunc(list *publicsuffix.List) KeyFunc {
 		list = publicsuffix.Default
 	}
 	return func(sum *sie.Summary) (string, bool) {
+		// PrecomputeHashes memoizes the walk; the lists agree by the
+		// same contract that makes ESLDHash usable downstream.
+		if esld, ok := sum.ESLD(); ok {
+			return esld, true
+		}
 		return list.ESLD(sum.QName), true
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dnsobservatory/internal/bloom"
+	"dnsobservatory/internal/detect"
 	"dnsobservatory/internal/features"
 	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/sie"
@@ -66,6 +67,14 @@ type Config struct {
 	// engine keeps private, unregistered counters — hot paths are
 	// identical either way, so tests never contaminate a shared registry.
 	Metrics *metrics.Registry
+	// Detect, when set, attaches the streaming detection layer
+	// (internal/detect): every accepted summary also feeds the
+	// information-content and newly-observed-domain trackers, and each
+	// window dump additionally emits detect_esld and detect_nod
+	// snapshots through OnSnapshot. The serial and sharded engines
+	// produce byte-identical detection snapshots for the same stream
+	// (see the detect package comment).
+	Detect *detect.Config
 }
 
 // EngineStats is the ingest accounting every engine exposes via Stats().
@@ -275,6 +284,7 @@ type Pipeline struct {
 
 	windowStart float64
 	started     bool
+	det         *detect.Detector
 	m           *engineMetrics
 }
 
@@ -284,6 +294,13 @@ func New(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot)) *Pipeli
 	cfg.withDefaults()
 	p := &Pipeline{cfg: cfg, onSnapshot: onSnapshot, byName: make(map[string]*aggState, len(aggs))}
 	p.m = newEngineMetrics(cfg.Metrics, "serial")
+	if cfg.Detect != nil {
+		dc := *cfg.Detect
+		if dc.Metrics == nil {
+			dc.Metrics = cfg.Metrics
+		}
+		p.det = detect.New(dc)
+	}
 	for _, a := range aggs {
 		st := newAggState(a, &p.cfg, a.K)
 		p.aggs = append(p.aggs, st)
@@ -327,6 +344,9 @@ func (p *Pipeline) Ingest(sum *sie.Summary, now float64) {
 		}
 		st.observe(key, sum, now, &p.cfg)
 	}
+	if p.det != nil {
+		p.det.Observe(sum, now)
+	}
 }
 
 func mod(x, m float64) float64 {
@@ -358,6 +378,15 @@ func (p *Pipeline) dump() {
 		}
 		st.resetWindow()
 	}
+	if p.det != nil {
+		parts := p.det.CollectAll(p.windowStart, p.windowStart+p.cfg.WindowSec)
+		ic, nod, err := p.det.MergeWindow(parts)
+		if err == nil && p.onSnapshot != nil {
+			p.onSnapshot(ic)
+			p.onSnapshot(nod)
+		}
+		p.det.PublishWindow(parts)
+	}
 	p.m.flush.Observe(time.Since(start).Seconds())
 }
 
@@ -378,6 +407,11 @@ func (p *Pipeline) snapshot(st *aggState) *tsv.Snapshot {
 	sortRows(snap.Rows)
 	return snap
 }
+
+// Detector returns the attached detection layer, or nil when
+// Config.Detect was unset. Read its counters only while no ingest is in
+// flight.
+func (p *Pipeline) Detector() *detect.Detector { return p.det }
 
 // Cache exposes an aggregation's Space-Saving cache (for analyses that
 // read live state); nil if the aggregation does not exist.

@@ -55,6 +55,10 @@ func NewParallel(cfg Config, aggs []Aggregation, onSnapshot func(*tsv.Snapshot))
 	// stream again under engine="serial". Only this engine's counters
 	// (and per-agg gauges, which the legacy baseline skips) are visible.
 	cfg.Metrics = nil
+	// Likewise each sub-pipeline would run its own copy of the detection
+	// layer over the same stream. The legacy baseline does not carry
+	// detection; use the serial or sharded engine for it.
+	cfg.Detect = nil
 	emit := func(s *tsv.Snapshot) {
 		if onSnapshot == nil {
 			return

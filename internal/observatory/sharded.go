@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dnsobservatory/internal/detect"
 	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/spacesaving"
 	"dnsobservatory/internal/tsv"
@@ -35,10 +36,14 @@ import (
 // serialized on the merger goroutine. Always Close (it flushes the final
 // window).
 type Sharded struct {
-	cfg        Config
-	aggs       []Aggregation
-	aggIdx     map[string]int
-	shards     int
+	cfg    Config
+	aggs   []Aggregation
+	aggIdx map[string]int
+	shards int
+	// slots is the per-item slot count in a batch: one per aggregation,
+	// plus one trailing detect slot when the detection layer is on.
+	slots      int
+	det        *detect.Detector
 	overload   OverloadPolicy
 	workers    []*shardWorker
 	pool       *sie.SummaryPool
@@ -127,6 +132,9 @@ func (b *shardBatch) key(j int) []byte {
 type shardDump struct {
 	windowStart float64
 	parts       []shardPart // indexed like aggs
+	// det holds the detection window parts of the partitions this worker
+	// owns (empty when detection is off).
+	det []detect.WindowPart
 }
 
 type shardPart struct {
@@ -230,13 +238,23 @@ func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snap
 		s.aggIdx[a.Name] = i
 	}
 	nAggs := len(aggs)
+	s.slots = nAggs
+	if cfg.Config.Detect != nil {
+		dc := *cfg.Config.Detect
+		if dc.Metrics == nil {
+			dc.Metrics = cfg.Config.Metrics
+		}
+		s.det = detect.New(dc)
+		s.slots++
+	}
+	nSlots := s.slots
 	s.batchPool.New = func() any {
 		return &shardBatch{
 			sums:   make([]*sie.Shared, 0, batch),
 			nows:   make([]float64, 0, batch),
-			keyBuf: make([]byte, 0, batch*nAggs*16),
-			ends:   make([]uint32, 0, batch*nAggs),
-			meta:   make([]uint16, 0, batch*nAggs),
+			keyBuf: make([]byte, 0, batch*nSlots*16),
+			ends:   make([]uint32, 0, batch*nSlots),
+			meta:   make([]uint16, 0, batch*nSlots),
 		}
 	}
 	s.cur = s.batchPool.Get().(*shardBatch)
@@ -272,6 +290,10 @@ func NewSharded(cfg ShardedConfig, aggs []Aggregation, onSnapshot func(*tsv.Snap
 
 // Workers returns the number of shard worker goroutines.
 func (s *Sharded) Workers() int { return len(s.workers) }
+
+// Detector returns the attached detection layer, or nil when
+// Config.Detect was unset. Read its counters only after Close.
+func (s *Sharded) Detector() *detect.Detector { return s.det }
 
 // Shards returns the number of key-hash shards per aggregation.
 func (s *Sharded) Shards() int { return s.shards }
@@ -356,6 +378,21 @@ func (s *Sharded) add(ps *sie.Shared, now float64) {
 		}
 		b.ends = append(b.ends, uint32(len(b.keyBuf)))
 		b.meta = append(b.meta, uint16(hashKeyBytes(b.keyBuf[start:])%uint64(s.shards))+1)
+	}
+	if s.det != nil {
+		// The trailing detect slot: eSLD key bytes plus the detector's
+		// own partition index (NOT the shard index — detect partitions
+		// are fixed so serial and sharded merges stay byte-identical).
+		start := len(b.keyBuf)
+		kb, part, ok := s.det.AppendKey(sum, b.keyBuf)
+		b.keyBuf = kb
+		if ok {
+			b.ends = append(b.ends, uint32(len(b.keyBuf)))
+			b.meta = append(b.meta, uint16(part)+1)
+		} else {
+			b.ends = append(b.ends, uint32(start))
+			b.meta = append(b.meta, 0)
+		}
 	}
 	s.total++
 	s.m.ingested.Inc()
@@ -534,6 +571,7 @@ func (w *shardWorker) processItem(b *shardBatch, i int, now float64) {
 	}()
 	nAggs := len(w.eng.aggs)
 	nWorkers := len(w.eng.workers)
+	det := w.eng.det
 	if w.id == 0 {
 		// Worker 0 keeps the before-filtering count for every
 		// aggregation (it sees every item; counting it once keeps the
@@ -541,12 +579,17 @@ func (w *shardWorker) processItem(b *shardBatch, i int, now float64) {
 		for a := 0; a < nAggs; a++ {
 			w.states[a][0].seenBefore++
 		}
+		if det != nil {
+			// Worker 0 always owns detect partition 0, where the
+			// detector keeps its pre-filter count.
+			det.RecordOffered()
+		}
 	}
 	sum := &b.sums[i].Summary
 	if hook := w.eng.cfg.ChaosHook; hook != nil {
 		hook(sum)
 	}
-	base := i * nAggs
+	base := i * w.eng.slots
 	for a := 0; a < nAggs; a++ {
 		m := b.meta[base+a]
 		if m == 0 {
@@ -557,6 +600,14 @@ func (w *shardWorker) processItem(b *shardBatch, i int, now float64) {
 			continue
 		}
 		w.states[a][shard/nWorkers].observeBytes(b.key(base+a), sum, now, &w.eng.cfg)
+	}
+	if det != nil {
+		if m := b.meta[base+nAggs]; m != 0 {
+			part := int(m - 1)
+			if part%nWorkers == w.id {
+				det.ObservePartition(part, b.key(base+nAggs), sum, now)
+			}
+		}
 	}
 }
 
@@ -590,6 +641,12 @@ func (w *shardWorker) dumpWindow() {
 				part.dropped += dr - st.lastDropped
 				st.lastEvict, st.lastDropped = ev, dr
 				st.resetWindow()
+			}
+		}
+		if det := w.eng.det; det != nil {
+			nWorkers := len(w.eng.workers)
+			for p := w.id; p < det.Partitions(); p += nWorkers {
+				d.det = append(d.det, det.CollectWindow(p, w.windowStart, windowEnd))
 			}
 		}
 	}()
@@ -669,6 +726,20 @@ func (s *Sharded) emitWindow(windowStart float64, dumps []*shardDump) {
 		}
 		if s.onSnapshot != nil {
 			s.deliver(snap)
+		}
+	}
+	if s.det != nil {
+		var dparts []detect.WindowPart
+		for _, d := range dumps {
+			dparts = append(dparts, d.det...)
+		}
+		if len(dparts) > 0 {
+			ic, nod, err := s.det.MergeWindow(dparts)
+			if err == nil && s.onSnapshot != nil {
+				s.deliver(ic)
+				s.deliver(nod)
+			}
+			s.det.PublishWindow(dparts)
 		}
 	}
 }

@@ -19,6 +19,7 @@ type Summary struct {
 	Resolver   netip.Addr // recursive resolver IP (srcip)
 	Nameserver netip.Addr // authoritative nameserver IP (srvip)
 	SensorID   uint32
+	Workload   uint32 // generator class tag (simnet ground truth); 0 unlabeled
 
 	QName string
 	QType dnswire.Type
@@ -75,6 +76,24 @@ type Summary struct {
 	V4Hashes       []uint64
 	V6Hashes       []uint64
 	HashesReady    bool
+
+	// ESLDOff memoizes eSLD extraction the same way: 1 + the start
+	// offset of the eSLD suffix-substring within QName, or 0 when not
+	// yet memoized. The esld aggregation and the detection layer both
+	// key on the eSLD, so the public-suffix walk happens once per
+	// transaction instead of once per consumer.
+	ESLDOff uint16
+}
+
+// ESLD returns the memoized eSLD view of QName. ok is false until
+// PrecomputeHashes has run; callers then walk the suffix list
+// themselves (without writing the memo — the summary may already be
+// shared with concurrent readers).
+func (sum *Summary) ESLD() (string, bool) {
+	if sum.ESLDOff == 0 {
+		return "", false
+	}
+	return sum.QName[sum.ESLDOff-1:], true
 }
 
 // PrecomputeHashes memoizes the hll hashes of every field the feature
@@ -94,9 +113,15 @@ func (sum *Summary) PrecomputeHashes(suffixes *publicsuffix.List) {
 	sum.QNameHash = hll.HashString(sum.QName)
 	sum.ResolverHash = hll.HashString(sum.ResolverText())
 	sum.NameserverHash = hll.HashString(sum.NameserverText())
+	esld := suffixes.ESLD(sum.QName)
+	// Memoize only a literal suffix view: ESLD canonicalizes internally,
+	// so a non-canonical QName yields a string the offset cannot express.
+	if n := len(sum.QName) - len(esld); n >= 0 && sum.QName[n:] == esld {
+		sum.ESLDOff = uint16(n) + 1
+	}
 	if sum.Answered && sum.RCode == dnswire.RCodeNoError {
 		sum.TLDHash = hll.HashString(dnswire.TLD(sum.QName))
-		sum.ESLDHash = hll.HashString(suffixes.ESLD(sum.QName))
+		sum.ESLDHash = hll.HashString(esld)
 	}
 	sum.V4Hashes = sum.V4Hashes[:0]
 	for i := range sum.V4Addrs {
@@ -180,6 +205,7 @@ func (s *Summarizer) Summarize(tx *Transaction, out *Summary) error {
 		ResolverStr:   qpkt.Src.String(),
 		NameserverStr: qpkt.Dst.String(),
 		SensorID:      tx.SensorID,
+		Workload:      tx.Workload,
 		QName:         q.Name,
 		QType:         q.Type,
 		QDots:         dnswire.CountLabels(q.Name),

@@ -26,7 +26,23 @@ type Transaction struct {
 	QueryTime      time.Time
 	ResponseTime   time.Time
 	SensorID       uint32 // the contributing SIE sensor (source)
+
+	// Workload tags the generator class that produced this transaction
+	// (simnet ground truth for detection scoring). Real sensors leave it
+	// WorkloadUnlabeled; the field is optional on the wire, so streams
+	// written by older encoders and readers decode unchanged.
+	Workload uint32
 }
+
+// Workload classes. Values are wire-stable: they travel in SIE frames
+// and in experiment ground-truth sets.
+const (
+	WorkloadUnlabeled uint32 = iota // real traffic, or benign simnet mix
+	WorkloadDGA                     // algorithmically generated botnet lookups
+	WorkloadPRSD                    // pseudo-random subdomain attack
+	WorkloadTunnel                  // DNS tunneling / TXT-channel traffic
+	WorkloadExfil                   // low-and-slow data exfiltration
+)
 
 // Answered reports whether a response was captured.
 func (tx *Transaction) Answered() bool { return len(tx.ResponsePacket) > 0 }
@@ -50,6 +66,7 @@ const (
 	fieldQueryTimeNs    = 3
 	fieldResponseTimeNs = 4
 	fieldSensorID       = 5
+	fieldWorkload       = 6
 )
 
 // Append serializes tx in protobuf wire format.
@@ -63,6 +80,9 @@ func (tx *Transaction) Append(dst []byte) []byte {
 		dst = appendVarintField(dst, fieldResponseTimeNs, uint64(tx.ResponseTime.UnixNano()))
 	}
 	dst = appendVarintField(dst, fieldSensorID, uint64(tx.SensorID))
+	if tx.Workload != 0 {
+		dst = appendVarintField(dst, fieldWorkload, uint64(tx.Workload))
+	}
 	return dst
 }
 
@@ -91,6 +111,8 @@ func (tx *Transaction) Unmarshal(frame []byte) error {
 				tx.ResponseTime = time.Unix(0, int64(v))
 			case fieldSensorID:
 				tx.SensorID = uint32(v)
+			case fieldWorkload:
+				tx.Workload = uint32(v)
 			}
 		case wireBytes:
 			l, n, err := readUvarint(frame[off:])

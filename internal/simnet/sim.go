@@ -31,6 +31,7 @@ type WorkloadMix struct {
 	DS      float64
 	NS      float64 // legitimate NS queries
 	Rare    float64 // one-off lookups of never-seen domains on fresh servers
+	Exfil   float64 // low-and-slow data exfiltration: high-entropy subdomains, tiny volume
 }
 
 // DefaultMix approximates the QTYPE shares of Table 2 after caching.
@@ -132,13 +133,20 @@ type Sim struct {
 	rng       *rand.Rand
 	Infra     *Infra
 	Universe  *Universe
-	Resolvers []*Resolver
-	AVZones   []*SLD // anti-virus TXT domains
+	Resolvers  []*Resolver
+	AVZones    []*SLD // anti-virus TXT domains
+	ExfilZones []*SLD // exfiltration drop zones (built only when Mix.Exfil > 0)
 
 	mixCum  []float64
 	mixFns  []func(*Sim, *Resolver, float64)
-	events  []Event
-	nextEvt int
+	// mixLabels maps each workload class index to its sie.Workload* tag;
+	// curLabel is the tag of the generator currently dispatching. Every
+	// transaction emitted during the dispatch — including the hierarchy
+	// walk it causes — carries it as ground truth for detection scoring.
+	mixLabels []uint32
+	curLabel  uint32
+	events    []Event
+	nextEvt   int
 
 	emit  func(*sie.Transaction)
 	stats Stats
@@ -175,16 +183,31 @@ func New(cfg Config) *Sim {
 	s.Universe = newUniverse(rng, s.Infra, cfg.SLDs, cfg.ServerScale, cfg.V6ServerShare)
 	s.Resolvers = newResolverPool(rng, cfg.Resolvers, cfg.Sensors, cfg.QMinResolvers)
 	s.buildAVZones()
+	if cfg.Mix.Exfil > 0 {
+		// Minted only when the class is active, so default scenarios
+		// consume the identical rng stream they always have.
+		s.buildExfilZones()
+	}
 
+	// Exfil rides at the end of the class tables: a zero weight adds a
+	// zero-width interval that sampleCum never selects, so existing
+	// scenarios keep their exact dispatch sequence.
 	mix := cfg.Mix
 	weights := []float64{mix.Forward, mix.Botnet, mix.PRSD, mix.Junk, mix.PTR,
-		mix.TXT, mix.MX, mix.SRV, mix.CNAME, mix.SOA, mix.DS, mix.NS, mix.Rare}
+		mix.TXT, mix.MX, mix.SRV, mix.CNAME, mix.SOA, mix.DS, mix.NS, mix.Rare,
+		mix.Exfil}
 	s.mixFns = []func(*Sim, *Resolver, float64){
 		(*Sim).doForward, (*Sim).doBotnet, (*Sim).doPRSD, (*Sim).doJunk, (*Sim).doPTR,
 		(*Sim).doTXT, (*Sim).doMX, (*Sim).doSRV, (*Sim).doCNAME, (*Sim).doSOA,
-		(*Sim).doDS, (*Sim).doNS, (*Sim).doRare,
+		(*Sim).doDS, (*Sim).doNS, (*Sim).doRare, (*Sim).doExfil,
 	}
 	s.mixCum = cumWeights(len(weights), func(i int) float64 { return weights[i] })
+	s.mixLabels = []uint32{
+		sie.WorkloadUnlabeled, sie.WorkloadDGA, sie.WorkloadPRSD, sie.WorkloadUnlabeled,
+		sie.WorkloadUnlabeled, sie.WorkloadTunnel, sie.WorkloadUnlabeled, sie.WorkloadUnlabeled,
+		sie.WorkloadUnlabeled, sie.WorkloadUnlabeled, sie.WorkloadUnlabeled, sie.WorkloadUnlabeled,
+		sie.WorkloadUnlabeled, sie.WorkloadExfil,
+	}
 	s.events = append(s.events, cfg.Events...)
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
 	if !cfg.ColdCaches {
@@ -225,6 +248,9 @@ func (s *Sim) prewarm() {
 		for _, z := range s.AVZones {
 			r.store("d|"+z.Name, uint32(1+s.rng.Intn(sldTTL)), 0, false)
 		}
+		for _, z := range s.ExfilZones {
+			r.store("d|"+z.Name, uint32(1+s.rng.Intn(sldTTL)), 0, false)
+		}
 	}
 }
 
@@ -249,6 +275,31 @@ func (s *Sim) buildAVZones() {
 		s.AVZones = append(s.AVZones, z)
 		s.Universe.byName[z.Name] = z
 	}
+}
+
+// buildExfilZones mints the exfiltration drop zone: one innocuous-named
+// eSLD on a distant tail server. The zone answers A for any subdomain,
+// so the channel looks like an ordinary CDN edge — only the qname
+// entropy gives it away.
+func (s *Sim) buildExfilZones() {
+	org := s.Infra.Tail[53%len(s.Infra.Tail)]
+	srv := s.Infra.NewServer(org, 200)
+	srv.BaseDelayMs = 55 + s.rng.Float64()*10
+	srv.Hops = 12
+	z := &SLD{
+		Name:    "cdn-sync-edge.net.",
+		Org:     org,
+		Weight:  1,
+		ATTL:    30,
+		NSTTL:   86400,
+		NegTTL:  5,
+		NS:      []*Server{srv},
+		NSNames: []string{"ns1.cdn-sync-edge.net."},
+		V4Base:  netip.AddrFrom4([4]byte{198, 51, 100, 7}),
+		V6Base:  netip.MustParseAddr("2001:db8:eeee::1"),
+	}
+	s.ExfilZones = append(s.ExfilZones, z)
+	s.Universe.byName[z.Name] = z
 }
 
 // Schedule adds an event to an instantiated scenario. It must be called
@@ -284,6 +335,7 @@ func (s *Sim) Run(emit func(*sie.Transaction)) Stats {
 			t := sec + off
 			r := s.Resolvers[s.rng.Intn(len(s.Resolvers))]
 			cls := sampleCum(s.rng, s.mixCum)
+			s.curLabel = s.mixLabels[cls]
 			s.mixFns[cls](s, r, t)
 		}
 		if sec >= gcAt {
@@ -443,6 +495,19 @@ func (s *Sim) doRare(r *Resolver, t float64) {
 	z.buildCum()
 	u.byName[name] = z
 	s.lookup(r, t, z.FQDNs[0].Name, dnswire.TypeA, z, z.FQDNs[0], true)
+}
+
+// doExfil is the low-and-slow exfiltration channel: a handful of
+// queries per second, each carrying ~60 characters of encoded payload
+// across three subdomain labels of the drop zone. Names never repeat,
+// so resolver caches never absorb them, but the volume stays far below
+// any volume-ranked top-k cutoff — the workload information-content
+// ranking exists to catch.
+func (s *Sim) doExfil(r *Resolver, t float64) {
+	z := s.ExfilZones[s.rng.Intn(len(s.ExfilZones))]
+	name := fmt.Sprintf("%s.%s.%s.%s", s.randHexLabel(24), s.randHexLabel(24), s.randHexLabel(12), z.Name)
+	f := &FQDN{Name: name, SLD: z, V6Override: 0}
+	s.lookup(r, t, name, dnswire.TypeA, z, f, true)
 }
 
 func (s *Sim) doDS(r *Resolver, t float64) {
@@ -921,6 +986,7 @@ func (s *Sim) transact(r *Resolver, srv *Server, t float64, qname string, qtype 
 		QueryPacket: s.pbuf,
 		QueryTime:   qt,
 		SensorID:    r.SensorID,
+		Workload:    s.curLabel,
 	}
 	if answered {
 		resp.ID = id
@@ -1024,6 +1090,7 @@ func (s *Sim) truncateAndRetry(r *Resolver, srv *Server, t float64, qt time.Time
 		QueryTime:      qt2,
 		ResponseTime:   qt2.Add(time.Duration(delayMs * float64(time.Millisecond))),
 		SensorID:       r.SensorID,
+		Workload:       s.curLabel,
 	}
 	s.stats.Transactions++
 	s.stats.TCPRetries++
@@ -1038,6 +1105,17 @@ func (s *Sim) randLabel(n int) string {
 	b := make([]byte, n)
 	for i := range b {
 		b[i] = byte('a' + s.rng.Intn(26))
+	}
+	return string(b)
+}
+
+// randHexLabel returns an n-char label over the hex alphabet — the
+// shape of base16-encoded exfiltrated bytes.
+func (s *Sim) randHexLabel(n int) string {
+	const hex = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hex[s.rng.Intn(16)]
 	}
 	return string(b)
 }

@@ -100,6 +100,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /api/aggregations", s.handleAggregations)
 	mux.HandleFunc("GET /api/top/{agg}", s.handleTop)
+	mux.HandleFunc("GET /api/detect", s.handleDetect)
 	mux.HandleFunc("GET /api/query", s.handleQuery)
 	mux.HandleFunc("GET /api/files/{agg}", s.handleFiles)
 	mux.HandleFunc("GET /files/{agg}/{level}/{start}", s.handleFile)
@@ -223,6 +224,69 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 			row.Values[name] = snap.Rows[i].Values[c]
 		}
 		out.Rows = append(out.Rows, row)
+	}
+	writeJSON(w, out)
+}
+
+// Detection snapshot aggregation names. Mirrors detect.AggESLD and
+// detect.AggNOD; duplicated like observatoryIngested to keep webui
+// decoupled from the detection package.
+const (
+	detectESLD = "detect_esld"
+	detectNOD  = "detect_nod"
+)
+
+// handleDetect serves GET /api/detect — the latest detection window in
+// one response: information-content heavy hitters ranked by score and
+// newly observed domains ranked by hits. ?n caps each list (default
+// 50). 404 until the first detection window has been dumped (the
+// engines only emit these snapshots when detection is enabled).
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ic := s.latest[detectESLD]
+	nod := s.latest[detectNOD]
+	s.mu.RUnlock()
+	if ic == nil && nod == nil {
+		http.Error(w, "detection not enabled", http.StatusNotFound)
+		return
+	}
+	n := 50
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 100000 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	rank := func(snap *tsv.Snapshot, col string) []topRow {
+		rows := []topRow{}
+		if snap == nil {
+			return rows
+		}
+		snap.SortByColumn(col)
+		for i := range snap.Rows {
+			if i >= n {
+				break
+			}
+			row := topRow{Rank: i + 1, Key: snap.Rows[i].Key, Values: map[string]float64{}}
+			for c, name := range snap.Columns {
+				row.Values[name] = snap.Rows[i].Values[c]
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}
+	out := struct {
+		WindowStart   int64    `json:"window_start"`
+		HeavyHitters  []topRow `json:"heavy_hitters"`
+		NewlyObserved []topRow `json:"newly_observed"`
+	}{HeavyHitters: rank(ic, "score"), NewlyObserved: rank(nod, "hits")}
+	switch {
+	case ic != nil:
+		out.WindowStart = ic.Start
+	case nod != nil:
+		out.WindowStart = nod.Start
 	}
 	writeJSON(w, out)
 }

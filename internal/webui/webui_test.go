@@ -298,3 +298,100 @@ func TestStorelessFileEndpoints(t *testing.T) {
 		t.Errorf("file without store: %d", code)
 	}
 }
+
+func detectFixture(agg string, cols []string, start int64) *tsv.Snapshot {
+	return &tsv.Snapshot{
+		Aggregation: agg,
+		Level:       tsv.Minutely,
+		Start:       start,
+		Columns:     cols,
+		Kinds:       make([]tsv.Kind, len(cols)),
+		Rows: []tsv.Row{
+			{Key: "low.example.", Values: make([]float64, len(cols))},
+			{Key: "hot.example.", Values: func() []float64 {
+				v := make([]float64, len(cols))
+				for i := range v {
+					v[i] = float64(10 * (i + 1))
+				}
+				return v
+			}()},
+		},
+		Windows: 1,
+	}
+}
+
+func TestDetectEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, false)
+
+	// 404 until a detection window lands.
+	if code, _ := get(t, ts.URL+"/api/detect"); code != 404 {
+		t.Fatalf("no-detect code = %d, want 404", code)
+	}
+
+	s.OnSnapshot(detectFixture(detectESLD, []string{"score", "hits", "rate", "entropy", "sublen"}, 120))
+	s.OnSnapshot(detectFixture(detectNOD, []string{"hits", "first_seen"}, 120))
+	code, body := get(t, ts.URL+"/api/detect")
+	if code != 200 {
+		t.Fatalf("code %d: %s", code, body)
+	}
+	var out struct {
+		WindowStart  int64 `json:"window_start"`
+		HeavyHitters []struct {
+			Rank   int                `json:"rank"`
+			Key    string             `json:"key"`
+			Values map[string]float64 `json:"values"`
+		} `json:"heavy_hitters"`
+		NewlyObserved []struct {
+			Key string `json:"key"`
+		} `json:"newly_observed"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WindowStart != 120 {
+		t.Errorf("window_start = %d, want 120", out.WindowStart)
+	}
+	if len(out.HeavyHitters) != 2 || out.HeavyHitters[0].Key != "hot.example." {
+		t.Errorf("heavy hitters ranked wrong: %+v", out.HeavyHitters)
+	}
+	if out.HeavyHitters[0].Rank != 1 || out.HeavyHitters[0].Values["score"] != 10 {
+		t.Errorf("rank/values wrong: %+v", out.HeavyHitters[0])
+	}
+	if len(out.NewlyObserved) != 2 || out.NewlyObserved[0].Key != "hot.example." {
+		t.Errorf("newly observed ranked wrong: %+v", out.NewlyObserved)
+	}
+
+	// ?n caps each list; bad n rejected.
+	_, body = get(t, ts.URL+"/api/detect?n=1")
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.HeavyHitters) != 1 || len(out.NewlyObserved) != 1 {
+		t.Errorf("n=1 cap not applied: %d/%d", len(out.HeavyHitters), len(out.NewlyObserved))
+	}
+	if code, _ := get(t, ts.URL+"/api/detect?n=0"); code != 400 {
+		t.Errorf("bad n code = %d, want 400", code)
+	}
+}
+
+func TestDetectEndpointOneSided(t *testing.T) {
+	// Only the NOD snapshot present: the endpoint still serves, with an
+	// empty heavy-hitter list and the NOD window start.
+	s, ts := newTestServer(t, false)
+	s.OnSnapshot(detectFixture(detectNOD, []string{"hits", "first_seen"}, 60))
+	code, body := get(t, ts.URL+"/api/detect")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	var out struct {
+		WindowStart   int64             `json:"window_start"`
+		HeavyHitters  []json.RawMessage `json:"heavy_hitters"`
+		NewlyObserved []json.RawMessage `json:"newly_observed"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WindowStart != 60 || len(out.HeavyHitters) != 0 || len(out.NewlyObserved) != 2 {
+		t.Errorf("one-sided response wrong: %s", body)
+	}
+}

@@ -4,9 +4,11 @@
 # drain, WAL spill/dedup), the write-ahead log with its crash-recovery
 # scan, the fleet ring/router/merge, the snapshot store with its binary
 # columnar codec, the query HTTP surface, and the active probe engine
-# (cache, singleflight, rate limits, retry ladder) are exactly the code that
-# fails in production in ways unit demos never hit, so CI refuses any
-# change that drops their statement coverage below the floor.
+# (cache, singleflight, rate limits, retry ladder), and the streaming
+# detection layer (partitioned heavy-hitter/NOD state whose serial and
+# sharded deployments must merge byte-identically) are exactly the code
+# that fails in production in ways unit demos never hit, so CI refuses
+# any change that drops their statement coverage below the floor.
 #
 # Run from the repository root: sh scripts/cover_gate.sh
 set -eu
@@ -14,7 +16,7 @@ set -eu
 FLOOR=80
 
 fail=0
-for pkg in ./internal/transport/ ./internal/wal/ ./internal/fleet/ ./internal/sie/ ./internal/tsv/ ./internal/webui/ ./internal/probe/; do
+for pkg in ./internal/transport/ ./internal/wal/ ./internal/fleet/ ./internal/sie/ ./internal/tsv/ ./internal/webui/ ./internal/probe/ ./internal/detect/; do
     out=$("$(command -v go)" test -count=1 -cover "$pkg" 2>&1) || {
         printf '%s\n' "$out" >&2
         echo "cover gate: tests failed in $pkg" >&2

@@ -6,6 +6,11 @@
 #     actually prints in its -h output — README flag references must
 #     not drift from the binaries (the PR 1–3 lesson: -sharded,
 #     -chaos and friends shipped undocumented).
+#  3. Every dnsobs_* metric family named in source is documented in
+#     docs/METRICS.md — a registered family that never reaches the
+#     reference is invisible to operators (the PR 9 lesson: the probe
+#     and WAL families were only caught documented because someone
+#     checked by hand).
 #
 # Run from the repository root: sh scripts/docs_gate.sh
 set -eu
@@ -44,6 +49,20 @@ for cmd in cmd/*/; do
             fail=1
         fi
     done
+done
+
+# -- 3: metric families vs docs/METRICS.md -----------------------------
+# Every family literal in non-test source must appear in the metrics
+# reference. Matching the quoted literal keeps label names, bucket
+# suffixes and test fixtures out of the comparison.
+families=$(grep -rhoE '"dnsobs_[a-z0-9_]+"' \
+    --include='*.go' --exclude='*_test.go' internal cmd \
+    | tr -d '"' | sort -u)
+for fam in $families; do
+    if ! grep -q "\`$fam\`" docs/METRICS.md; then
+        echo "docs gate: metric family '$fam' is registered in source but undocumented in docs/METRICS.md" >&2
+        fail=1
+    fi
 done
 
 if [ "$fail" -ne 0 ]; then
