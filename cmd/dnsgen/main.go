@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dnsobservatory/internal/chaos"
+	"dnsobservatory/internal/encwire"
 	"dnsobservatory/internal/fleet"
 	"dnsobservatory/internal/scenario"
 	"dnsobservatory/internal/sie"
@@ -70,6 +71,10 @@ func run(args []string, stderr io.Writer) error {
 		chaosWrite = fs.Float64("chaos-write", 0, "inject output write failures at this rate (0..1)")
 		chaosShort = fs.Float64("chaos-short", 0, "inject short output writes at this rate (0..1)")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "fault injector seed (replay a failing run)")
+		encMode    = fs.String("enc-mode", "", "model an encrypted client→resolver leg: dot, doh or doq (empty: plaintext)")
+		encPad     = fs.String("enc-pad", "none", "padding policy for the encrypted leg: none, edns0 or block")
+		encBlock   = fs.Int("enc-block", 0, "block size for -enc-pad block (0: default 256)")
+		encOut     = fs.String("enc-out", "", "write the encrypted-leg size/timing observations to this file as framed records (requires -enc-mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +88,47 @@ func run(args []string, stderr io.Writer) error {
 		inj = chaos.New(cfg)
 	}
 
+	// The modeled encrypted client→resolver leg: -enc-mode turns it on,
+	// -enc-out streams its size/timing observations to a framed file the
+	// dnsobs -enc-in flag (or encwire.Reader) consumes. The SIE stream
+	// itself is byte-identical with or without it.
+	var writeErr error
+	var encW *encwire.Writer
+	var encBW *bufio.Writer
+	var encFile *os.File
+	encCfg := func(cfg *simnet.Config) {}
+	if *encMode != "" {
+		mode, err := encwire.ParseMode(*encMode)
+		if err != nil {
+			return err
+		}
+		policy, err := encwire.ParsePolicy(*encPad)
+		if err != nil {
+			return err
+		}
+		if *encOut != "" {
+			if encFile, err = os.Create(*encOut); err != nil {
+				return err
+			}
+			encBW = bufio.NewWriterSize(encFile, 1<<20)
+			encW = encwire.NewWriter(encBW)
+		}
+		encCfg = func(cfg *simnet.Config) {
+			cfg.EncMode = mode
+			cfg.EncPolicy = policy
+			cfg.EncBlock = *encBlock
+			if encW != nil {
+				cfg.EncEmit = func(o *encwire.Observation) {
+					if writeErr == nil {
+						writeErr = encW.Write(o)
+					}
+				}
+			}
+		}
+	} else if *encOut != "" {
+		return fmt.Errorf("-enc-out requires -enc-mode")
+	}
+
 	var sim *simnet.Sim
 	if *scenPath != "" {
 		f, err := os.Open(*scenPath)
@@ -94,7 +140,7 @@ func run(args []string, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sim, err = doc.Build()
+		sim, err = doc.BuildWith(encCfg)
 		if err != nil {
 			return err
 		}
@@ -105,6 +151,7 @@ func run(args []string, stderr io.Writer) error {
 		cfg.Resolvers = *resolvers
 		cfg.SLDs = *slds
 		cfg.Seed = *seed
+		encCfg(&cfg)
 		sim = simnet.New(cfg)
 	}
 
@@ -112,7 +159,6 @@ func run(args []string, stderr io.Writer) error {
 	// a framed file/stdout writer. finish flushes and closes it; its
 	// error matters as much as a mid-stream one (a buffered tail that
 	// never reached the output is still data loss).
-	var writeErr error
 	var emit func(*sie.Transaction)
 	var finish func() error
 	if *connect != "" {
@@ -183,6 +229,16 @@ func run(args []string, stderr io.Writer) error {
 		inj.Flush() // release reorder-held transactions
 	}
 	finishErr := finish()
+	if encFile != nil {
+		// Same contract as the main stream: a buffered observation tail
+		// that never hit the disk is data loss, not success.
+		if err := encBW.Flush(); err != nil && writeErr == nil {
+			writeErr = err
+		}
+		if err := encFile.Close(); err != nil && writeErr == nil {
+			writeErr = err
+		}
+	}
 	if writeErr != nil {
 		return writeErr
 	}
@@ -191,6 +247,10 @@ func run(args []string, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "dnsgen: %d transactions (%d client queries, %d cache hits) in %v\n",
 		stats.Transactions, stats.ClientQueries, stats.CacheHits, time.Since(start).Round(time.Millisecond))
+	if es, ok := sim.EncStats(); ok {
+		fmt.Fprintf(stderr, "dnsgen: enc leg (%s/%s): %d flows, %d messages, %d handshakes, %d up / %d down wire bytes (%d padding)\n",
+			*encMode, *encPad, es.Flows, es.Messages, es.Handshakes, es.WireUp, es.WireDown, es.PadBytes)
+	}
 	if inj != nil {
 		cs := inj.Stats()
 		fmt.Fprintf(stderr, "dnsgen: chaos: %d faults (corrupt %d, truncate %d, dup %d, reorder %d, zerotime %d, backtime %d, oversize %d, writeerr %d, shortwrite %d)\n",

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -12,6 +13,8 @@ import (
 	"time"
 
 	"dnsobservatory/internal/chaos"
+	"dnsobservatory/internal/encwire"
+	"dnsobservatory/internal/sie"
 	"dnsobservatory/internal/transport"
 )
 
@@ -105,6 +108,94 @@ func TestRunConnectStreamsToCollector(t *testing.T) {
 	}
 	if uint64(n) != sensors[0].Frames {
 		t.Errorf("delivered %d, collector counted %d frames", n, sensors[0].Frames)
+	}
+}
+
+// TestRunEncOut: -enc-mode/-enc-out writes a readable observation
+// stream alongside the SIE stream, and the SIE stream matches a
+// plaintext run of the same seed record for record once the transport
+// tag — the one field encryption is allowed to add — is normalized.
+func TestRunEncOut(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.sie")
+	encSIE := filepath.Join(dir, "enc.sie")
+	encObs := filepath.Join(dir, "enc.obs")
+	var stderr bytes.Buffer
+	if err := run(genArgs("-o", plain), &stderr); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if err := run(genArgs("-o", encSIE, "-enc-mode", "doh", "-enc-pad", "edns0", "-enc-out", encObs), &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "enc leg (doh/edns0)") {
+		t.Errorf("no enc summary on stderr: %q", stderr.String())
+	}
+	pf, err := os.Open(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	ef, err := os.Open(encSIE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	pr, er := sie.NewReader(pf), sie.NewReader(ef)
+	var ptx, etx sie.Transaction
+	for rec := 0; ; rec++ {
+		perr, eerr := pr.Read(&ptx), er.Read(&etx)
+		if perr == io.EOF || eerr == io.EOF {
+			if perr != eerr {
+				t.Fatalf("stream lengths differ at record %d: plain %v, enc %v", rec, perr, eerr)
+			}
+			break
+		}
+		if perr != nil || eerr != nil {
+			t.Fatalf("record %d: plain %v, enc %v", rec, perr, eerr)
+		}
+		if etx.ClientTransport != sie.TransportDoH {
+			t.Fatalf("record %d: ClientTransport = %d, want %d", rec, etx.ClientTransport, sie.TransportDoH)
+		}
+		etx.ClientTransport = ptx.ClientTransport
+		if !bytes.Equal(ptx.Append(nil), etx.Append(nil)) {
+			t.Fatalf("record %d differs between plaintext and encrypted runs of the same seed", rec)
+		}
+	}
+	if pr.Count() == 0 {
+		t.Fatal("plain stream is empty")
+	}
+	f, err := os.Open(encObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := encwire.NewReader(f)
+	var o encwire.Observation
+	n := 0
+	for {
+		if err := r.Read(&o); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("observation %d: %v", n, err)
+		}
+		if o.Mode != encwire.ModeDoH || o.Policy != encwire.PadEDNS0 {
+			t.Fatalf("observation %d tagged %v/%v", n, o.Mode, o.Policy)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("observation file is empty")
+	}
+}
+
+func TestRunEncFlagErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(genArgs("-enc-mode", "rot13"), &stderr); err == nil {
+		t.Error("unknown -enc-mode accepted")
+	}
+	if err := run(genArgs("-enc-out", filepath.Join(t.TempDir(), "x.obs")), &stderr); err == nil {
+		t.Error("-enc-out without -enc-mode accepted")
 	}
 }
 

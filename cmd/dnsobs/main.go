@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dnsobservatory/internal/detect"
+	"dnsobservatory/internal/encwire"
 	"dnsobservatory/internal/fleet"
 	"dnsobservatory/internal/metrics"
 	"dnsobservatory/internal/observatory"
@@ -80,6 +81,7 @@ func main() {
 		fleetN   = flag.String("fleet", "", "this collector's fleet member name (with -peers)")
 		peers    = flag.String("peers", "", "fleet membership as name=addr,name=addr,... including this member (with -fleet)")
 		absorb   = flag.String("absorb", "", "comma-separated WAL directories of dead fleet peers to absorb before serving (frames past their last checkpoint re-enter ingest; with -fleet, filtered to sensors this member now owns)")
+		encIn    = flag.String("enc-in", "", "encrypted client-leg observation file (from dnsgen -enc-out): accounted into per-mode counters served as dnsobs_encwire_* metrics and /api/encdns")
 	)
 	flag.Parse()
 	if *pprofOn && *httpAddr == "" {
@@ -149,6 +151,43 @@ func main() {
 	ui := webui.NewServer(store)
 	ui.Registry = reg
 	ui.EnablePprof = *pprofOn
+
+	// The encrypted client-leg side channel: observations are summary
+	// statistics, not transactions — they accumulate into per-mode
+	// counters (wire bytes, messages, handshakes, decode errors) exposed
+	// through /metrics, /healthz and /api/encdns, next to the SIE-derived
+	// aggregations of the same traffic.
+	if *encIn != "" {
+		f, err := os.Open(*encIn)
+		if err != nil {
+			fatal(err)
+		}
+		acc := encwire.NewAccumulator()
+		acc.Instrument(reg)
+		ui.Enc = acc.Status
+		r := encwire.NewReader(bufio.NewReaderSize(f, 1<<20))
+		var obs encwire.Observation
+		var encErrs uint64
+		for {
+			err := r.Read(&obs)
+			if err == io.EOF {
+				break
+			}
+			var de *encwire.DecodeError
+			if errors.As(err, &de) {
+				encErrs++
+				acc.RecordDecodeError()
+				continue
+			}
+			if err != nil {
+				fatal(fmt.Errorf("enc-in: %w", err))
+			}
+			acc.Add(&obs)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "dnsobs: enc-in: %d observations (%d undecodable) from %s\n",
+			r.Count(), encErrs, *encIn)
+	}
 
 	// The parallel and sharded engines call onSnapshot from their own
 	// goroutines, so store state is mutex-guarded. checkpoint, when set

@@ -272,10 +272,10 @@ type partition struct {
 
 	// Window bookmarks: cumulative counters at the last CollectWindow,
 	// so window deltas come from subtraction, not separate counters.
-	lastOffered, lastObserved     uint64
-	lastDropped, lastEvictions    uint64
-	lastFirstSeen, lastSeen       uint64
-	lastOverflow                  uint64
+	lastOffered, lastObserved  uint64
+	lastDropped, lastEvictions uint64
+	lastFirstSeen, lastSeen    uint64
+	lastOverflow               uint64
 }
 
 // Seed bases for the deterministic Bloom hashing; the partition index

@@ -1,0 +1,180 @@
+package encwire
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsobservatory/internal/metrics"
+)
+
+// Metric family names the accumulator publishes. All counters are
+// registered read-through: collect loads the atomics, the ingest path
+// pays one atomic add per observation.
+const (
+	MetricMessages     = "dnsobs_encwire_messages_total"
+	MetricFlows        = "dnsobs_encwire_flows_total"
+	MetricHandshakes   = "dnsobs_encwire_handshakes_total"
+	MetricWireBytes    = "dnsobs_encwire_wire_bytes_total"
+	MetricDecodeErrors = "dnsobs_encwire_decode_errors_total"
+)
+
+// Accumulator aggregates an observation stream: global counters plus a
+// per-(mode, policy) breakdown. Add and RecordDecodeError are safe for
+// concurrent use; Status and Instrument may run alongside them.
+type Accumulator struct {
+	queries, responses atomic.Uint64
+	flows, handshakes  atomic.Uint64
+	wireUp, wireDown   atomic.Uint64
+	decodeErrs         atomic.Uint64
+
+	mu       sync.Mutex
+	lastFlow uint64
+	haveFlow bool
+	first    time.Time
+	last     time.Time
+	byKey    map[accKey]*accBucket
+}
+
+type accKey struct {
+	mode   Mode
+	policy Policy
+}
+
+type accBucket struct {
+	flows, queries, responses, wireBytes uint64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{byKey: make(map[accKey]*accBucket)}
+}
+
+// Add folds one observation in. Flow boundaries are detected by flow-id
+// transitions, which is exact for the in-order streams the layer and
+// the file format produce.
+func (a *Accumulator) Add(obs *Observation) {
+	if obs.Dir == DirResponse {
+		a.responses.Add(1)
+		a.wireDown.Add(uint64(obs.WireLen))
+	} else {
+		a.queries.Add(1)
+		a.wireUp.Add(uint64(obs.WireLen))
+	}
+	if obs.Handshake {
+		a.handshakes.Add(1)
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	newFlow := !a.haveFlow || obs.Flow != a.lastFlow
+	if newFlow {
+		a.haveFlow = true
+		a.lastFlow = obs.Flow
+		a.flows.Add(1)
+	}
+	if a.first.IsZero() || obs.Time.Before(a.first) {
+		a.first = obs.Time
+	}
+	if obs.Time.After(a.last) {
+		a.last = obs.Time
+	}
+	k := accKey{obs.Mode, obs.Policy}
+	b := a.byKey[k]
+	if b == nil {
+		b = &accBucket{}
+		a.byKey[k] = b
+	}
+	if newFlow {
+		b.flows++
+	}
+	if obs.Dir == DirResponse {
+		b.responses++
+	} else {
+		b.queries++
+	}
+	b.wireBytes += uint64(obs.WireLen)
+}
+
+// RecordDecodeError counts a frame that failed to decode.
+func (a *Accumulator) RecordDecodeError() { a.decodeErrs.Add(1) }
+
+// ModeStatus is the per-(mode, policy) slice of Status.
+type ModeStatus struct {
+	Mode      string `json:"mode"`
+	Policy    string `json:"policy"`
+	Flows     uint64 `json:"flows"`
+	Queries   uint64 `json:"queries"`
+	Responses uint64 `json:"responses"`
+	WireBytes uint64 `json:"wire_bytes"`
+}
+
+// Status is the JSON shape /api/encdns serves.
+type Status struct {
+	Flows         uint64       `json:"flows"`
+	Messages      uint64       `json:"messages"`
+	Queries       uint64       `json:"queries"`
+	Responses     uint64       `json:"responses"`
+	Handshakes    uint64       `json:"handshakes"`
+	WireBytesUp   uint64       `json:"wire_bytes_up"`
+	WireBytesDown uint64       `json:"wire_bytes_down"`
+	DecodeErrors  uint64       `json:"decode_errors"`
+	First         time.Time    `json:"first"`
+	Last          time.Time    `json:"last"`
+	Modes         []ModeStatus `json:"modes"`
+}
+
+// Status snapshots the accumulator (webui hook shape: func() any).
+func (a *Accumulator) Status() any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := Status{
+		Flows:         a.flows.Load(),
+		Queries:       a.queries.Load(),
+		Responses:     a.responses.Load(),
+		Handshakes:    a.handshakes.Load(),
+		WireBytesUp:   a.wireUp.Load(),
+		WireBytesDown: a.wireDown.Load(),
+		DecodeErrors:  a.decodeErrs.Load(),
+		First:         a.first,
+		Last:          a.last,
+		Modes:         make([]ModeStatus, 0, len(a.byKey)),
+	}
+	st.Messages = st.Queries + st.Responses
+	for k, b := range a.byKey {
+		st.Modes = append(st.Modes, ModeStatus{
+			Mode:      k.mode.String(),
+			Policy:    k.policy.String(),
+			Flows:     b.flows,
+			Queries:   b.queries,
+			Responses: b.responses,
+			WireBytes: b.wireBytes,
+		})
+	}
+	sort.Slice(st.Modes, func(i, j int) bool {
+		if st.Modes[i].Mode != st.Modes[j].Mode {
+			return st.Modes[i].Mode < st.Modes[j].Mode
+		}
+		return st.Modes[i].Policy < st.Modes[j].Policy
+	})
+	return st
+}
+
+// Instrument registers the dnsobs_encwire_* families read-through.
+func (a *Accumulator) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc(MetricMessages, "encrypted client-leg messages observed",
+		a.queries.Load, "dir", "query")
+	reg.CounterFunc(MetricMessages, "encrypted client-leg messages observed",
+		a.responses.Load, "dir", "response")
+	reg.CounterFunc(MetricFlows, "encrypted client-leg flows observed",
+		a.flows.Load)
+	reg.CounterFunc(MetricHandshakes, "modeled connection handshakes observed",
+		a.handshakes.Load)
+	reg.CounterFunc(MetricWireBytes, "ciphertext bytes observed on the encrypted channel",
+		a.wireUp.Load, "dir", "query")
+	reg.CounterFunc(MetricWireBytes, "ciphertext bytes observed on the encrypted channel",
+		a.wireDown.Load, "dir", "response")
+	reg.CounterFunc(MetricDecodeErrors, "observation frames that failed to decode",
+		a.decodeErrs.Load)
+}

@@ -1,0 +1,74 @@
+package encwire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/metrics"
+)
+
+func TestAccumulator(t *testing.T) {
+	a := NewAccumulator()
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Two flows on dot/edns0, one on doh/none.
+	feed := []Observation{
+		{Flow: 1, Time: base, Mode: ModeDoT, Policy: PadEDNS0, Dir: DirQuery, WireLen: 150, Handshake: true},
+		{Flow: 1, Time: base.Add(time.Second), Mode: ModeDoT, Policy: PadEDNS0, Dir: DirResponse, WireLen: 500},
+		{Flow: 2, Time: base.Add(2 * time.Second), Mode: ModeDoT, Policy: PadEDNS0, Dir: DirQuery, WireLen: 150},
+		{Flow: 3, Time: base.Add(3 * time.Second), Mode: ModeDoH, Policy: PadNone, Dir: DirQuery, WireLen: 120, Handshake: true},
+	}
+	for i := range feed {
+		a.Add(&feed[i])
+	}
+	a.RecordDecodeError()
+
+	st, ok := a.Status().(Status)
+	if !ok {
+		t.Fatal("Status() did not return a Status")
+	}
+	if st.Flows != 3 || st.Queries != 3 || st.Responses != 1 || st.Messages != 4 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Handshakes != 2 || st.DecodeErrors != 1 {
+		t.Errorf("handshakes/errors = %d/%d", st.Handshakes, st.DecodeErrors)
+	}
+	if st.WireBytesUp != 150+150+120 || st.WireBytesDown != 500 {
+		t.Errorf("bytes = %d up, %d down", st.WireBytesUp, st.WireBytesDown)
+	}
+	if !st.First.Equal(base) || !st.Last.Equal(base.Add(3*time.Second)) {
+		t.Errorf("time range = %v .. %v", st.First, st.Last)
+	}
+	if len(st.Modes) != 2 {
+		t.Fatalf("modes = %+v", st.Modes)
+	}
+	// Sorted by mode then policy: doh/none < dot/edns0 lexically.
+	if st.Modes[0].Mode != "doh" || st.Modes[1].Mode != "dot" {
+		t.Errorf("mode order = %s, %s", st.Modes[0].Mode, st.Modes[1].Mode)
+	}
+	if st.Modes[1].Flows != 2 || st.Modes[1].Queries != 2 || st.Modes[1].Responses != 1 {
+		t.Errorf("dot bucket = %+v", st.Modes[1])
+	}
+}
+
+func TestAccumulatorInstrument(t *testing.T) {
+	a := NewAccumulator()
+	obs := sampleObs()
+	a.Add(&obs)
+	reg := metrics.NewRegistry()
+	a.Instrument(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{MetricMessages, MetricFlows, MetricHandshakes, MetricWireBytes, MetricDecodeErrors} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing %s:\n%s", fam, out)
+		}
+	}
+	if !strings.Contains(out, MetricWireBytes+`{dir="response"} 512`) {
+		t.Errorf("wire bytes not exported read-through:\n%s", out)
+	}
+}

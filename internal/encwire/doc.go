@@ -1,0 +1,32 @@
+// Package encwire models the encrypted client→resolver leg of the DNS:
+// DoT (RFC 7858), DoH (RFC 8484) and DoQ (RFC 9250) framing, padding
+// policies (RFC 8467 EDNS0 padding, record-level block padding),
+// connection reuse and handshake timing — without any real
+// cryptography. What it produces is exactly what a passive observer of
+// the encrypted channel would have: per-message ciphertext sizes and
+// timestamps (Observation), streamed in the sie frame format.
+//
+// The Observatory of the paper sits on the plaintext
+// resolver↔authoritative leg; this package exists so the simulation can
+// also emit the *client*-side view under encryption, which is the input
+// to the traffic-analysis experiment (cmd/experiments -run encdns)
+// reproducing the Siby et al. result that size/timing features alone
+// identify domains in a closed world, and that padding degrades but
+// does not eliminate that signal.
+//
+// # Concurrency contract
+//
+// A Layer is safe for concurrent use: StartFlow and Flow.Message from
+// any number of goroutines serialize on one internal mutex. A single
+// Flow value, however, must only be used by one goroutine at a time.
+// The Emit callback runs under the layer mutex — it must not call back
+// into the layer, and the *Observation it receives is a scratch value
+// valid only for the duration of the call (copy what you keep). The
+// layer draws from its own seeded RNG and from nothing else, so
+// attaching it to a simulation never perturbs the simulation's own
+// random stream — the property TestEncModesGoldenStore in
+// internal/simnet pins down.
+//
+// An Accumulator is safe for concurrent Add/RecordDecodeError/Status;
+// Writer and Reader are single-goroutine like their sie counterparts.
+package encwire

@@ -1,0 +1,230 @@
+package encwire
+
+import (
+	"errors"
+	"fmt"
+
+	"dnsobservatory/internal/ipwire"
+)
+
+// Mode identifies the client→resolver transport.
+type Mode uint8
+
+// Transport modes. Values are wire-stable: they travel in observation
+// frames and in sie.Transaction.ClientTransport.
+const (
+	ModePlain Mode = iota // UDP/53, no encryption
+	ModeDoT               // DNS over TLS (RFC 7858)
+	ModeDoH               // DNS over HTTPS/2 (RFC 8484)
+	ModeDoQ               // DNS over dedicated QUIC (RFC 9250)
+)
+
+// String returns the conventional lowercase name.
+func (m Mode) String() string {
+	switch m {
+	case ModePlain:
+		return "plain"
+	case ModeDoT:
+		return "dot"
+	case ModeDoH:
+		return "doh"
+	case ModeDoQ:
+		return "doq"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ErrUnknownMode reports an unparsable mode or policy name.
+var ErrUnknownMode = errors.New("encwire: unknown transport mode")
+
+// ErrUnknownPolicy reports an unparsable padding policy name.
+var ErrUnknownPolicy = errors.New("encwire: unknown padding policy")
+
+// ParseMode parses a mode name as printed by Mode.String ("udp" is
+// accepted as an alias for "plain").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "plain", "udp", "udp53", "":
+		return ModePlain, nil
+	case "dot":
+		return ModeDoT, nil
+	case "doh":
+		return ModeDoH, nil
+	case "doq":
+		return ModeDoQ, nil
+	}
+	return ModePlain, fmt.Errorf("%w: %q", ErrUnknownMode, s)
+}
+
+// Policy selects the padding strategy applied to encrypted messages.
+type Policy uint8
+
+// Padding policies.
+const (
+	PadNone  Policy = iota // no padding
+	PadEDNS0               // RFC 8467 EDNS0 padding of the DNS message
+	PadBlock               // record-level padding to a block multiple
+)
+
+// String returns the conventional lowercase name.
+func (p Policy) String() string {
+	switch p {
+	case PadNone:
+		return "none"
+	case PadEDNS0:
+		return "edns0"
+	case PadBlock:
+		return "block"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy parses a policy name as printed by Policy.String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "none", "":
+		return PadNone, nil
+	case "edns0":
+		return PadEDNS0, nil
+	case "block":
+		return PadBlock, nil
+	}
+	return PadNone, fmt.Errorf("%w: %q", ErrUnknownPolicy, s)
+}
+
+// Dir is the direction of a message on the client↔resolver channel.
+type Dir uint8
+
+// Directions.
+const (
+	DirQuery    Dir = iota // client → resolver
+	DirResponse            // resolver → client
+)
+
+// String returns "query" or "response".
+func (d Dir) String() string {
+	if d == DirResponse {
+		return "response"
+	}
+	return "query"
+}
+
+// RFC 8467 §4 recommended padding quanta, plus the 4-byte EDNS0 option
+// header (option code + option length) the padding option itself costs.
+const (
+	EDNS0QueryQuantum    = 128
+	EDNS0ResponseQuantum = 468
+	EDNS0OptionLen       = 4
+)
+
+// DefaultBlock is the block size PadBlock uses when none is configured.
+const DefaultBlock = 256
+
+// roundUp rounds n up to the next multiple of q (q > 0).
+func roundUp(n, q int) int { return (n + q - 1) / q * q }
+
+// PadDNS returns the DNS message length after EDNS0 padding. PadNone
+// and PadBlock leave the message itself untouched (block padding is
+// applied to the framed payload by FramedLen).
+func PadDNS(policy Policy, dir Dir, plain int) int {
+	if policy != PadEDNS0 {
+		return plain
+	}
+	q := EDNS0QueryQuantum
+	if dir == DirResponse {
+		q = EDNS0ResponseQuantum
+	}
+	return roundUp(plain+EDNS0OptionLen, q)
+}
+
+// DoH framing model: one HTTP/2 HEADERS frame plus one DATA frame per
+// message (RFC 8484 POST exchanges). The first request on a connection
+// carries full header fields; later ones hit the HPACK dynamic table
+// and shrink to indexed references. Sizes are representative of real
+// doh clients, not exact.
+const (
+	dohFrameHeaderLen   = 9 // HTTP/2 frame header
+	dohReqHeadersFirst  = 124
+	dohReqHeadersReused = 28
+	dohRspHeadersFirst  = 80
+	dohRspHeadersReused = 12
+)
+
+// DoQ framing model: one unidirectional stream per exchange (RFC 9250
+// §4.2), a STREAM frame header (type + stream ID + length varints) and
+// the RFC 9250 2-octet message length prefix.
+const (
+	doqStreamFrameLen = 4
+	doqLenPrefix      = 2
+)
+
+// dotLenPrefix is the RFC 1035 §4.2.2 2-octet length prefix DoT keeps.
+const dotLenPrefix = 2
+
+// FramedLen returns the plaintext payload length after DNS-level
+// padding and transport framing, before encryption: the byte count fed
+// to the TLS record layer (DoT/DoH) or the QUIC STREAM frame (DoQ).
+// reused reports whether the underlying connection has already carried
+// a message (it only affects DoH header compression). For PadBlock the
+// framed payload is padded to a multiple of block (DefaultBlock when
+// block <= 0), modeling record-level padding.
+func FramedLen(mode Mode, policy Policy, block int, dir Dir, plain int, reused bool) int {
+	dns := PadDNS(policy, dir, plain)
+	var framed int
+	switch mode {
+	case ModeDoT:
+		framed = dotLenPrefix + dns
+	case ModeDoH:
+		hdr := dohReqHeadersFirst
+		switch {
+		case dir == DirQuery && reused:
+			hdr = dohReqHeadersReused
+		case dir == DirResponse && !reused:
+			hdr = dohRspHeadersFirst
+		case dir == DirResponse && reused:
+			hdr = dohRspHeadersReused
+		}
+		framed = dohFrameHeaderLen + hdr + dohFrameHeaderLen + dns
+	case ModeDoQ:
+		framed = doqStreamFrameLen + doqLenPrefix + dns
+	default:
+		framed = dns
+	}
+	if policy == PadBlock {
+		if block <= 0 {
+			block = DefaultBlock
+		}
+		framed = roundUp(framed, block)
+	}
+	return framed
+}
+
+// WireLen returns the bytes a passive observer of the encrypted channel
+// sees for one message: the TLS ciphertext (DoT/DoH) or QUIC packet
+// bytes (DoQ) carrying the framed payload. IP and TCP/UDP headers are
+// excluded — they are constant per segment and carry no signal the
+// traffic-analysis features use. For ModePlain it is the bare DNS
+// message length.
+func WireLen(mode Mode, policy Policy, block int, dir Dir, plain int, reused bool) int {
+	framed := FramedLen(mode, policy, block, dir, plain, reused)
+	switch mode {
+	case ModeDoT, ModeDoH:
+		return ipwire.TLSRecordWireLen(framed)
+	case ModeDoQ:
+		return ipwire.QUICPacketWireLen(framed)
+	}
+	return framed
+}
+
+// HandshakeRTTs returns the modeled connection-setup round trips before
+// the first message can leave: TCP + TLS 1.3 for DoT/DoH, one combined
+// round trip for QUIC 1.
+func HandshakeRTTs(mode Mode) int {
+	switch mode {
+	case ModeDoT, ModeDoH:
+		return 2
+	case ModeDoQ:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,119 @@
+package encwire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestModePolicyDirStrings(t *testing.T) {
+	for _, m := range []Mode{ModePlain, ModeDoT, ModeDoH, ModeDoQ} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if m, err := ParseMode("udp"); err != nil || m != ModePlain {
+		t.Errorf("ParseMode(udp) = %v, %v", m, err)
+	}
+	if _, err := ParseMode("tor"); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("ParseMode(tor) err = %v", err)
+	}
+	for _, p := range []Policy{PadNone, PadEDNS0, PadBlock} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("random"); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("ParsePolicy(random) err = %v", err)
+	}
+	if DirQuery.String() != "query" || DirResponse.String() != "response" {
+		t.Error("Dir strings wrong")
+	}
+	if Mode(200).String() == "" || Policy(200).String() == "" {
+		t.Error("out-of-range String must not be empty")
+	}
+}
+
+// TestPaddingProperties is the satellite property test: for every mode,
+// policy, direction and a sweep of plaintext sizes, padded sizes are
+// never smaller than unpadded ones, EDNS0-padded messages land on the
+// RFC 8467 quanta, and block-padded framed payloads are ≡ 0 mod block.
+func TestPaddingProperties(t *testing.T) {
+	modes := []Mode{ModePlain, ModeDoT, ModeDoH, ModeDoQ}
+	dirs := []Dir{DirQuery, DirResponse}
+	blocks := []int{0, 64, 256, 468}
+	for _, mode := range modes {
+		for _, dir := range dirs {
+			for plain := 1; plain <= 5000; plain += 13 {
+				for _, reused := range []bool{false, true} {
+					base := FramedLen(mode, PadNone, 0, dir, plain, reused)
+					// EDNS0: at least as large, message on a quantum boundary.
+					e := FramedLen(mode, PadEDNS0, 0, dir, plain, reused)
+					if e < base {
+						t.Fatalf("%v/%v plain=%d: edns0 framed %d < unpadded %d", mode, dir, plain, e, base)
+					}
+					q := EDNS0QueryQuantum
+					if dir == DirResponse {
+						q = EDNS0ResponseQuantum
+					}
+					if padded := PadDNS(PadEDNS0, dir, plain); padded%q != 0 || padded < plain {
+						t.Fatalf("%v plain=%d: PadDNS = %d, want ≥ plain multiple of %d", dir, plain, padded, q)
+					}
+					// Block: at least as large, framed ≡ 0 mod block.
+					for _, block := range blocks {
+						b := FramedLen(mode, PadBlock, block, dir, plain, reused)
+						if b < base {
+							t.Fatalf("%v/%v plain=%d block=%d: framed %d < unpadded %d", mode, dir, plain, block, b, base)
+						}
+						eff := block
+						if eff <= 0 {
+							eff = DefaultBlock
+						}
+						if b%eff != 0 {
+							t.Fatalf("%v/%v plain=%d block=%d: framed %d not ≡ 0 mod %d", mode, dir, plain, block, b, eff)
+						}
+					}
+					// Wire length dominates framed length for encrypted modes.
+					for _, pol := range []Policy{PadNone, PadEDNS0, PadBlock} {
+						f := FramedLen(mode, pol, 256, dir, plain, reused)
+						w := WireLen(mode, pol, 256, dir, plain, reused)
+						if mode == ModePlain {
+							if w != f {
+								t.Fatalf("plain: wire %d != framed %d", w, f)
+							}
+						} else if w <= f {
+							t.Fatalf("%v: wire %d ≤ framed %d", mode, w, f)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDoHHeaderCompression(t *testing.T) {
+	fresh := FramedLen(ModeDoH, PadNone, 0, DirQuery, 60, false)
+	reused := FramedLen(ModeDoH, PadNone, 0, DirQuery, 60, true)
+	if reused >= fresh {
+		t.Errorf("DoH reused query framing %d ≥ fresh %d", reused, fresh)
+	}
+	// DoT/DoQ framing must not depend on connection reuse.
+	for _, m := range []Mode{ModeDoT, ModeDoQ} {
+		if FramedLen(m, PadNone, 0, DirQuery, 60, false) != FramedLen(m, PadNone, 0, DirQuery, 60, true) {
+			t.Errorf("%v framing depends on reuse", m)
+		}
+	}
+}
+
+func TestHandshakeRTTs(t *testing.T) {
+	if HandshakeRTTs(ModePlain) != 0 {
+		t.Error("plain mode has no handshake")
+	}
+	if HandshakeRTTs(ModeDoT) != 2 || HandshakeRTTs(ModeDoH) != 2 {
+		t.Error("TCP+TLS1.3 modes = 2 RTT")
+	}
+	if HandshakeRTTs(ModeDoQ) != 1 {
+		t.Error("QUIC = 1 RTT")
+	}
+}

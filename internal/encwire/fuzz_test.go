@@ -1,0 +1,43 @@
+package encwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEncFrame hammers the observation decoder: it must never
+// panic, never allocate more than the input's own length for the
+// domain, and accepted inputs must re-encode to a canonical form that
+// decodes back to itself.
+func FuzzDecodeEncFrame(f *testing.F) {
+	s := sampleObs()
+	f.Add(s.Append(nil))
+	s.Domain = ""
+	s.Handshake = false
+	f.Add(s.Append(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x08, 0xff})
+	f.Add(appendVarintField(nil, obsFieldWireLen, 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var obs Observation
+		if err := obs.Unmarshal(data); err != nil {
+			return
+		}
+		if len(obs.Domain) > MaxDomainLen || len(obs.Domain) > len(data) {
+			t.Fatalf("domain longer than allowed: %d bytes from %d input", len(obs.Domain), len(data))
+		}
+		if obs.WireLen == 0 || obs.WireLen > MaxWireLen {
+			t.Fatalf("accepted out-of-range wire length %d", obs.WireLen)
+		}
+		// Canonical re-encode is a fixed point.
+		c1 := obs.Append(nil)
+		var obs2 Observation
+		if err := obs2.Unmarshal(c1); err != nil {
+			t.Fatalf("canonical form does not decode: %v", err)
+		}
+		c2 := obs2.Append(nil)
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("re-encode not a fixed point:\n%x\n%x", c1, c2)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package encwire
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Layer. The zero value of every field has a
+// usable default except Mode (ModePlain produces a working layer that
+// models an unencrypted channel — useful for differential baselines).
+type Config struct {
+	Mode   Mode
+	Policy Policy
+	Block  int // PadBlock block size; DefaultBlock when <= 0
+
+	// Seed drives the layer's private RNG (client assignment, timing
+	// jitter). The layer never touches any other RNG, so enabling it
+	// inside a simulation cannot perturb the simulation's own stream.
+	Seed int64
+
+	// Start anchors observation timestamps: a message at simulation
+	// offset t seconds is stamped Start.Add(t).
+	Start time.Time
+
+	// Clients is the modeled stub-client population sharing the
+	// resolver connections (default 512).
+	Clients int
+
+	// IdleTimeout is the connection idle cutoff in seconds: a
+	// (client, resolver) pair quiet for longer re-handshakes
+	// (default 30).
+	IdleTimeout float64
+
+	// BaseRTTMs is the modeled client↔resolver round-trip time in
+	// milliseconds (default 15).
+	BaseRTTMs float64
+
+	// Emit receives every observation. The pointer is only valid for
+	// the duration of the call (the layer reuses one scratch value);
+	// calls are serialized under the layer mutex. nil drops
+	// observations but keeps the counters.
+	Emit func(*Observation)
+}
+
+// Layer models the encrypted client→resolver leg: it turns "client
+// resolved name X with a queryLen/respLen exchange" events into
+// per-message ciphertext size/timing observations, tracking connection
+// reuse per (client, resolver) pair.
+type Layer struct {
+	mode    Mode
+	policy  Policy
+	block   int
+	clients int
+	idle    float64
+	rttSec  float64
+	start   time.Time
+	emit    func(*Observation)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	conns    map[uint64]float64 // (client<<32|resolver) → last activity
+	obs      Observation        // scratch value passed to emit
+	nextFlow uint64
+
+	// Counters, all mutated under mu; Stats snapshots them.
+	flows, messages, queries, responses, handshakes uint64
+	wireUp, wireDown, padBytes                      uint64
+}
+
+// NewLayer returns a layer for cfg.
+func NewLayer(cfg Config) *Layer {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 512
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 30
+	}
+	if cfg.BaseRTTMs <= 0 {
+		cfg.BaseRTTMs = 15
+	}
+	if cfg.Block <= 0 {
+		cfg.Block = DefaultBlock
+	}
+	return &Layer{
+		mode:    cfg.Mode,
+		policy:  cfg.Policy,
+		block:   cfg.Block,
+		clients: cfg.Clients,
+		idle:    cfg.IdleTimeout,
+		rttSec:  cfg.BaseRTTMs / 1000,
+		start:   cfg.Start,
+		emit:    cfg.Emit,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		conns:   make(map[uint64]float64),
+	}
+}
+
+// Mode returns the layer's transport mode.
+func (l *Layer) Mode() Mode { return l.mode }
+
+// Flow is one client resolution episode: the messages a single
+// generator dispatch produces (one or more query/response exchanges on
+// the same connection). Flows are the unit the traffic-analysis
+// classifier works on.
+type Flow struct {
+	l        *Layer
+	id       uint64
+	client   uint32
+	resolver uint32
+	workload uint32
+	domain   string
+}
+
+// StartFlow opens a flow at simulation offset t seconds: a modeled stub
+// client (drawn from the layer's private RNG) talking to resolver,
+// carrying the given ground-truth workload tag. The returned Flow must
+// only be used by one goroutine at a time, but distinct flows may run
+// concurrently.
+func (l *Layer) StartFlow(t float64, resolver, workload uint32) *Flow {
+	f := new(Flow)
+	l.BeginFlow(f, t, resolver, workload)
+	return f
+}
+
+// BeginFlow resets f in place to a fresh flow, exactly as StartFlow
+// would return, without allocating. Hot paths that open one flow per
+// event (the simnet dispatch loop) reuse a single Flow value this way.
+// The previous flow state of f is discarded; it must not be mid-use on
+// another goroutine.
+func (l *Layer) BeginFlow(f *Flow, t float64, resolver, workload uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextFlow++
+	l.flows++
+	*f = Flow{
+		l:        l,
+		id:       l.nextFlow,
+		client:   uint32(l.rng.Intn(l.clients)),
+		resolver: resolver,
+		workload: workload,
+	}
+}
+
+// Message records one query/response exchange on the flow at simulation
+// offset t: a query of queryLen DNS bytes and, when respLen > 0, a
+// response of respLen DNS bytes arriving after the resolver spent
+// delayMs resolving (0 for a resolver cache hit). domain is the
+// ground-truth label; the first non-empty one sticks to the flow.
+// respLen == 0 models an unanswered query (only the query message is
+// observed).
+func (f *Flow) Message(t float64, domain string, queryLen, respLen int, delayMs float64) {
+	l := f.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f.domain == "" && domain != "" {
+		f.domain = domain
+	}
+
+	key := uint64(f.client)<<32 | uint64(f.resolver)
+	last, ok := l.conns[key]
+	fresh := !ok || t-last > l.idle
+	qt := t + l.rng.Float64()*0.0003 // client-side scheduling jitter
+	if fresh {
+		l.handshakes++
+		qt += float64(HandshakeRTTs(l.mode)) * l.rttSec
+	}
+
+	qWire := WireLen(l.mode, l.policy, l.block, DirQuery, queryLen, !fresh)
+	l.queries++
+	l.messages++
+	l.wireUp += uint64(qWire)
+	if l.policy != PadNone {
+		l.padBytes += uint64(qWire - WireLen(l.mode, PadNone, 0, DirQuery, queryLen, !fresh))
+	}
+	l.emitLocked(f, qt, DirQuery, qWire, fresh)
+
+	end := qt
+	if respLen > 0 {
+		rt := qt + l.rttSec/2 + delayMs/1000
+		rWire := WireLen(l.mode, l.policy, l.block, DirResponse, respLen, true)
+		l.responses++
+		l.messages++
+		l.wireDown += uint64(rWire)
+		if l.policy != PadNone {
+			l.padBytes += uint64(rWire - WireLen(l.mode, PadNone, 0, DirResponse, respLen, true))
+		}
+		l.emitLocked(f, rt, DirResponse, rWire, false)
+		end = rt
+	}
+	l.conns[key] = end
+}
+
+// emitLocked fills the scratch observation and hands it to the sink.
+// Caller holds l.mu, so emit calls are serialized and the scratch value
+// is never aliased across messages.
+func (l *Layer) emitLocked(f *Flow, t float64, dir Dir, wire int, handshake bool) {
+	if l.emit == nil {
+		return
+	}
+	l.obs = Observation{
+		Flow:      f.id,
+		Time:      l.start.Add(time.Duration(t * float64(time.Second))),
+		Mode:      l.mode,
+		Policy:    l.policy,
+		Dir:       dir,
+		WireLen:   uint32(wire),
+		Handshake: handshake,
+		Workload:  f.workload,
+		Domain:    f.domain,
+	}
+	l.emit(&l.obs)
+}
+
+// Stats is a snapshot of the layer counters. The accounting identity
+// Messages == Queries + Responses holds at every quiescent point.
+type Stats struct {
+	Flows      uint64
+	Messages   uint64
+	Queries    uint64
+	Responses  uint64
+	Handshakes uint64
+	WireUp     uint64 // query-direction wire bytes
+	WireDown   uint64 // response-direction wire bytes
+	PadBytes   uint64 // bytes added by the padding policy
+}
+
+// Stats snapshots the layer counters.
+func (l *Layer) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Flows:      l.flows,
+		Messages:   l.messages,
+		Queries:    l.queries,
+		Responses:  l.responses,
+		Handshakes: l.handshakes,
+		WireUp:     l.wireUp,
+		WireDown:   l.wireDown,
+		PadBytes:   l.padBytes,
+	}
+}

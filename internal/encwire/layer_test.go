@@ -1,0 +1,182 @@
+package encwire
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func layerConfig(emit func(*Observation)) Config {
+	return Config{
+		Mode:   ModeDoT,
+		Policy: PadEDNS0,
+		Seed:   7,
+		Start:  time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		Emit:   emit,
+	}
+}
+
+func TestLayerDeterministic(t *testing.T) {
+	run := func() []Observation {
+		var got []Observation
+		l := NewLayer(layerConfig(func(o *Observation) { got = append(got, *o) }))
+		for i := 0; i < 50; i++ {
+			f := l.StartFlow(float64(i)*0.1, uint32(i%5), 0)
+			f.Message(float64(i)*0.1, "example.com.", 50+i, 120+i, 12)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("got %d and %d observations, want 100 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("observation %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBeginFlowMatchesStartFlow: the allocation-free reuse API must
+// produce the identical observation stream as per-flow allocation.
+func TestBeginFlowMatchesStartFlow(t *testing.T) {
+	run := func(reuse bool) []Observation {
+		var got []Observation
+		l := NewLayer(layerConfig(func(o *Observation) { got = append(got, *o) }))
+		var scratch Flow
+		for i := 0; i < 50; i++ {
+			f := &scratch
+			if reuse {
+				l.BeginFlow(f, float64(i)*0.1, uint32(i%5), 0)
+			} else {
+				f = l.StartFlow(float64(i)*0.1, uint32(i%5), 0)
+			}
+			f.Message(float64(i)*0.1, "example.com.", 50+i, 120+i, 12)
+		}
+		return got
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("got %d and %d observations", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("observation %d differs between StartFlow and BeginFlow:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLayerConnectionReuse(t *testing.T) {
+	var got []Observation
+	cfg := layerConfig(func(o *Observation) { got = append(got, *o) })
+	cfg.Clients = 1 // force every flow onto one connection
+	cfg.IdleTimeout = 5
+	l := NewLayer(cfg)
+
+	f := l.StartFlow(0, 0, 0)
+	f.Message(0, "a.example.", 40, 100, 10)
+	f.Message(0.5, "a.example.", 40, 100, 10)
+	// Past the idle timeout: must re-handshake.
+	f2 := l.StartFlow(20, 0, 0)
+	f2.Message(20, "b.example.", 40, 100, 10)
+
+	if len(got) != 6 {
+		t.Fatalf("got %d observations, want 6", len(got))
+	}
+	wantHS := []bool{true, false, false, false, true, false}
+	for i, o := range got {
+		if o.Handshake != wantHS[i] {
+			t.Errorf("obs %d handshake = %v, want %v", i, o.Handshake, wantHS[i])
+		}
+	}
+	st := l.Stats()
+	if st.Handshakes != 2 {
+		t.Errorf("handshakes = %d, want 2", st.Handshakes)
+	}
+	// Handshake delay: the first message of a fresh connection leaves
+	// later than its dispatch offset by the modeled setup RTTs.
+	base := cfg.Start
+	if d := got[0].Time.Sub(base); d < 2*15*time.Millisecond {
+		t.Errorf("first message at +%v, want ≥ 2 RTT handshake delay", d)
+	}
+	if d := got[2].Time.Sub(base.Add(500 * time.Millisecond)); d > 10*time.Millisecond {
+		t.Errorf("reused-connection query delayed %v, want no handshake delay", d)
+	}
+}
+
+func TestLayerUnansweredAndDomainSticky(t *testing.T) {
+	var got []Observation
+	l := NewLayer(layerConfig(func(o *Observation) { got = append(got, *o) }))
+	f := l.StartFlow(0, 1, 3)
+	f.Message(0, "", 40, 0, 0)                // unanswered, no label yet
+	f.Message(0.1, "tun.example.", 40, 90, 5) // label arrives
+	f.Message(0.2, "", 40, 90, 5)             // label sticks
+	if len(got) != 5 {
+		t.Fatalf("got %d observations, want 5", len(got))
+	}
+	if got[0].Domain != "" || got[1].Domain != "tun.example." || got[4].Domain != "tun.example." {
+		t.Errorf("domain labels = %q, %q, %q", got[0].Domain, got[1].Domain, got[4].Domain)
+	}
+	for i, o := range got {
+		if o.Workload != 3 {
+			t.Errorf("obs %d workload = %d, want 3", i, o.Workload)
+		}
+		if o.Flow != got[0].Flow {
+			t.Errorf("obs %d flow = %d, want %d", i, o.Flow, got[0].Flow)
+		}
+	}
+	st := l.Stats()
+	if st.Queries != 3 || st.Responses != 2 || st.Messages != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestLayerConcurrentFlows is the -race soak: many goroutines drive
+// separate flows through one layer, and the accounting identity
+// messages == queries + responses must hold at the end, with emit
+// having seen every message exactly once.
+func TestLayerConcurrentFlows(t *testing.T) {
+	for _, mode := range []Mode{ModeDoT, ModeDoH, ModeDoQ} {
+		for _, pol := range []Policy{PadNone, PadEDNS0, PadBlock} {
+			var emitted int
+			cfg := Config{Mode: mode, Policy: pol, Seed: 1, Emit: func(*Observation) { emitted++ }}
+			l := NewLayer(cfg)
+			const workers, msgs = 8, 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					f := l.StartFlow(float64(w), uint32(w), 0)
+					for i := 0; i < msgs; i++ {
+						resp := 120
+						if i%7 == 0 {
+							resp = 0 // unanswered
+						}
+						f.Message(float64(w)+float64(i)*0.01, "x.example.", 40+i%50, resp, 3)
+					}
+				}(w)
+			}
+			wg.Wait()
+			st := l.Stats()
+			if st.Messages != st.Queries+st.Responses {
+				t.Fatalf("%v/%v: messages %d != queries %d + responses %d", mode, pol, st.Messages, st.Queries, st.Responses)
+			}
+			if st.Queries != workers*msgs {
+				t.Fatalf("%v/%v: queries = %d, want %d", mode, pol, st.Queries, workers*msgs)
+			}
+			if st.Flows != workers {
+				t.Fatalf("%v/%v: flows = %d, want %d", mode, pol, st.Flows, workers)
+			}
+			if uint64(emitted) != st.Messages {
+				t.Fatalf("%v/%v: emit saw %d, stats %d", mode, pol, emitted, st.Messages)
+			}
+			if pol == PadNone && st.PadBytes != 0 {
+				t.Fatalf("%v/none: pad bytes = %d, want 0", mode, st.PadBytes)
+			}
+			if pol != PadNone && st.PadBytes == 0 {
+				t.Fatalf("%v/%v: pad bytes = 0, want > 0", mode, pol)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package encwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"dnsobservatory/internal/sie"
+)
+
+func sampleObs() Observation {
+	return Observation{
+		Flow:      42,
+		Time:      time.Date(2019, 1, 1, 0, 0, 3, 500, time.UTC),
+		Mode:      ModeDoH,
+		Policy:    PadEDNS0,
+		Dir:       DirResponse,
+		WireLen:   512,
+		Handshake: true,
+		Workload:  sie.WorkloadTunnel,
+		Domain:    "tunnel.example.com.",
+	}
+}
+
+func TestObservationRoundTrip(t *testing.T) {
+	in := sampleObs()
+	buf := in.Append(nil)
+	var out Observation
+	if err := out.Unmarshal(buf); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !out.Time.Equal(in.Time) {
+		t.Errorf("time = %v, want %v", out.Time, in.Time)
+	}
+	in.Time, out.Time = time.Time{}, time.Time{}
+	if in != out {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", in, out)
+	}
+}
+
+func TestObservationUnmarshalErrors(t *testing.T) {
+	s := sampleObs()
+	good := s.Append(nil)
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrObsFieldRange}, // no wire length
+		{"truncated varint", good[:1], ErrObsTruncated},
+		{"bad mode", appendVarintField(appendVarintField(nil, obsFieldWireLen, 10), obsFieldMode, 9), ErrObsFieldRange},
+		{"bad dir", appendVarintField(appendVarintField(nil, obsFieldWireLen, 10), obsFieldDir, 7), ErrObsFieldRange},
+		{"bad policy", appendVarintField(appendVarintField(nil, obsFieldWireLen, 10), obsFieldPolicy, 9), ErrObsFieldRange},
+		{"zero wire len", appendVarintField(nil, obsFieldWireLen, 0), ErrObsFieldRange},
+		{"huge wire len", appendVarintField(nil, obsFieldWireLen, MaxWireLen+1), ErrObsFieldRange},
+		{"bad handshake", appendVarintField(appendVarintField(nil, obsFieldWireLen, 10), obsFieldHandshake, 2), ErrObsFieldRange},
+		{"overflow varint", []byte{0x08, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, ErrObsOverflow},
+		{"bad wire type", []byte{0x0d, 0, 0, 0, 0}, ErrObsWireType}, // field 1, wire type 5
+		{"domain too long", append(append(appendVarintField(nil, obsFieldWireLen, 10), 0x4a, 0x80, 0x02), make([]byte, 256)...), ErrObsFieldRange},
+		{"domain past end", append(appendVarintField(nil, obsFieldWireLen, 10), 0x4a, 0x20, 'x'), ErrObsTruncated},
+	}
+	for _, c := range cases {
+		var obs Observation
+		if err := obs.Unmarshal(c.buf); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestObservationUnknownFieldsSkipped(t *testing.T) {
+	s := sampleObs()
+	buf := s.Append(nil)
+	buf = appendVarintField(buf, 15, 99) // unknown varint field
+	buf = append(buf, 15<<3|wireBytes, 3, 'a', 'b', 'c')
+	var obs Observation
+	if err := obs.Unmarshal(buf); err != nil {
+		t.Fatalf("Unmarshal with unknown fields: %v", err)
+	}
+	if obs.WireLen != 512 || obs.Domain != "tunnel.example.com." {
+		t.Errorf("decoded = %+v", obs)
+	}
+}
+
+func TestWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := make([]Observation, 0, 10)
+	for i := 0; i < 10; i++ {
+		o := sampleObs()
+		o.Flow = uint64(i/2 + 1)
+		o.WireLen = uint32(100 + i)
+		want = append(want, o)
+		if err := w.Write(&o); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if w.Count() != 10 {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+	r := NewReader(&buf)
+	var o Observation
+	for i := 0; ; i++ {
+		err := r.Read(&o)
+		if err == io.EOF {
+			if i != 10 {
+				t.Fatalf("EOF after %d records", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if o.WireLen != want[i].WireLen || o.Flow != want[i].Flow || o.Domain != want[i].Domain {
+			t.Errorf("record %d = %+v, want %+v", i, o, want[i])
+		}
+	}
+	if r.Count() != 10 {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+func TestReaderDecodeError(t *testing.T) {
+	var buf bytes.Buffer
+	// Frame 1: invalid body (mode out of range). Frame 2: valid.
+	bad := appendVarintField(appendVarintField(nil, obsFieldWireLen, 10), obsFieldMode, 9)
+	if err := sie.WriteFrame(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	good := sampleObs()
+	if err := NewWriter(&buf).Write(&good); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var o Observation
+	err := r.Read(&o)
+	var de *DecodeError
+	if !errors.As(err, &de) || !errors.Is(err, ErrObsFieldRange) {
+		t.Fatalf("first Read err = %v, want *DecodeError wrapping ErrObsFieldRange", err)
+	}
+	if err := r.Read(&o); err != nil {
+		t.Fatalf("Read after decode error: %v", err)
+	}
+	if o.WireLen != good.WireLen {
+		t.Errorf("resynced record = %+v", o)
+	}
+	if err := r.Read(&o); err != io.EOF {
+		t.Errorf("final Read = %v, want EOF", err)
+	}
+}

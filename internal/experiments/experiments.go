@@ -105,6 +105,7 @@ var Registry = []Experiment{
 	{"v6on", "§5.3: effect of enabling IPv6", (*Context).V6On},
 	{"ablate", "ablations: admission guard, rate decay, HLL precision", (*Context).Ablate},
 	{"detect", "detection: information-content heavy hitters and newly-observed domains vs ground truth", (*Context).Detect},
+	{"encdns", "encrypted DNS: closed-world traffic analysis per transport mode and padding policy", (*Context).EncDNS},
 }
 
 // Find returns the experiment with the given id, or nil.

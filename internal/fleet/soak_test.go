@@ -61,8 +61,8 @@ func soakTx(t testing.TB, s, w, i int, base time.Time) *sie.Transaction {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := netip.AddrFrom4([4]byte{10, byte(s), 0, byte(i%4 + 1)})  // resolver
-	dst := netip.AddrFrom4([4]byte{192, 0, 2, byte(s + 1)})         // nameserver
+	src := netip.AddrFrom4([4]byte{10, byte(s), 0, byte(i%4 + 1)}) // resolver
+	dst := netip.AddrFrom4([4]byte{192, 0, 2, byte(s + 1)})        // nameserver
 	at := base.Add(time.Duration(w)*time.Minute + time.Duration(i)*soakSpacing)
 	return &sie.Transaction{
 		QueryPacket:    ipwire.AppendIPv4UDP(nil, src, dst, 4242, ipwire.DNSPort, 64, qw),

@@ -1,0 +1,66 @@
+package ipwire
+
+// Encrypted-transport byte arithmetic. The simulator never performs real
+// cryptography: the encwire layer only needs the *sizes* a passive
+// observer of the client→resolver leg would see, so this file models the
+// fixed per-record and per-packet overheads of TLS 1.3 (DoT/DoH) and
+// QUIC 1 (DoQ) as pure functions over the plaintext length.
+
+// Well-known ports of the encrypted client-leg transports.
+const (
+	DoTPort = 853 // RFC 7858, DNS over TLS
+	DoHPort = 443 // RFC 8484, DNS over HTTPS
+	DoQPort = 853 // RFC 9250, DNS over dedicated QUIC
+)
+
+// TLS 1.3 record layer (RFC 8446 §5). Every TLSCiphertext carries a
+// 5-byte record header, one inner content-type byte appended to the
+// plaintext, and the AEAD tag; plaintext is split into records of at
+// most TLSMaxPlaintext bytes.
+const (
+	TLSRecordHeaderLen = 5     // type, legacy version, length
+	TLSInnerTypeLen    = 1     // TLSInnerPlaintext content type byte
+	TLSAEADTagLen      = 16    // AES-GCM / ChaCha20-Poly1305 tag
+	TLSMaxPlaintext    = 16384 // 2^14 plaintext bytes per record
+)
+
+// TLSRecordOverhead is the fixed per-record ciphertext expansion.
+const TLSRecordOverhead = TLSRecordHeaderLen + TLSInnerTypeLen + TLSAEADTagLen
+
+// TLSRecordWireLen returns the total ciphertext bytes on the wire for n
+// plaintext bytes sent through the TLS 1.3 record layer, splitting into
+// multiple records when n exceeds TLSMaxPlaintext. n == 0 still costs
+// one record (an empty application-data record, as real stacks emit for
+// keep-alives).
+func TLSRecordWireLen(n int) int {
+	records := (n + TLSMaxPlaintext - 1) / TLSMaxPlaintext
+	if records == 0 {
+		records = 1
+	}
+	return n + records*TLSRecordOverhead
+}
+
+// QUIC 1 short-header packet (RFC 9000 §17.3). The model uses an 8-byte
+// destination connection ID and a 2-byte packet number — the common
+// steady-state sizes — plus the AEAD tag on the protected payload.
+const (
+	QUICShortHeaderLen = 1 + 8 + 2 // flags, DCID, packet number
+	QUICAEADTagLen     = 16
+	QUICMaxPayload     = 1200 // conservative per-packet payload budget
+)
+
+// QUICPacketOverhead is the fixed per-packet expansion of a short-header
+// QUIC packet.
+const QUICPacketOverhead = QUICShortHeaderLen + QUICAEADTagLen
+
+// QUICPacketWireLen returns the total bytes on the wire for n payload
+// bytes sent in QUIC short-header packets, splitting into multiple
+// packets when n exceeds QUICMaxPayload. n == 0 still costs one packet
+// (a bare ACK or PING).
+func QUICPacketWireLen(n int) int {
+	packets := (n + QUICMaxPayload - 1) / QUICMaxPayload
+	if packets == 0 {
+		packets = 1
+	}
+	return n + packets*QUICPacketOverhead
+}

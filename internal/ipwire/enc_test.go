@@ -1,0 +1,54 @@
+package ipwire
+
+import "testing"
+
+func TestTLSRecordWireLen(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, TLSRecordOverhead},
+		{1, 1 + TLSRecordOverhead},
+		{100, 100 + TLSRecordOverhead},
+		{TLSMaxPlaintext, TLSMaxPlaintext + TLSRecordOverhead},
+		{TLSMaxPlaintext + 1, TLSMaxPlaintext + 1 + 2*TLSRecordOverhead},
+		{3 * TLSMaxPlaintext, 3 * (TLSMaxPlaintext + TLSRecordOverhead)},
+	}
+	for _, c := range cases {
+		if got := TLSRecordWireLen(c.n); got != c.want {
+			t.Errorf("TLSRecordWireLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestQUICPacketWireLen(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, QUICPacketOverhead},
+		{1, 1 + QUICPacketOverhead},
+		{QUICMaxPayload, QUICMaxPayload + QUICPacketOverhead},
+		{QUICMaxPayload + 1, QUICMaxPayload + 1 + 2*QUICPacketOverhead},
+	}
+	for _, c := range cases {
+		if got := QUICPacketWireLen(c.n); got != c.want {
+			t.Errorf("QUICPacketWireLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestEncWireLenMonotonic: more plaintext never costs fewer wire bytes.
+func TestEncWireLenMonotonic(t *testing.T) {
+	prevTLS, prevQUIC := 0, 0
+	for n := 0; n < 4*TLSMaxPlaintext; n += 97 {
+		if got := TLSRecordWireLen(n); got < prevTLS {
+			t.Fatalf("TLSRecordWireLen(%d) = %d < previous %d", n, got, prevTLS)
+		} else {
+			prevTLS = got
+		}
+		if got := QUICPacketWireLen(n); got < prevQUIC {
+			t.Fatalf("QUICPacketWireLen(%d) = %d < previous %d", n, got, prevQUIC)
+		} else {
+			prevQUIC = got
+		}
+	}
+}

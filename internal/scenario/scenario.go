@@ -94,7 +94,19 @@ func (f *File) Config() simnet.Config {
 // Build instantiates the simulation, applies domain overrides and
 // schedules the events.
 func (f *File) Build() (*simnet.Sim, error) {
-	sim := simnet.New(f.Config())
+	return f.BuildWith(nil)
+}
+
+// BuildWith is Build with a config hook: mutate, when non-nil, adjusts
+// the converted simnet.Config before the simulation is instantiated —
+// how dnsgen attaches an encrypted client leg to a scenario file
+// without the file format having to know about it.
+func (f *File) BuildWith(mutate func(*simnet.Config)) (*simnet.Sim, error) {
+	cfg := f.Config()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sim := simnet.New(cfg)
 	for _, d := range f.Domains {
 		z, err := f.domain(sim, d.Index)
 		if err != nil {

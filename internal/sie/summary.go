@@ -21,6 +21,10 @@ type Summary struct {
 	SensorID   uint32
 	Workload   uint32 // generator class tag (simnet ground truth); 0 unlabeled
 
+	// ClientTransport mirrors Transaction.ClientTransport: the transport
+	// of the client→resolver leg (Transport* constants); 0 = UDP/53.
+	ClientTransport uint32
+
 	QName string
 	QType dnswire.Type
 	QDots int // labels in QNAME
@@ -200,26 +204,27 @@ func (s *Summarizer) Summarize(tx *Transaction, out *Summary) error {
 	q := s.qmsg.Question()
 
 	*out = Summary{
-		Resolver:      qpkt.Src,
-		Nameserver:    qpkt.Dst,
-		ResolverStr:   qpkt.Src.String(),
-		NameserverStr: qpkt.Dst.String(),
-		SensorID:      tx.SensorID,
-		Workload:      tx.Workload,
-		QName:         q.Name,
-		QType:         q.Type,
-		QDots:         dnswire.CountLabels(q.Name),
-		DNSSECOK:      s.qmsg.EDNSDo(),
-		TCP:           qTCP,
-		V4Addrs:       out.V4Addrs[:0],
-		V6Addrs:       out.V6Addrs[:0],
-		V4Strs:        out.V4Strs[:0],
-		V6Strs:        out.V6Strs[:0],
-		V4Hashes:      out.V4Hashes[:0],
-		V6Hashes:      out.V6Hashes[:0],
-		AnswerTTLs:    out.AnswerTTLs[:0],
-		NSTTLs:        out.NSTTLs[:0],
-		NSNames:       out.NSNames[:0],
+		Resolver:        qpkt.Src,
+		Nameserver:      qpkt.Dst,
+		ResolverStr:     qpkt.Src.String(),
+		NameserverStr:   qpkt.Dst.String(),
+		SensorID:        tx.SensorID,
+		Workload:        tx.Workload,
+		ClientTransport: tx.ClientTransport,
+		QName:           q.Name,
+		QType:           q.Type,
+		QDots:           dnswire.CountLabels(q.Name),
+		DNSSECOK:        s.qmsg.EDNSDo(),
+		TCP:             qTCP,
+		V4Addrs:         out.V4Addrs[:0],
+		V6Addrs:         out.V6Addrs[:0],
+		V4Strs:          out.V4Strs[:0],
+		V6Strs:          out.V6Strs[:0],
+		V4Hashes:        out.V4Hashes[:0],
+		V6Hashes:        out.V6Hashes[:0],
+		AnswerTTLs:      out.AnswerTTLs[:0],
+		NSTTLs:          out.NSTTLs[:0],
+		NSNames:         out.NSNames[:0],
 	}
 
 	if !tx.Answered() {

@@ -32,7 +32,24 @@ type Transaction struct {
 	// WorkloadUnlabeled; the field is optional on the wire, so streams
 	// written by older encoders and readers decode unchanged.
 	Workload uint32
+
+	// ClientTransport records which transport the *client→resolver* leg
+	// of the resolution ran over (the values mirror encwire.Mode: 0
+	// UDP/53 plaintext, 1 DoT, 2 DoH, 3 DoQ). The transaction itself is
+	// always the plaintext resolver→authoritative exchange — encryption
+	// on the client leg never changes what the Observatory sensor sees —
+	// so this tag only correlates SIE frames with an encwire observation
+	// stream. Optional on the wire, omitted when zero.
+	ClientTransport uint32
 }
+
+// Client-transport values (wire-stable, mirroring encwire.Mode).
+const (
+	TransportUDP53 uint32 = iota // plaintext UDP/53 (or TCP/53 retry)
+	TransportDoT                 // DNS over TLS (RFC 7858)
+	TransportDoH                 // DNS over HTTPS (RFC 8484)
+	TransportDoQ                 // DNS over QUIC (RFC 9250)
+)
 
 // Workload classes. Values are wire-stable: they travel in SIE frames
 // and in experiment ground-truth sets.
@@ -67,6 +84,7 @@ const (
 	fieldResponseTimeNs = 4
 	fieldSensorID       = 5
 	fieldWorkload       = 6
+	fieldClientTrans    = 7
 )
 
 // Append serializes tx in protobuf wire format.
@@ -82,6 +100,9 @@ func (tx *Transaction) Append(dst []byte) []byte {
 	dst = appendVarintField(dst, fieldSensorID, uint64(tx.SensorID))
 	if tx.Workload != 0 {
 		dst = appendVarintField(dst, fieldWorkload, uint64(tx.Workload))
+	}
+	if tx.ClientTransport != 0 {
+		dst = appendVarintField(dst, fieldClientTrans, uint64(tx.ClientTransport))
 	}
 	return dst
 }
@@ -113,6 +134,8 @@ func (tx *Transaction) Unmarshal(frame []byte) error {
 				tx.SensorID = uint32(v)
 			case fieldWorkload:
 				tx.Workload = uint32(v)
+			case fieldClientTrans:
+				tx.ClientTransport = uint32(v)
 			}
 		case wireBytes:
 			l, n, err := readUvarint(frame[off:])

@@ -1,0 +1,101 @@
+package simnet
+
+import "dnsobservatory/internal/encwire"
+
+// The encrypted client→resolver leg. When Config.EncMode is set, every
+// client dispatch opens an encwire flow and every client-visible
+// resolution (cache hit or full walk) becomes one query/response
+// message pair on it, so the run emits two synchronized streams: the
+// plaintext resolver↔authoritative SIE transactions the Observatory
+// aggregates, and the encrypted client-leg size/timing observations a
+// passive on-path observer would see.
+//
+// Determinism contract: the encwire layer draws only from its own RNG
+// (seeded below with a salted copy of the scenario seed), and these
+// hooks never touch s.rng, resolver caches or response builders — so
+// enabling encryption cannot change a single byte of the SIE stream.
+// TestEncModesGoldenStore pins that down.
+
+// encSeedSalt decorrelates the layer RNG from the scenario RNG without
+// asking scenarios for a second seed.
+const encSeedSalt = 0x5e77a1de5c0ffee5
+
+type encLeg struct {
+	layer *encwire.Layer
+	// flow is the scratch Flow the dispatch loop reuses via BeginFlow:
+	// one flow per client event, never two live at once.
+	flow encwire.Flow
+	// resp remembers, per resolver cache key, the client-visible
+	// response size of the last successful resolution, so cache-hit
+	// responses are replayed at their true size.
+	resp map[string]int
+}
+
+// newEncLeg builds the layer for cfg (cfg.EncMode != ModePlain).
+func newEncLeg(cfg Config) *encLeg {
+	return &encLeg{
+		layer: encwire.NewLayer(encwire.Config{
+			Mode:   cfg.EncMode,
+			Policy: cfg.EncPolicy,
+			Block:  cfg.EncBlock,
+			Seed:   cfg.Seed ^ encSeedSalt,
+			Start:  cfg.Start,
+			Emit:   cfg.EncEmit,
+		}),
+		resp: make(map[string]int),
+	}
+}
+
+// EncStats returns the encrypted-leg counters; ok is false when the
+// scenario runs plaintext.
+func (s *Sim) EncStats() (encwire.Stats, bool) {
+	if s.enc == nil {
+		return encwire.Stats{}, false
+	}
+	return s.enc.layer.Stats(), true
+}
+
+// clientQueryLen models the DNS message size of the stub client's
+// query: header, question, and the EDNS0 OPT record stub resolvers
+// attach (padding, when configured, is added by the encwire policy).
+func clientQueryLen(qname string) int {
+	return 12 + len(qname) + 1 + 4 + 11
+}
+
+// encCacheHit records the client exchange for a resolution served from
+// the resolver cache: no upstream delay, response size replayed from
+// the last real resolution of the same key.
+func (s *Sim) encCacheHit(key, qname, dom string, t float64) {
+	if s.enc == nil || s.encFlow == nil {
+		return
+	}
+	qlen := clientQueryLen(qname)
+	rlen := s.enc.resp[key]
+	if rlen == 0 {
+		// The key was cached by a resolution whose final transaction was
+		// dropped; approximate a small positive answer.
+		rlen = qlen + 48
+	}
+	s.encFlow.Message(t, dom, qlen, rlen, 0)
+}
+
+// encResolved records the client exchange for a full resolution: the
+// query went out at t, the resolver answered after done-t seconds with
+// the response transact packed last (s.lastRespLen; 0 means the
+// upstream dropped it and the client saw a timeout, observed as a
+// query-only message).
+func (s *Sim) encResolved(key, qname, dom string, t, done float64) {
+	if s.enc == nil || s.encFlow == nil {
+		return
+	}
+	qlen := clientQueryLen(qname)
+	rlen := s.lastRespLen
+	if rlen > 0 {
+		s.enc.resp[key] = rlen
+	}
+	delayMs := (done - t) * 1000
+	if delayMs < 0 {
+		delayMs = 0
+	}
+	s.encFlow.Message(t, dom, qlen, rlen, delayMs)
+}

@@ -11,6 +11,7 @@ import (
 
 	"dnsobservatory/internal/dnssec"
 	"dnsobservatory/internal/dnswire"
+	"dnsobservatory/internal/encwire"
 	"dnsobservatory/internal/ipwire"
 	"dnsobservatory/internal/sie"
 )
@@ -95,6 +96,21 @@ type Config struct {
 	// effective residency and thereby the gTLD refresh-traffic share
 	// (the paper observes gTLDs at 9.6 % of transactions, 26.4 % NXD).
 	DelegCacheSec uint32
+
+	// EncMode, when not ModePlain, models the client→resolver leg over
+	// an encrypted transport: every client dispatch additionally emits
+	// encwire observations (sizes and timing of the encrypted channel)
+	// through EncEmit. The resolver↔authoritative SIE stream is
+	// byte-identical with or without it — the encwire layer has its own
+	// RNG and never touches resolver state (see enc.go).
+	EncMode   encwire.Mode
+	EncPolicy encwire.Policy
+	EncBlock  int // PadBlock block size; encwire.DefaultBlock when 0
+
+	// EncEmit receives every client-leg observation. The pointer is a
+	// scratch value valid only during the call. nil keeps the layer's
+	// counters without emitting.
+	EncEmit func(*encwire.Observation)
 }
 
 // DefaultConfig is a laptop-scale scenario that preserves the paper's
@@ -129,16 +145,16 @@ type Stats struct {
 
 // Sim is an instantiated scenario. Create with New, run with Run.
 type Sim struct {
-	cfg       Config
-	rng       *rand.Rand
-	Infra     *Infra
-	Universe  *Universe
+	cfg        Config
+	rng        *rand.Rand
+	Infra      *Infra
+	Universe   *Universe
 	Resolvers  []*Resolver
 	AVZones    []*SLD // anti-virus TXT domains
 	ExfilZones []*SLD // exfiltration drop zones (built only when Mix.Exfil > 0)
 
-	mixCum  []float64
-	mixFns  []func(*Sim, *Resolver, float64)
+	mixCum []float64
+	mixFns []func(*Sim, *Resolver, float64)
 	// mixLabels maps each workload class index to its sie.Workload* tag;
 	// curLabel is the tag of the generator currently dispatching. Every
 	// transaction emitted during the dispatch — including the hierarchy
@@ -164,6 +180,16 @@ type Sim struct {
 	qbuf, rbuf  []byte
 	pbuf, pbuf2 []byte
 	tx          sie.Transaction
+
+	// Encrypted client-leg state (nil/zero for plaintext scenarios).
+	// encFlow is the flow of the client dispatch currently running;
+	// lastRespLen is the DNS size of the response the most recent
+	// transact packed (0 when it was dropped), which is what the
+	// resolver forwards to the client.
+	enc          *encLeg
+	encFlow      *encwire.Flow
+	lastRespLen  int
+	transportTag uint32
 }
 
 // New instantiates the scenario.
@@ -210,6 +236,10 @@ func New(cfg Config) *Sim {
 	}
 	s.events = append(s.events, cfg.Events...)
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
+	if cfg.EncMode != encwire.ModePlain {
+		s.enc = newEncLeg(cfg)
+		s.transportTag = uint32(cfg.EncMode)
+	}
 	if !cfg.ColdCaches {
 		s.prewarm()
 	}
@@ -333,9 +363,15 @@ func (s *Sim) Run(emit func(*sie.Transaction)) Stats {
 		for _, off := range offs {
 			s.stats.ClientQueries++
 			t := sec + off
-			r := s.Resolvers[s.rng.Intn(len(s.Resolvers))]
+			ri := s.rng.Intn(len(s.Resolvers))
+			r := s.Resolvers[ri]
 			cls := sampleCum(s.rng, s.mixCum)
 			s.curLabel = s.mixLabels[cls]
+			if s.enc != nil {
+				s.enc.layer.BeginFlow(&s.enc.flow, t, uint32(ri), s.curLabel)
+				s.encFlow = &s.enc.flow
+				s.lastRespLen = 0
+			}
 			s.mixFns[cls](s, r, t)
 		}
 		if sec >= gcAt {
@@ -513,10 +549,12 @@ func (s *Sim) doExfil(r *Resolver, t float64) {
 func (s *Sim) doDS(r *Resolver, t float64) {
 	// DS lives in the parent zone: the TLD registry answers.
 	sld := s.Universe.PickSLD()
+	t0 := t
 	t = s.ensureTLD(r, t, sld.Name, dnswire.TypeDS)
 	key := "q|" + sld.Name + "|DS"
 	if hit, _ := r.cached(key, t); hit {
 		s.stats.CacheHits++
+		s.encCacheHit(key, sld.Name, sld.Name, t0)
 		return
 	}
 	srv := s.tldServerFor(sld.Name)
@@ -537,7 +575,8 @@ func (s *Sim) doDS(r *Resolver, t float64) {
 		s.addSOA(resp, dnswire.TLD(sld.Name), 900, 86400)
 	}
 	r.store(key, 86400, t, !sld.Signed)
-	s.transact(r, srv, t, sld.Name, dnswire.TypeDS, resp, true)
+	done := s.transact(r, srv, t, sld.Name, dnswire.TypeDS, resp, true)
+	s.encResolved(key, sld.Name, sld.Name, t0, done)
 }
 
 // ---- resolution walk ----
@@ -548,14 +587,21 @@ func (s *Sim) doDS(r *Resolver, t float64) {
 // Returns the time after resolution completes.
 func (s *Sim) lookup(r *Resolver, t float64, qname string, qtype dnswire.Type, zone *SLD, f *FQDN, exists bool) float64 {
 	key := "q|" + qname + "|" + qtype.String()
+	dom := ""
+	if zone != nil {
+		dom = zone.Name
+	}
 	if hit, _ := r.cached(key, t); hit {
 		s.stats.CacheHits++
+		s.encCacheHit(key, qname, dom, t)
 		return t
 	}
+	t0 := t
 	t = s.ensureTLD(r, t, qname, qtype)
 	t = s.ensureSLD(r, t, qname, qtype, zone)
 	if zone == nil {
 		// Botnet DGA: the gTLD returned NXDOMAIN; resolution ends there.
+		s.encResolved(key, qname, dom, t0, t)
 		return t
 	}
 	// Authoritative query.
@@ -597,7 +643,9 @@ func (s *Sim) lookup(r *Resolver, t float64, qname string, qtype dnswire.Type, z
 		}
 		delete(r.cache, key)
 	}
-	return s.transact(r, srv, t, qname, qtype, resp, true)
+	done := s.transact(r, srv, t, qname, qtype, resp, true)
+	s.encResolved(key, qname, dom, t0, done)
+	return done
 }
 
 // lookupJunk sends a query for a nonexistent TLD to a root server.
@@ -605,6 +653,7 @@ func (s *Sim) lookupJunk(r *Resolver, t float64, qname string, qtype dnswire.Typ
 	key := "q|" + qname + "|" + qtype.String()
 	if hit, _ := r.cached(key, t); hit {
 		s.stats.CacheHits++
+		s.encCacheHit(key, qname, "", t)
 		return
 	}
 	root := s.pickByRTT(s.Infra.RootServers)
@@ -617,7 +666,8 @@ func (s *Sim) lookupJunk(r *Resolver, t float64, qname string, qtype dnswire.Typ
 	resp.Flags.RCode = dnswire.RCodeNXDomain
 	s.addSOA(resp, ".", 86400, 2019010100)
 	r.store(key, 3600, t, true)
-	s.transact(r, root, t, sent, qtype, resp, true)
+	done := s.transact(r, root, t, sent, qtype, resp, true)
+	s.encResolved(key, qname, "", t, done)
 }
 
 // delegCacheSec returns the effective SLD-delegation cache residency.
@@ -983,11 +1033,13 @@ func (s *Sim) transact(r *Resolver, srv *Server, t float64, qname string, qtype 
 	qt := s.cfg.Start.Add(time.Duration(t * float64(time.Second)))
 
 	s.tx = sie.Transaction{
-		QueryPacket: s.pbuf,
-		QueryTime:   qt,
-		SensorID:    r.SensorID,
-		Workload:    s.curLabel,
+		QueryPacket:     s.pbuf,
+		QueryTime:       qt,
+		SensorID:        r.SensorID,
+		Workload:        s.curLabel,
+		ClientTransport: s.transportTag,
 	}
+	s.lastRespLen = 0
 	if answered {
 		resp.ID = id
 		resp.SetEDNS(4096, true)
@@ -1013,6 +1065,7 @@ func (s *Sim) transact(r *Resolver, srv *Server, t float64, qname string, qtype 
 		}
 		s.tx.ResponsePacket = s.pbuf2
 		s.tx.ResponseTime = qt.Add(time.Duration(delayMs * float64(time.Millisecond)))
+		s.lastRespLen = len(s.rbuf)
 	}
 	s.stats.Transactions++
 	if s.emit != nil {
@@ -1085,13 +1138,16 @@ func (s *Sim) truncateAndRetry(r *Resolver, srv *Server, t float64, qt time.Time
 		s.pbuf2 = ipwire.AppendIPv4TCPDNS(s.pbuf2[:0], srv.Addr, r.Addr, ipwire.DNSPort, tcpPort, rttl, seq+1, s.rbuf)
 	}
 	s.tx = sie.Transaction{
-		QueryPacket:    s.pbuf,
-		ResponsePacket: s.pbuf2,
-		QueryTime:      qt2,
-		ResponseTime:   qt2.Add(time.Duration(delayMs * float64(time.Millisecond))),
-		SensorID:       r.SensorID,
-		Workload:       s.curLabel,
+		QueryPacket:     s.pbuf,
+		ResponsePacket:  s.pbuf2,
+		QueryTime:       qt2,
+		ResponseTime:    qt2.Add(time.Duration(delayMs * float64(time.Millisecond))),
+		SensorID:        r.SensorID,
+		Workload:        s.curLabel,
+		ClientTransport: s.transportTag,
 	}
+	// The client ultimately receives the full response over TCP.
+	s.lastRespLen = len(s.rbuf)
 	s.stats.Transactions++
 	s.stats.TCPRetries++
 	if s.emit != nil {

@@ -56,6 +56,12 @@ type Server struct {
 	// operators see queue depth, in-flight probes and the outcome
 	// counters. Same decoupling convention as Sensors.
 	Probe func() any
+	// Enc, when set, serves GET /api/encdns and adds its result under
+	// the "enc" key in /healthz — dnsobs wires it to the encwire
+	// accumulator's Status (per-mode message, byte and handshake
+	// counters of the encrypted client leg). Same decoupling convention
+	// as Sensors.
+	Enc func() any
 
 	windows atomic.Uint64
 }
@@ -101,6 +107,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/aggregations", s.handleAggregations)
 	mux.HandleFunc("GET /api/top/{agg}", s.handleTop)
 	mux.HandleFunc("GET /api/detect", s.handleDetect)
+	mux.HandleFunc("GET /api/encdns", s.handleEncDNS)
 	mux.HandleFunc("GET /api/query", s.handleQuery)
 	mux.HandleFunc("GET /api/files/{agg}", s.handleFiles)
 	mux.HandleFunc("GET /files/{agg}/{level}/{start}", s.handleFile)
@@ -134,6 +141,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Probe != nil {
 		health["probe"] = s.Probe()
+	}
+	if s.Enc != nil {
+		health["enc"] = s.Enc()
 	}
 	writeJSON(w, health)
 }
@@ -289,6 +299,18 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		out.WindowStart = nod.Start
 	}
 	writeJSON(w, out)
+}
+
+// handleEncDNS serves GET /api/encdns — the encrypted-client-leg
+// status the Enc hook exposes (per-mode message/byte/handshake
+// counters from an encwire accumulator). 404 until the hook is wired
+// (plaintext deployments have no encrypted leg to report).
+func (s *Server) handleEncDNS(w http.ResponseWriter, r *http.Request) {
+	if s.Enc == nil {
+		http.Error(w, "encrypted-leg accounting not enabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.Enc())
 }
 
 // parseLevel maps a level name ("minutely", "hourly", ...) to its

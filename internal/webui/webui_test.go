@@ -129,6 +129,42 @@ func TestHealthzProbe(t *testing.T) {
 	}
 }
 
+// TestEncDNSEndpoint: /api/encdns serves the Enc hook's status and
+// /healthz mirrors it under "enc"; 404 when no hook is wired (the
+// plaintext deployment default).
+func TestEncDNSEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, false)
+	if code, _ := get(t, ts.URL+"/api/encdns"); code != 404 {
+		t.Fatalf("no-hook code = %d, want 404", code)
+	}
+	type modeStat struct {
+		Mode     string `json:"mode"`
+		Messages uint64 `json:"messages"`
+	}
+	s.Enc = func() any { return []modeStat{{Mode: "doh", Messages: 1234}} }
+	code, body := get(t, ts.URL+"/api/encdns")
+	if code != 200 {
+		t.Fatalf("code %d: %s", code, body)
+	}
+	var out []modeStat
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Mode != "doh" || out[0].Messages != 1234 {
+		t.Errorf("encdns = %+v", out)
+	}
+	_, body = get(t, ts.URL+"/healthz")
+	var h struct {
+		Enc []modeStat `json:"enc"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Enc) != 1 || h.Enc[0].Messages != 1234 {
+		t.Errorf("healthz enc = %+v", h.Enc)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, false)
 	s.Registry.Counter(observatoryIngested, "transactions", "engine", "sharded").Add(7)
